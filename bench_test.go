@@ -1,0 +1,77 @@
+// Package repro's root benchmark suite: one benchmark per evaluation
+// table/figure (see DESIGN.md's experiment index). Each benchmark runs the
+// corresponding experiment end-to-end in Quick mode — whole simulated
+// networks per iteration — so `go test -bench=. -benchmem` regenerates a
+// compact version of the entire evaluation and reports its cost.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchExperiment runs the experiment with the given id once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := spec.Run(experiments.Options{Seed: int64(i%4 + 1), Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if _, err := res.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1MeshFormation(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2PacketCodec(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3Convergence(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4Overhead(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Delivery(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6LargePayload(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7Baseline(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8DutyCycle(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9Density(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10Repair(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkA1SplitHorizon(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2HelloPeriod(b *testing.B)     { benchExperiment(b, "A2") }
+func BenchmarkA3ARQWindow(b *testing.B)       { benchExperiment(b, "A3") }
+func BenchmarkA4SpreadingFactor(b *testing.B) { benchExperiment(b, "A4") }
+func BenchmarkA5CAD(b *testing.B)             { benchExperiment(b, "A5") }
+func BenchmarkX1Energy(b *testing.B)          { benchExperiment(b, "X1") }
+func BenchmarkX2Sleep(b *testing.B)           { benchExperiment(b, "X2") }
+func BenchmarkX3Mobility(b *testing.B)        { benchExperiment(b, "X3") }
+func BenchmarkX4SNRRouting(b *testing.B)      { benchExperiment(b, "X4") }
+func BenchmarkX5Partition(b *testing.B)       { benchExperiment(b, "X5") }
+func BenchmarkX6Reactive(b *testing.B)        { benchExperiment(b, "X6") }
+
+// TestAllExperimentsQuick runs every experiment once in Quick mode so the
+// full evaluation pipeline stays green under `go test`.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, spec := range experiments.All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			res, err := spec.Run(experiments.Options{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows produced")
+			}
+			if res.ID != spec.ID {
+				t.Errorf("result id %q != spec id %q", res.ID, spec.ID)
+			}
+		})
+	}
+}

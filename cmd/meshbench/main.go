@@ -1,0 +1,87 @@
+// meshbench regenerates the evaluation's tables and figures. Each
+// experiment (E1–E10) and ablation (A1–A5) maps to one table/figure in
+// DESIGN.md's experiment index; EXPERIMENTS.md records the expected
+// shapes.
+//
+// Usage:
+//
+//	meshbench              # run every experiment
+//	meshbench -exp E5,E7   # run selected experiments
+//	meshbench -quick       # reduced sweeps (CI-sized)
+//	meshbench -seed 7      # different random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "reduced sweeps and durations")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "table", "table | csv | json")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	var specs []experiments.Spec
+	if *exp == "" {
+		specs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			s, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, s := range specs {
+		start := time.Now()
+		res, err := s.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: %s failed: %v\n", s.ID, err)
+			failed++
+			continue
+		}
+		var werr error
+		switch *format {
+		case "table":
+			_, werr = res.WriteTo(os.Stdout)
+		case "csv":
+			werr = res.WriteCSV(os.Stdout)
+		case "json":
+			werr = res.WriteJSON(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "meshbench: unknown format %q\n", *format)
+			os.Exit(1)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: writing %s: %v\n", s.ID, werr)
+			failed++
+			continue
+		}
+		if *format == "table" {
+			fmt.Printf("(%s completed in %v wall time)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

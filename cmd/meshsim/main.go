@@ -1,0 +1,236 @@
+// meshsim runs one mesh scenario and reports what happened: topology map,
+// convergence, routing tables, traffic outcome, per-node statistics, and
+// (optionally) the event trace.
+//
+// Usage examples:
+//
+//	meshsim                                   # 5-node chain, defaults
+//	meshsim -topology random -n 12 -duration 2h -traffic sink
+//	meshsim -topology grid -n 9 -protocol flooding -traffic pairs
+//	meshsim -trace 50                         # show the last 50 events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/loramesher"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "line", "line | grid | star | random")
+		n        = flag.Int("n", 5, "number of nodes")
+		spacing  = flag.Float64("spacing", 8000, "node spacing / radius in meters")
+		protocol = flag.String("protocol", "mesher", "mesher | flooding | reactive")
+		duration = flag.Duration("duration", time.Hour, "simulated duration after convergence")
+		traffic  = flag.String("traffic", "pairs", "none | pairs | sink")
+		interval = flag.Duration("interval", 5*time.Minute, "mean traffic interval per flow")
+		hello    = flag.Duration("hello", 2*time.Minute, "HELLO beacon period")
+		seed     = flag.Int64("seed", 1, "random seed")
+		traceN   = flag.Int("trace", 0, "print the last N trace events")
+		shadow   = flag.Float64("shadow", 0, "log-normal shadowing sigma in dB")
+		topoFile = flag.String("topo", "", "load node positions from a topology JSON file (overrides -topology)")
+		saveTopo = flag.String("save-topo", "", "save the generated topology to a JSON file and continue")
+	)
+	flag.Parse()
+	if err := run(*topology, *n, *spacing, *protocol, *duration, *traffic, *interval, *hello, *seed, *traceN, *shadow, *topoFile, *saveTopo); err != nil {
+		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func buildTopology(kind string, n int, spacing float64, seed int64) (*geo.Topology, error) {
+	switch kind {
+	case "line":
+		return geo.Line(n, spacing)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return geo.Grid(side, (n+side-1)/side, spacing)
+	case "star":
+		return geo.Star(n, spacing)
+	case "random":
+		field := spacing * float64(n) / 2
+		return geo.ConnectedRandomGeometric(n, field, field, 13000, seed, 2000)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func run(topology string, n int, spacing float64, protocol string, duration time.Duration,
+	traffic string, interval, hello time.Duration, seed int64, traceN int, shadow float64,
+	topoFile, saveTopo string) error {
+
+	var topo *geo.Topology
+	var err error
+	if topoFile != "" {
+		topo, err = geo.LoadFile(topoFile)
+	} else {
+		topo, err = buildTopology(topology, n, spacing, seed)
+	}
+	if err != nil {
+		return err
+	}
+	if saveTopo != "" {
+		if err := topo.SaveFile(saveTopo); err != nil {
+			return err
+		}
+		fmt.Printf("topology saved to %s\n", saveTopo)
+	}
+	cfg := netsim.Config{
+		Topology: topo,
+		Seed:     seed,
+		Node:     loramesher.Config{HelloPeriod: hello},
+		Flood:    baseline.Config{},
+	}
+	cfg.Medium.ShadowSigmaDB = shadow
+	switch protocol {
+	case "mesher":
+		cfg.Protocol = netsim.KindMesher
+	case "flooding":
+		cfg.Protocol = netsim.KindFlooding
+	case "reactive":
+		cfg.Protocol = netsim.KindReactive
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+	if traceN > 0 {
+		cfg.TraceCapacity = traceN
+	}
+	sim, err := netsim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("topology %s: %d nodes\n", topo.Name, topo.N())
+	printMap(os.Stdout, topo)
+	fmt.Println()
+
+	if cfg.Protocol == netsim.KindMesher {
+		conv, ok := sim.TimeToConvergence(10*time.Second, 12*time.Hour)
+		if !ok {
+			return fmt.Errorf("mesh did not converge in 12 h — check density vs radio range")
+		}
+		fmt.Printf("mesh converged in %v\n\n", conv.Round(time.Second))
+	}
+
+	var stats []*netsim.TrafficStats
+	switch traffic {
+	case "none":
+	case "pairs":
+		for i := 0; i < sim.N(); i++ {
+			st, err := sim.StartFlow(netsim.Flow{
+				From: i, To: (i + sim.N()/2) % sim.N(), Payload: 24,
+				Interval: interval, Poisson: true,
+			})
+			if err != nil {
+				return err
+			}
+			stats = append(stats, st)
+		}
+	case "sink":
+		all, err := sim.StartManyToOne(0, 24, interval, true)
+		if err != nil {
+			return err
+		}
+		stats = all
+	default:
+		return fmt.Errorf("unknown traffic pattern %q", traffic)
+	}
+
+	sim.Run(duration)
+
+	if len(stats) > 0 {
+		total := netsim.MergeStats(stats)
+		fmt.Printf("traffic (%s, mean interval %v) over %v:\n", traffic, interval, duration)
+		fmt.Printf("  offered %d  delivered %d  PDR %.1f%%  mean latency %v\n\n",
+			total.Offered, total.Delivered, 100*total.DeliveryRatio(),
+			total.MeanLatency().Round(time.Millisecond))
+	}
+
+	fmt.Println("per-node summary:")
+	fmt.Println("  node   tx      rx      fwd     routes  airtime     mean mA  life@3000mAh")
+	report, _ := sim.EnergyReport(energy.DefaultProfile(), 3000)
+	for i := 0; i < sim.N(); i++ {
+		h := sim.Handle(i)
+		m := h.Proto.Metrics()
+		routes := "-"
+		if h.Mesher != nil {
+			routes = fmt.Sprintf("%d", h.Mesher.Table().Len())
+		}
+		air, _ := sim.Medium.StationAirtime(h.Station)
+		ma, life := "-", "-"
+		if i < len(report) {
+			ma = fmt.Sprintf("%.1f", report[i].MeanCurrentMA)
+			life = fmt.Sprintf("%.1fd", report[i].BatteryLife.Hours()/24)
+		}
+		fmt.Printf("  %v   %-6d  %-6d  %-6d  %-6s  %-10v  %-7s  %s\n", h.Addr,
+			m.Counter("tx.frames").Value(), m.Counter("rx.frames").Value(),
+			m.Counter("fwd.frames").Value(), routes, air.Round(time.Millisecond), ma, life)
+	}
+
+	ms := sim.Medium.Stats()
+	fmt.Printf("\nchannel: %d frames sent, %d receptions, %d lost to collisions, %d below sensitivity\n",
+		ms.FramesSent, ms.FramesDelivered, ms.LostCollision, ms.LostBelowSensitivity)
+
+	if traceN > 0 && sim.Tracer != nil {
+		fmt.Printf("\nlast %d events:\n", traceN)
+		if _, err := sim.Tracer.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printMap renders node positions on a coarse ASCII grid.
+func printMap(w io.Writer, topo *geo.Topology) {
+	const cols, rows = 60, 16
+	minX, minY := topo.Positions[0].X, topo.Positions[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range topo.Positions {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+	for i, p := range topo.Positions {
+		x := int((p.X - minX) / spanX * float64(cols-1))
+		y := int((p.Y - minY) / spanY * float64(rows-1))
+		label := byte('0' + i%10)
+		grid[y][x] = label
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "  %s\n", row)
+	}
+	fmt.Fprintf(w, "  (field %.1f x %.1f km)\n", spanX/1000, spanY/1000)
+}

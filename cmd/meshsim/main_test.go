@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildTopologyKinds(t *testing.T) {
+	for _, kind := range []string{"line", "grid", "star", "random"} {
+		topo, err := buildTopology(kind, 6, 8000, 1)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if topo.N() < 6 {
+			t.Errorf("%s produced %d nodes, want >= 6", kind, topo.N())
+		}
+	}
+	if _, err := buildTopology("klein-bottle", 6, 8000, 1); err == nil {
+		t.Error("unknown topology: want error")
+	}
+}
+
+func TestPrintMapRendersEveryNode(t *testing.T) {
+	topo, err := buildTopology("line", 4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	printMap(&sb, topo)
+	out := sb.String()
+	for _, label := range []string{"0", "1", "2", "3"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("map missing node %s:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "km)") {
+		t.Error("map missing scale line")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	// End-to-end CLI logic on a tiny scenario (output goes to stdout;
+	// correctness is "no error").
+	err := run("line", 3, 8000, "mesher", 600e9, "pairs", 300e9, 120e9, 1, 0, 0, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("line", 3, 8000, "flooding", 60e9, "none", 300e9, 120e9, 1, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("line", 3, 8000, "reactive", 60e9, "pairs", 300e9, 120e9, 1, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("line", 3, 8000, "mesher", 60e9, "bogus", 300e9, 120e9, 1, 0, 0, "", ""); err == nil {
+		t.Error("bogus traffic pattern: want error")
+	}
+}

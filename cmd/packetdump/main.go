@@ -1,0 +1,121 @@
+// packetdump decodes LoRaMesher frames captured as hex — from a logic
+// analyzer, an SDR, or the simulator's traces — into human-readable form,
+// including HELLO routing-table payloads and per-SF airtime.
+//
+//	$ packetdump ffff00010412340103
+//	HELLO 0001->FFFF len=9
+//	  airtime SF7/BW125: 41ms
+//	  routing entries (1):
+//	    1234 metric 1 default
+//
+// Frames can also be piped on stdin, one hex string per line.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/loraphy"
+	"repro/internal/packet"
+)
+
+func main() {
+	sf := flag.Int("sf", 7, "spreading factor for airtime annotation (7-12)")
+	flag.Parse()
+
+	params := loraphy.DefaultParams()
+	params.SpreadingFactor = loraphy.SpreadingFactor(*sf)
+	if err := params.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "packetdump: %v\n", err)
+		os.Exit(1)
+	}
+
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		scanner := bufio.NewScanner(os.Stdin)
+		for scanner.Scan() {
+			if line := strings.TrimSpace(scanner.Text()); line != "" {
+				inputs = append(inputs, line)
+			}
+		}
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "packetdump: no frames given (args or stdin)")
+		os.Exit(1)
+	}
+
+	failed := 0
+	for _, in := range inputs {
+		if err := dump(os.Stdout, in, params); err != nil {
+			fmt.Fprintf(os.Stderr, "packetdump: %q: %v\n", in, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// dump decodes one hex frame and writes its description.
+func dump(w io.Writer, hexFrame string, params loraphy.Params) error {
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == ':' || r == '-' {
+			return -1
+		}
+		return r
+	}, hexFrame)
+	frame, err := hex.DecodeString(clean)
+	if err != nil {
+		return fmt.Errorf("bad hex: %w", err)
+	}
+	p, err := packet.Unmarshal(frame)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, p)
+	if air, err := params.Airtime(len(frame)); err == nil {
+		fmt.Fprintf(w, "  airtime %v/%v: %v\n", params.SpreadingFactor, params.Bandwidth, air)
+	}
+	switch {
+	case p.Type == packet.TypeHello:
+		entries, err := packet.UnmarshalHello(p.Payload)
+		if err != nil {
+			return fmt.Errorf("hello payload: %w", err)
+		}
+		fmt.Fprintf(w, "  routing entries (%d):\n", len(entries))
+		for _, e := range entries {
+			fmt.Fprintf(w, "    %v metric %d %v\n", e.Addr, e.Metric, e.Role)
+		}
+	case len(p.Payload) > 0:
+		fmt.Fprintf(w, "  payload (%d B): %s\n", len(p.Payload), previewPayload(p.Payload))
+	}
+	return nil
+}
+
+// previewPayload renders small payloads as text when printable, hex
+// otherwise.
+func previewPayload(b []byte) string {
+	printable := true
+	for _, c := range b {
+		if c < 0x20 || c > 0x7e {
+			printable = false
+			break
+		}
+	}
+	const max = 48
+	trunc := b
+	suffix := ""
+	if len(trunc) > max {
+		trunc = trunc[:max]
+		suffix = "..."
+	}
+	if printable {
+		return fmt.Sprintf("%q%s", trunc, suffix)
+	}
+	return hex.EncodeToString(trunc) + suffix
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loraphy"
+	"repro/internal/packet"
+)
+
+func encodeHex(t *testing.T, p *packet.Packet) string {
+	t.Helper()
+	buf, err := packet.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hexdigits = "0123456789abcdef"
+	var sb strings.Builder
+	for _, b := range buf {
+		sb.WriteByte(hexdigits[b>>4])
+		sb.WriteByte(hexdigits[b&0xf])
+	}
+	return sb.String()
+}
+
+func TestDumpHello(t *testing.T) {
+	payload, err := packet.MarshalHello([]packet.HelloEntry{
+		{Addr: 0x1234, Metric: 2, Role: packet.RoleSink},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hexFrame := encodeHex(t, &packet.Packet{
+		Dst: packet.Broadcast, Src: 1, Type: packet.TypeHello, Payload: payload,
+	})
+	var sb strings.Builder
+	if err := dump(&sb, hexFrame, loraphy.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"HELLO", "1234 metric 2 sink", "airtime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpDataWithSeparators(t *testing.T) {
+	hexFrame := encodeHex(t, &packet.Packet{
+		Dst: 9, Src: 2, Type: packet.TypeData, Via: 3, Payload: []byte("hi"),
+	})
+	// Insert separators; dump must strip them.
+	spaced := strings.Join(strings.Split(hexFrame, ""), " ")
+	var sb strings.Builder
+	if err := dump(&sb, spaced, loraphy.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"hi"`) {
+		t.Errorf("dump output = %s", sb.String())
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := dump(&sb, "zz", loraphy.DefaultParams()); err == nil {
+		t.Error("bad hex: want error")
+	}
+	if err := dump(&sb, "0102", loraphy.DefaultParams()); err == nil {
+		t.Error("truncated frame: want error")
+	}
+}
+
+func TestPreviewPayload(t *testing.T) {
+	if got := previewPayload([]byte("plain")); got != `"plain"` {
+		t.Errorf("printable preview = %s", got)
+	}
+	if got := previewPayload([]byte{0x00, 0xff}); got != "00ff" {
+		t.Errorf("binary preview = %s", got)
+	}
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := previewPayload(long); !strings.HasSuffix(got, "...") {
+		t.Errorf("long preview not truncated: %s", got)
+	}
+}

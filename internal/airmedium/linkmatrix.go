@@ -1,0 +1,110 @@
+package airmedium
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LinkMatrix holds measured per-link attenuations — testbed replay. A
+// reproduction that has access to a deployment's measured link budget
+// (from RSSI surveys) can feed it here instead of synthesizing geometry:
+// Config.PathLossOverride = matrix.Override and every declared pair uses
+// the measured value, with undeclared pairs falling back to the geometric
+// model.
+//
+// JSON form:
+//
+//	{"name": "campus-2022",
+//	 "links": [{"from": 0, "to": 1, "db": 118.5},
+//	           {"from": 1, "to": 2, "db": 131.0}]}
+//
+// Links are directional; Symmetric() mirrors them.
+type LinkMatrix struct {
+	Name  string `json:"name"`
+	Links []Link `json:"links"`
+
+	index map[[2]StationID]float64
+}
+
+// Link is one measured attenuation.
+type Link struct {
+	From StationID `json:"from"`
+	To   StationID `json:"to"`
+	DB   float64   `json:"db"`
+}
+
+// build constructs the lookup index.
+func (m *LinkMatrix) build() error {
+	m.index = make(map[[2]StationID]float64, len(m.Links))
+	for _, l := range m.Links {
+		if l.From < 0 || l.To < 0 || l.From == l.To {
+			return fmt.Errorf("airmedium: link matrix entry %d->%d invalid", l.From, l.To)
+		}
+		if l.DB <= 0 {
+			return fmt.Errorf("airmedium: link %d->%d loss %v dB must be positive", l.From, l.To, l.DB)
+		}
+		m.index[[2]StationID{l.From, l.To}] = l.DB
+	}
+	return nil
+}
+
+// Symmetric mirrors every link so the matrix covers both directions;
+// explicit reverse entries win.
+func (m *LinkMatrix) Symmetric() *LinkMatrix {
+	out := &LinkMatrix{Name: m.Name}
+	seen := make(map[[2]StationID]bool, 2*len(m.Links))
+	for _, l := range m.Links {
+		out.Links = append(out.Links, l)
+		seen[[2]StationID{l.From, l.To}] = true
+	}
+	for _, l := range m.Links {
+		rev := [2]StationID{l.To, l.From}
+		if !seen[rev] {
+			out.Links = append(out.Links, Link{From: l.To, To: l.From, DB: l.DB})
+			seen[rev] = true
+		}
+	}
+	return out
+}
+
+// Override returns the function to install as Config.PathLossOverride.
+func (m *LinkMatrix) Override() (func(from, to StationID) (float64, bool), error) {
+	if m.index == nil {
+		if err := m.build(); err != nil {
+			return nil, err
+		}
+	}
+	return func(from, to StationID) (float64, bool) {
+		loss, ok := m.index[[2]StationID{from, to}]
+		return loss, ok
+	}, nil
+}
+
+// ReadLinkMatrix parses the JSON form.
+func ReadLinkMatrix(r io.Reader) (*LinkMatrix, error) {
+	var m LinkMatrix
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("airmedium: decoding link matrix: %w", err)
+	}
+	if len(m.Links) == 0 {
+		return nil, fmt.Errorf("airmedium: link matrix %q has no links", m.Name)
+	}
+	if err := m.build(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadLinkMatrix reads the JSON form from a file.
+func LoadLinkMatrix(path string) (*LinkMatrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("airmedium: %w", err)
+	}
+	defer f.Close()
+	return ReadLinkMatrix(f)
+}

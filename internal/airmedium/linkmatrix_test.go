@@ -1,0 +1,102 @@
+package airmedium
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/loraphy"
+	"repro/internal/simtime"
+)
+
+func TestLinkMatrixParseAndOverride(t *testing.T) {
+	doc := `{"name":"bench","links":[
+		{"from":0,"to":1,"db":100},
+		{"from":1,"to":0,"db":105}]}`
+	m, err := ReadLinkMatrix(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := m.Override()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss, ok := ov(0, 1); !ok || loss != 100 {
+		t.Errorf("0->1 = %v,%v, want 100,true", loss, ok)
+	}
+	if loss, ok := ov(1, 0); !ok || loss != 105 {
+		t.Errorf("1->0 = %v,%v, want 105,true (directional)", loss, ok)
+	}
+	if _, ok := ov(0, 2); ok {
+		t.Error("undeclared pair should fall through")
+	}
+}
+
+func TestLinkMatrixValidation(t *testing.T) {
+	for _, doc := range []string{
+		`{"links":[]}`,
+		`{"links":[{"from":0,"to":0,"db":100}]}`,
+		`{"links":[{"from":0,"to":1,"db":-5}]}`,
+		`{"bogus": true}`,
+	} {
+		if _, err := ReadLinkMatrix(strings.NewReader(doc)); err == nil {
+			t.Errorf("doc %s: want error", doc)
+		}
+	}
+}
+
+func TestLinkMatrixSymmetric(t *testing.T) {
+	m := &LinkMatrix{Links: []Link{{From: 0, To: 1, DB: 100}}}
+	sym := m.Symmetric()
+	ov, err := sym.Override()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss, ok := ov(1, 0); !ok || loss != 100 {
+		t.Errorf("mirrored 1->0 = %v,%v, want 100,true", loss, ok)
+	}
+	// Explicit reverse entries win over mirroring.
+	m2 := &LinkMatrix{Links: []Link{{From: 0, To: 1, DB: 100}, {From: 1, To: 0, DB: 130}}}
+	ov2, err := m2.Symmetric().Override()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss, _ := ov2(1, 0); loss != 130 {
+		t.Errorf("explicit reverse = %v, want 130", loss)
+	}
+}
+
+func TestMediumUsesLinkMatrix(t *testing.T) {
+	// Two stations at identical positions (geometric loss ~0), but the
+	// measured matrix declares the link dead in one direction.
+	sched := simtime.NewScheduler(t0)
+	matrix := &LinkMatrix{Links: []Link{
+		{From: 0, To: 1, DB: 200}, // dead: far below sensitivity
+		{From: 1, To: 0, DB: 100}, // fine
+	}}
+	ov, err := matrix.Override()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(sched, Config{PathLossOverride: ov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx0, rx1 := &collector{}, &collector{}
+	id0, _ := m.AddStation(geo.Point{}, rx0)
+	id1, _ := m.AddStation(geo.Point{}, rx1)
+	if _, err := m.Transmit(id0, []byte("a"), loraphy.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(0)
+	if len(rx1.frames) != 0 {
+		t.Error("measured-dead link delivered")
+	}
+	if _, err := m.Transmit(id1, []byte("b"), loraphy.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(0)
+	if len(rx0.frames) != 1 {
+		t.Error("measured-good link did not deliver")
+	}
+}

@@ -1,0 +1,258 @@
+// Package baseline implements the controlled-flooding comparison protocol
+// for the evaluation. Flooding is the standard straw-man LoRaMesher is
+// measured against: it needs no routing state — every node rebroadcasts
+// every new packet until a hop limit — so it delivers without convergence
+// delay but at a duplicate-transmission cost that grows with network size.
+//
+// The flooding node reuses the LoRaMesher wire header (DATA packets with
+// Via = broadcast) and prepends a 3-byte flood header to the payload:
+// TTL(1) and a 16-bit origin sequence number used for duplicate
+// suppression.
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// floodHeaderLen is TTL(1) + seqno(2).
+const floodHeaderLen = 3
+
+// MaxPayload is the application bytes one flooded packet can carry.
+var MaxPayload = packet.MaxPayload(packet.TypeData) - floodHeaderLen
+
+// Errors returned by the flooding API.
+var (
+	ErrTooLarge = errors.New("baseline: payload too large")
+	ErrStopped  = errors.New("baseline: node is stopped")
+)
+
+// Config parameterizes a flooding node.
+type Config struct {
+	// Address is the node's mesh address.
+	Address packet.Address
+	// TTL is the rebroadcast hop limit. Zero means 8.
+	TTL uint8
+	// RebroadcastDelay is the mean randomized hold-off before a node
+	// repeats a packet; the jitter desynchronizes the simultaneous
+	// rebroadcasts that otherwise collide. Zero means 500 ms.
+	RebroadcastDelay time.Duration
+	// DedupCapacity is how many (origin, seq) pairs the duplicate
+	// suppressor remembers. Zero means 512.
+	DedupCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL == 0 {
+		c.TTL = 8
+	}
+	if c.RebroadcastDelay <= 0 {
+		c.RebroadcastDelay = 500 * time.Millisecond
+	}
+	if c.DedupCapacity <= 0 {
+		c.DedupCapacity = 512
+	}
+	return c
+}
+
+// floodKey identifies a flooded packet network-wide.
+type floodKey struct {
+	origin packet.Address
+	seq    uint16
+}
+
+// Node is one controlled-flooding protocol engine. Like core.Node it is a
+// host-driven state machine implementing the same engine surface, so the
+// simulator runs both protocols on identical substrates.
+type Node struct {
+	cfg     Config
+	env     core.Env
+	reg     *metrics.Registry
+	stopped bool
+
+	nextSeq uint16
+	// seen is a FIFO-evicting dedup set.
+	seen     map[floodKey]struct{}
+	seenFIFO []floodKey
+
+	queue        []*packet.Packet
+	transmitting bool
+}
+
+// NewNode creates a flooding node on the given env.
+func NewNode(cfg Config, env core.Env) (*Node, error) {
+	if env == nil {
+		return nil, fmt.Errorf("baseline: nil env")
+	}
+	if cfg.Address == packet.Broadcast {
+		return nil, fmt.Errorf("baseline: node address must not be broadcast")
+	}
+	return &Node{
+		cfg:  cfg.withDefaults(),
+		env:  env,
+		reg:  metrics.NewRegistry(),
+		seen: make(map[floodKey]struct{}),
+	}, nil
+}
+
+// Address returns the node's mesh address.
+func (n *Node) Address() packet.Address { return n.cfg.Address }
+
+// Metrics exposes the node's instruments.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Start is a no-op: flooding needs no beaconing. It exists so the
+// simulator can treat both protocols uniformly.
+func (n *Node) Start() error {
+	if n.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Stop silences the node.
+func (n *Node) Stop() { n.stopped = true }
+
+// Send floods a datagram toward dst (packet.Broadcast floods to everyone).
+func (n *Node) Send(dst packet.Address, payload []byte) error {
+	if n.stopped {
+		return ErrStopped
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(payload), MaxPayload)
+	}
+	seq := n.nextSeq
+	n.nextSeq++
+	body := make([]byte, floodHeaderLen+len(payload))
+	body[0] = n.cfg.TTL
+	binary.BigEndian.PutUint16(body[1:3], seq)
+	copy(body[floodHeaderLen:], payload)
+	p := &packet.Packet{
+		Dst:     dst,
+		Src:     n.cfg.Address,
+		Type:    packet.TypeData,
+		Via:     packet.Broadcast,
+		Payload: body,
+	}
+	n.remember(floodKey{origin: n.cfg.Address, seq: seq})
+	n.reg.Counter("app.sent").Inc()
+	n.enqueue(p, 0)
+	return nil
+}
+
+// HandleFrame processes a received frame.
+func (n *Node) HandleFrame(frame []byte, _ core.RxInfo) {
+	if n.stopped {
+		return
+	}
+	p, err := packet.Unmarshal(frame)
+	if err != nil {
+		n.reg.Counter("rx.corrupt").Inc()
+		return
+	}
+	n.reg.Counter("rx.frames").Inc()
+	if p.Type != packet.TypeData || len(p.Payload) < floodHeaderLen {
+		n.reg.Counter("rx.corrupt").Inc()
+		return
+	}
+	if p.Src == n.cfg.Address {
+		return // own flood echoed back
+	}
+	ttl := p.Payload[0]
+	seq := binary.BigEndian.Uint16(p.Payload[1:3])
+	key := floodKey{origin: p.Src, seq: seq}
+	if n.isDuplicate(key) {
+		n.reg.Counter("rx.duplicate").Inc()
+		return
+	}
+	n.remember(key)
+
+	if p.Dst == n.cfg.Address || p.Dst == packet.Broadcast {
+		n.reg.Counter("app.delivered").Inc()
+		n.env.Deliver(core.AppMessage{
+			From:    p.Src,
+			To:      p.Dst,
+			Payload: append([]byte(nil), p.Payload[floodHeaderLen:]...),
+			At:      n.env.Now(),
+		})
+		if p.Dst == n.cfg.Address {
+			return // unicast reached its destination; stop the flood here
+		}
+	}
+	if ttl <= 1 {
+		n.reg.Counter("drop.ttl").Inc()
+		return
+	}
+	fwd := p.Clone()
+	fwd.Payload[0] = ttl - 1
+	n.reg.Counter("fwd.frames").Inc()
+	// Randomized hold-off: nodes that heard the same broadcast would
+	// otherwise rebroadcast at the same instant and collide.
+	delay := time.Duration((0.5 + n.env.Rand()) * float64(n.cfg.RebroadcastDelay))
+	n.enqueue(fwd, delay)
+}
+
+func (n *Node) isDuplicate(k floodKey) bool {
+	_, ok := n.seen[k]
+	return ok
+}
+
+func (n *Node) remember(k floodKey) {
+	if _, ok := n.seen[k]; ok {
+		return
+	}
+	n.seen[k] = struct{}{}
+	n.seenFIFO = append(n.seenFIFO, k)
+	if len(n.seenFIFO) > n.cfg.DedupCapacity {
+		old := n.seenFIFO[0]
+		n.seenFIFO = n.seenFIFO[1:]
+		delete(n.seen, old)
+	}
+}
+
+// enqueue schedules a packet for transmission after delay.
+func (n *Node) enqueue(p *packet.Packet, delay time.Duration) {
+	if delay > 0 {
+		n.env.Schedule(delay, func() { n.enqueue(p, 0) })
+		return
+	}
+	n.queue = append(n.queue, p)
+	n.pump()
+}
+
+func (n *Node) pump() {
+	if n.stopped || n.transmitting || len(n.queue) == 0 {
+		return
+	}
+	p := n.queue[0]
+	n.queue[0] = nil
+	n.queue = n.queue[1:]
+	frame, err := packet.Marshal(p)
+	if err != nil {
+		n.reg.Counter("drop.marshal").Inc()
+		n.pump()
+		return
+	}
+	if _, err := n.env.Transmit(frame); err != nil {
+		n.reg.Counter("drop.txerror").Inc()
+		return
+	}
+	n.transmitting = true
+	n.reg.Counter("tx.frames").Inc()
+	n.reg.Counter("tx.bytes").Add(uint64(len(frame)))
+}
+
+// HandleTxDone resumes the transmit queue.
+func (n *Node) HandleTxDone() {
+	if n.stopped {
+		return
+	}
+	n.transmitting = false
+	n.pump()
+}

@@ -1,0 +1,383 @@
+// Package core implements the LoRaMesher node engine — the library the
+// demo paper runs on every LoRa node to form a mesh network.
+//
+// A Node is a deterministic, event-driven protocol state machine. It owns
+// the distance-vector routing table, the HELLO beaconing service, the
+// prioritized transmit queue with duty-cycle gating and optional
+// listen-before-talk, hop-by-hop forwarding, and the reliable
+// large-payload stream transport (SYNC / XL_DATA / ACK / LOST). The node
+// performs no I/O and starts no goroutines of its own: a host — the
+// discrete-event simulator (internal/netsim) or the goroutine-per-node
+// live runtime (internal/livenet) — drives it through HandleFrame and
+// scheduled callbacks and carries out its transmissions through the Env
+// interface. That makes every simulation bit-for-bit reproducible while
+// the identical engine also runs under real concurrency.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/loraphy"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// Env is the node's view of its host. Implementations serialize all calls
+// into the node (the node is not safe for concurrent use) and must not
+// re-enter the node synchronously from Transmit.
+type Env interface {
+	// Now returns the current time (virtual under simulation).
+	Now() time.Time
+	// Schedule runs fn after d. The returned cancel function prevents a
+	// pending fn from running; cancelling after the fact is a no-op.
+	Schedule(d time.Duration, fn func()) (cancel func())
+	// Transmit puts an encoded frame on the air and returns its airtime.
+	// The host signals completion by calling Node.HandleTxDone.
+	Transmit(frame []byte) (time.Duration, error)
+	// ChannelBusy reports whether channel-activity detection senses an
+	// ongoing transmission (listen-before-talk).
+	ChannelBusy() (bool, error)
+	// Deliver hands a received application message to the application.
+	Deliver(msg AppMessage)
+	// StreamDone reports the outcome of an outgoing reliable stream.
+	StreamDone(ev StreamEvent)
+	// Rand returns a uniform float64 in [0,1) from the host's seeded
+	// source, used for protocol jitter.
+	Rand() float64
+}
+
+// AppMessage is a payload delivered to the application.
+type AppMessage struct {
+	// From is the originating node.
+	From packet.Address
+	// To is this node's address, or Broadcast.
+	To packet.Address
+	// Payload is the application data. The node allocates it fresh; the
+	// application owns it.
+	Payload []byte
+	// Reliable marks payloads that arrived via the stream transport.
+	Reliable bool
+	// At is the delivery time.
+	At time.Time
+}
+
+// StreamEvent reports the completion or failure of an outgoing reliable
+// stream.
+type StreamEvent struct {
+	// ID is the stream sequence id returned by SendReliable.
+	ID uint8
+	// Dst is the stream's destination.
+	Dst packet.Address
+	// Err is nil on success; otherwise the reason the stream failed.
+	Err error
+	// Chunks is the number of data chunks in the stream.
+	Chunks int
+	// Retransmissions counts chunk retransmissions performed.
+	Retransmissions int
+	// Elapsed is the time from SendReliable to completion.
+	Elapsed time.Duration
+}
+
+// Errors returned by the application API.
+var (
+	ErrNoRoute      = errors.New("core: no route to destination")
+	ErrQueueFull    = errors.New("core: transmit queue full")
+	ErrTooLarge     = errors.New("core: payload too large")
+	ErrStopped      = errors.New("core: node is stopped")
+	ErrBusyStream   = errors.New("core: too many concurrent outgoing streams")
+	ErrStreamFailed = errors.New("core: stream exhausted retries")
+)
+
+// Config parameterizes a node.
+type Config struct {
+	// Address is the node's 16-bit mesh address (unique per network).
+	Address packet.Address
+	// Role is advertised in HELLO packets; zero means RoleDefault.
+	Role packet.Role
+	// Phy selects the radio parameters; zero value means
+	// loraphy.DefaultParams().
+	Phy loraphy.Params
+	// HelloPeriod is the routing-beacon interval; the prototype uses
+	// 120 s. Zero means 120 s.
+	HelloPeriod time.Duration
+	// HelloJitter is the relative desynchronization jitter applied to
+	// each HELLO period (0.2 = ±20%). Zero means 0.2; negative disables.
+	HelloJitter float64
+	// RouteCheck is how often stale routes are expired. Zero means a
+	// quarter of the routing entry TTL.
+	RouteCheck time.Duration
+	// Routing tunes the routing table (TTL, hop cap, poisoning).
+	Routing routing.Config
+	// QueueCapacity bounds the transmit queue. Zero means 64.
+	QueueCapacity int
+	// InterFrameGap is the pause between consecutive transmissions from
+	// this node, jittered ±50%, which desynchronizes forwarders. Zero
+	// means 80 ms; negative disables.
+	InterFrameGap time.Duration
+	// DutyCycleLimit caps airtime per rolling hour (0.01 = EU868 g1).
+	// Zero means derive from Phy.FrequencyHz; 1 disables regulation.
+	DutyCycleLimit float64
+	// CAD enables listen-before-talk: the node defers transmissions
+	// while it senses channel activity.
+	CAD bool
+	// CADBackoff is the deferral before re-checking a busy channel,
+	// jittered. Zero means 3 frame-preamble times.
+	CADBackoff time.Duration
+	// CADMaxTries bounds deferrals before transmitting regardless.
+	// Zero means 8.
+	CADMaxTries int
+	// StreamWindow is the reliable-transport window in chunks: 1 is the
+	// prototype's stop-and-wait; larger values enable go-back-N. Zero
+	// means 1.
+	StreamWindow int
+	// StreamRetry is the retransmission timeout for unacknowledged
+	// stream chunks. Zero means 12 s (several multi-hop frame times).
+	StreamRetry time.Duration
+	// StreamPacing spaces consecutive window chunk transmissions so a
+	// windowed transfer does not self-collide on a half-duplex
+	// multi-hop path. Zero (the prototype) sends the window as fast as
+	// the queue drains.
+	StreamPacing time.Duration
+	// StreamMaxRetries bounds retransmission rounds before a stream
+	// fails. Zero means 6.
+	StreamMaxRetries int
+	// MaxOutStreams bounds concurrent outgoing streams. Zero means 4.
+	MaxOutStreams int
+	// DedupHorizon is how long a forwarded packet fingerprint is
+	// remembered to break transient routing loops (the wire format has
+	// no TTL field). Zero means 1500 ms; negative disables.
+	DedupHorizon time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Role == 0 {
+		c.Role = packet.RoleDefault
+	}
+	if c.Phy == (loraphy.Params{}) {
+		c.Phy = loraphy.DefaultParams()
+	}
+	if c.HelloPeriod <= 0 {
+		c.HelloPeriod = 120 * time.Second
+	}
+	if c.HelloJitter == 0 {
+		c.HelloJitter = 0.2
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.InterFrameGap == 0 {
+		c.InterFrameGap = 80 * time.Millisecond
+	}
+	if c.CADBackoff <= 0 {
+		c.CADBackoff = 3 * c.Phy.PreambleTime()
+	}
+	if c.CADMaxTries <= 0 {
+		c.CADMaxTries = 8
+	}
+	if c.StreamWindow <= 0 {
+		c.StreamWindow = 1
+	}
+	if c.StreamRetry <= 0 {
+		c.StreamRetry = 12 * time.Second
+	}
+	if c.StreamMaxRetries <= 0 {
+		c.StreamMaxRetries = 6
+	}
+	if c.MaxOutStreams <= 0 {
+		c.MaxOutStreams = 4
+	}
+	if c.DedupHorizon == 0 {
+		c.DedupHorizon = 1500 * time.Millisecond
+	}
+	return c
+}
+
+// EffectivePhy returns the PHY parameters a node built from this config
+// will use, after defaulting. Hosts use it to configure the radio side.
+func (c Config) EffectivePhy() loraphy.Params {
+	return c.withDefaults().Phy
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if cc.Address == packet.Broadcast {
+		return fmt.Errorf("core: node address must not be the broadcast address")
+	}
+	if err := cc.Phy.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if cc.DutyCycleLimit < 0 || cc.DutyCycleLimit > 1 {
+		return fmt.Errorf("core: duty-cycle limit %v out of [0,1]", cc.DutyCycleLimit)
+	}
+	if cc.HelloJitter > 0.9 {
+		return fmt.Errorf("core: hello jitter %v too large (max 0.9)", cc.HelloJitter)
+	}
+	return nil
+}
+
+// Node is one LoRaMesher protocol engine. See the package comment for the
+// execution model.
+type Node struct {
+	cfg   Config
+	env   Env
+	table *routing.Table
+	reg   *metrics.Registry
+
+	started bool
+	stopped bool
+
+	// Transmit path.
+	queue        *txQueue
+	transmitting bool
+	pumpCancel   func()
+	cadTries     int
+	duty         dutyRegulator
+
+	// Beaconing and route maintenance.
+	helloCancel  func()
+	expiryCancel func()
+
+	// Reliable transport.
+	nextSeqID  uint8
+	outStreams map[uint8]*outStream
+	inStreams  map[inKey]*inStream
+
+	// Forwarding loop-breaker: packet fingerprint → last seen.
+	seen map[uint64]time.Time
+}
+
+// dutyRegulator is the subset of dutycycle.Regulator the node needs,
+// extracted so tests can substitute a fake.
+type dutyRegulator interface {
+	CanTransmit(now time.Time, airtime time.Duration) bool
+	Record(now time.Time, airtime time.Duration)
+	NextAllowed(now time.Time, airtime time.Duration) (time.Time, error)
+	LifetimeAirtime() time.Duration
+}
+
+// unlimitedDuty disables regulation.
+type unlimitedDuty struct{ lifetime time.Duration }
+
+func (*unlimitedDuty) CanTransmit(time.Time, time.Duration) bool { return true }
+func (u *unlimitedDuty) Record(_ time.Time, a time.Duration)     { u.lifetime += a }
+func (u *unlimitedDuty) NextAllowed(now time.Time, _ time.Duration) (time.Time, error) {
+	return now, nil
+}
+func (u *unlimitedDuty) LifetimeAirtime() time.Duration { return u.lifetime }
+
+// NewNode creates a node. The env must outlive the node.
+func NewNode(cfg Config, env Env) (*Node, error) {
+	if env == nil {
+		return nil, fmt.Errorf("core: nil env")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:        cfg,
+		env:        env,
+		table:      routing.NewTable(cfg.Address, cfg.Routing),
+		reg:        metrics.NewRegistry(),
+		queue:      newTxQueue(cfg.QueueCapacity),
+		outStreams: make(map[uint8]*outStream),
+		inStreams:  make(map[inKey]*inStream),
+		seen:       make(map[uint64]time.Time),
+	}
+	duty, err := newDuty(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.duty = duty
+	return n, nil
+}
+
+// Address returns the node's mesh address.
+func (n *Node) Address() packet.Address { return n.cfg.Address }
+
+// Config returns the node's effective (defaulted) configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Table exposes the routing table for inspection. Callers must access it
+// only from the host's execution context.
+func (n *Node) Table() *routing.Table { return n.table }
+
+// Metrics exposes the node's instrument registry.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// AirtimeUsed returns the node's cumulative transmit airtime.
+func (n *Node) AirtimeUsed() time.Duration { return n.duty.LifetimeAirtime() }
+
+// Start begins beaconing and route maintenance. The first HELLO is sent
+// after a random fraction of the hello period, which desynchronizes nodes
+// powered on together.
+func (n *Node) Start() error {
+	if n.stopped {
+		return ErrStopped
+	}
+	if n.started {
+		return fmt.Errorf("core: node %v already started", n.cfg.Address)
+	}
+	n.started = true
+	first := time.Duration(n.env.Rand() * float64(n.cfg.HelloPeriod))
+	n.helloCancel = n.env.Schedule(first, n.helloTick)
+	n.expiryCancel = n.env.Schedule(n.routeCheckPeriod(), n.expiryTick)
+	return nil
+}
+
+// Stop cancels all pending work. A stopped node ignores further frames.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	for _, cancel := range []func(){n.helloCancel, n.expiryCancel, n.pumpCancel} {
+		if cancel != nil {
+			cancel()
+		}
+	}
+	for _, s := range n.outStreams {
+		if s.retryCancel != nil {
+			s.retryCancel()
+		}
+		if s.fillCancel != nil {
+			s.fillCancel()
+		}
+	}
+	for _, s := range n.inStreams {
+		if s.gcCancel != nil {
+			s.gcCancel()
+		}
+	}
+}
+
+func (n *Node) routeCheckPeriod() time.Duration {
+	if n.cfg.RouteCheck > 0 {
+		return n.cfg.RouteCheck
+	}
+	ttl := n.cfg.Routing.EntryTTL
+	if ttl <= 0 {
+		ttl = routing.DefaultConfig().EntryTTL
+	}
+	return ttl / 4
+}
+
+// newDuty builds the duty-cycle gate from the config.
+func newDuty(cfg Config) (dutyRegulator, error) {
+	if cfg.DutyCycleLimit >= 1 {
+		return &unlimitedDuty{}, nil
+	}
+	limit := cfg.DutyCycleLimit
+	if limit == 0 {
+		var err error
+		limit, err = limitForFrequency(cfg.Phy.FrequencyHz)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newRegulator(limit)
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dutycycle"
+)
+
+// limitForFrequency resolves the regulatory duty-cycle limit for a carrier
+// frequency, wrapping the dutycycle package so core has a single seam for
+// regulation.
+func limitForFrequency(freqHz float64) (float64, error) {
+	limit, err := dutycycle.LimitForFrequency(freqHz)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return limit, nil
+}
+
+// newRegulator builds the standard rolling-hour regulator.
+func newRegulator(limit float64) (dutyRegulator, error) {
+	reg, err := dutycycle.NewRegulator(limit, dutycycle.DefaultWindow)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return reg, nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// RxInfo carries link-quality measurements for a received frame.
+type RxInfo struct {
+	RSSIDBm float64
+	SNRDB   float64
+}
+
+// HandleFrame processes one frame received from the radio.
+func (n *Node) HandleFrame(frame []byte, info RxInfo) {
+	if n.stopped {
+		return
+	}
+	p, err := packet.Unmarshal(frame)
+	if err != nil {
+		n.reg.Counter("rx.corrupt").Inc()
+		return
+	}
+	n.reg.Counter("rx.frames").Inc()
+	n.reg.Counter("rx.type." + p.Type.String()).Inc()
+	if p.Src == n.cfg.Address {
+		// Our own packet echoed back through a loop; never process.
+		n.reg.Counter("rx.own_echo").Inc()
+		return
+	}
+
+	if p.Type == packet.TypeHello {
+		n.handleHello(p, info)
+		return
+	}
+
+	// Routed packet: only the addressed next hop handles it; everyone
+	// else merely overhears.
+	if p.Via != n.cfg.Address && p.Via != packet.Broadcast {
+		n.reg.Counter("rx.overheard").Inc()
+		return
+	}
+	if p.Dst == n.cfg.Address {
+		n.consume(p)
+		return
+	}
+	if p.Dst == packet.Broadcast {
+		// Single-hop broadcast datagram: deliver locally, never forward
+		// (flooding is the baseline protocol, not LoRaMesher).
+		if p.Type == packet.TypeData {
+			n.deliverData(p)
+		}
+		return
+	}
+	n.forward(p)
+}
+
+// handleHello folds a received routing beacon into the table.
+func (n *Node) handleHello(p *packet.Packet, info RxInfo) {
+	entries, err := packet.UnmarshalHello(p.Payload)
+	if err != nil {
+		n.reg.Counter("rx.corrupt").Inc()
+		return
+	}
+	// The sender's own role rides on its metric-0 self entry when
+	// present; the prototype simply advertises RoleDefault otherwise.
+	role := packet.RoleDefault
+	for _, e := range entries {
+		if e.Addr == p.Src {
+			role = e.Role
+		}
+	}
+	if n.table.ApplyHello(n.env.Now(), p.Src, role, info.SNRDB, entries) {
+		n.reg.Counter("routes.updated").Inc()
+	}
+	n.reg.Gauge("routes.count").Set(float64(n.table.Len()))
+	n.reg.Counter("hello.received").Inc()
+}
+
+// consume handles a routed packet addressed to this node.
+func (n *Node) consume(p *packet.Packet) {
+	switch p.Type {
+	case packet.TypeData:
+		n.deliverData(p)
+	case packet.TypeDataAck:
+		n.handleSingle(p)
+	case packet.TypeSync:
+		n.handleSync(p)
+	case packet.TypeXLData:
+		n.handleChunk(p)
+	case packet.TypeAck:
+		n.handleAck(p)
+	case packet.TypeLost:
+		n.handleLost(p)
+	default:
+		n.reg.Counter("rx.corrupt").Inc()
+	}
+}
+
+// deliverData hands a datagram payload to the application.
+func (n *Node) deliverData(p *packet.Packet) {
+	n.reg.Counter("app.delivered").Inc()
+	n.env.Deliver(AppMessage{
+		From:    p.Src,
+		To:      p.Dst,
+		Payload: append([]byte(nil), p.Payload...),
+		At:      n.env.Now(),
+	})
+}
+
+// forward relays a routed packet one hop closer to its destination.
+func (n *Node) forward(p *packet.Packet) {
+	next, ok := n.table.NextHop(p.Dst)
+	if !ok {
+		n.reg.Counter("drop.noroute").Inc()
+		return
+	}
+	if n.isDuplicate(p) {
+		n.reg.Counter("drop.duplicate").Inc()
+		return
+	}
+	fwd := p.Clone()
+	fwd.Via = next
+	if err := n.enqueue(fwd); err != nil {
+		// Metrics already counted the drop reason in enqueue.
+		return
+	}
+	n.reg.Counter("fwd.frames").Inc()
+}
+
+// isDuplicate remembers routed-packet fingerprints for DedupHorizon and
+// reports repeats, breaking transient routing loops (the wire format has
+// no TTL).
+func (n *Node) isDuplicate(p *packet.Packet) bool {
+	if n.cfg.DedupHorizon <= 0 {
+		return false
+	}
+	now := n.env.Now()
+	fp := fingerprint(p)
+	if last, ok := n.seen[fp]; ok && now.Sub(last) < n.cfg.DedupHorizon {
+		return true
+	}
+	n.seen[fp] = now
+	if len(n.seen) > 256 {
+		for k, v := range n.seen {
+			if now.Sub(v) >= n.cfg.DedupHorizon {
+				delete(n.seen, k)
+			}
+		}
+	}
+	return false
+}
+
+// route prepares a routed packet from this node: it resolves the next hop
+// and enqueues. dst must not be broadcast for stream types.
+func (n *Node) route(p *packet.Packet) error {
+	if p.Dst == packet.Broadcast {
+		p.Via = packet.Broadcast
+		return n.enqueue(p)
+	}
+	next, ok := n.table.NextHop(p.Dst)
+	if !ok {
+		n.reg.Counter("drop.noroute").Inc()
+		return fmt.Errorf("%w: %v", ErrNoRoute, p.Dst)
+	}
+	p.Via = next
+	return n.enqueue(p)
+}
+
+// sendControl emits a stream control packet (ACK or LOST) toward dst.
+func (n *Node) sendControl(dst packet.Address, typ packet.Type, seqID uint8, number uint16) {
+	p := &packet.Packet{
+		Dst:    dst,
+		Src:    n.cfg.Address,
+		Type:   typ,
+		SeqID:  seqID,
+		Number: number,
+	}
+	if err := n.route(p); err != nil {
+		n.reg.Counter("stream.control_unroutable").Inc()
+	}
+}
+
+// FindByRole returns reachable nodes advertising the given role, nearest
+// first. Applications use it to discover sinks or gateways without
+// provisioning addresses.
+func (n *Node) FindByRole(role packet.Role) []packet.Address {
+	entries := n.table.ByRole(role)
+	out := make([]packet.Address, len(entries))
+	for i, e := range entries {
+		out[i] = e.Addr
+	}
+	return out
+}
+
+// Send transmits an unreliable datagram to dst (or Broadcast for a
+// single-hop broadcast). It fails fast when no route exists — the caller
+// can retry after the mesh converges.
+func (n *Node) Send(dst packet.Address, payload []byte) error {
+	if n.stopped {
+		return ErrStopped
+	}
+	if len(payload) > packet.MaxPayload(packet.TypeData) {
+		return fmt.Errorf("%w: %d > %d bytes (use SendReliable for large payloads)",
+			ErrTooLarge, len(payload), packet.MaxPayload(packet.TypeData))
+	}
+	p := &packet.Packet{
+		Dst:     dst,
+		Src:     n.cfg.Address,
+		Type:    packet.TypeData,
+		Payload: append([]byte(nil), payload...),
+	}
+	if err := n.route(p); err != nil {
+		return err
+	}
+	n.reg.Counter("app.sent").Inc()
+	return nil
+}

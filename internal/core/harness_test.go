@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/loraphy"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// The core unit tests drive nodes over a loopback bus with programmable
+// per-link frame loss, isolating protocol logic from the PHY model (which
+// internal/netsim exercises against the real medium).
+
+var t0 = time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// bus is an idealized broadcast medium: every transmitted frame reaches
+// every other node after its real airtime unless the drop function vetoes
+// the (from, to) delivery.
+type bus struct {
+	sched *simtime.Scheduler
+	envs  []*testEnv
+	// drop decides per-link frame loss; nil means lossless.
+	drop func(from, to packet.Address, frame []byte) bool
+	busy bool // value returned by ChannelBusy
+}
+
+// testEnv adapts one node to the bus.
+type testEnv struct {
+	b        *bus
+	node     *Node
+	addr     packet.Address
+	rng      *rand.Rand
+	msgs     []AppMessage
+	events   []StreamEvent
+	phy      loraphy.Params
+	txActive bool
+}
+
+func (e *testEnv) Now() time.Time { return e.b.sched.Now() }
+
+func (e *testEnv) Schedule(d time.Duration, fn func()) func() {
+	h := e.b.sched.MustAfter(d, fn)
+	return func() { e.b.sched.Cancel(h) }
+}
+
+func (e *testEnv) Transmit(frame []byte) (time.Duration, error) {
+	airtime := e.phy.MustAirtime(len(frame))
+	data := append([]byte(nil), frame...)
+	e.txActive = true
+	e.b.sched.MustAfter(airtime, func() {
+		e.txActive = false
+		for _, other := range e.b.envs {
+			if other == e || other.txActive {
+				continue // half-duplex: a transmitting node misses frames
+			}
+			if e.b.drop != nil && e.b.drop(e.addr, other.addr, data) {
+				continue
+			}
+			other.node.HandleFrame(data, RxInfo{RSSIDBm: -80, SNRDB: 10})
+		}
+		e.node.HandleTxDone()
+	})
+	return airtime, nil
+}
+
+func (e *testEnv) ChannelBusy() (bool, error) { return e.b.busy, nil }
+func (e *testEnv) Deliver(msg AppMessage)     { e.msgs = append(e.msgs, msg) }
+func (e *testEnv) StreamDone(ev StreamEvent)  { e.events = append(e.events, ev) }
+func (e *testEnv) Rand() float64              { return e.rng.Float64() }
+
+var _ Env = (*testEnv)(nil)
+
+// newBus builds a bus with nodes at the given addresses, all using cfg
+// (with per-node address substituted), started.
+func newBus(t *testing.T, cfg Config, addrs ...packet.Address) *bus {
+	t.Helper()
+	b := &bus{sched: simtime.NewScheduler(t0)}
+	for i, a := range addrs {
+		c := cfg
+		c.Address = a
+		env := &testEnv{b: b, addr: a, rng: rand.New(rand.NewSource(int64(i) + 1))}
+		n, err := NewNode(c, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.node = n
+		env.phy = n.Config().Phy
+		b.envs = append(b.envs, env)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// env returns the environment for the node with the given address.
+func (b *bus) env(a packet.Address) *testEnv {
+	for _, e := range b.envs {
+		if e.addr == a {
+			return e
+		}
+	}
+	return nil
+}
+
+// run advances the simulation by d.
+func (b *bus) run(d time.Duration) { b.sched.RunFor(d) }
+
+// chainDrop returns a drop function that only lets adjacent addresses in
+// the chain hear each other (a line topology on the loopback bus).
+func chainDrop(chain []packet.Address) func(from, to packet.Address, frame []byte) bool {
+	idx := make(map[packet.Address]int, len(chain))
+	for i, a := range chain {
+		idx[a] = i
+	}
+	return func(from, to packet.Address, _ []byte) bool {
+		fi, ok1 := idx[from]
+		ti, ok2 := idx[to]
+		if !ok1 || !ok2 {
+			return true
+		}
+		return abs(fi-ti) != 1
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// fastConfig returns a config with short timers so tests converge quickly.
+func fastConfig() Config {
+	return Config{
+		HelloPeriod:    2 * time.Second,
+		StreamRetry:    3 * time.Second,
+		DutyCycleLimit: 1, // regulation off unless the test enables it
+	}
+}

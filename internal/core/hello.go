@@ -1,0 +1,72 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/packet"
+)
+
+// helloTick broadcasts the routing table and schedules the next beacon.
+func (n *Node) helloTick() {
+	if n.stopped {
+		return
+	}
+	n.sendHello()
+	period := n.cfg.HelloPeriod
+	if j := n.cfg.HelloJitter; j > 0 {
+		// Uniform in [1-j, 1+j] times the period.
+		period = time.Duration((1 - j + 2*j*n.env.Rand()) * float64(period))
+	}
+	n.helloCancel = n.env.Schedule(period, n.helloTick)
+}
+
+// sendHello enqueues the node's routing table as one or more HELLO
+// broadcasts, led by a metric-0 self entry that carries the node's own
+// advertised role. Tables larger than one frame are split across
+// consecutive packets, mirroring how the prototype pages its table out.
+func (n *Node) sendHello() {
+	table := n.table.HelloEntries()
+	entries := make([]packet.HelloEntry, 0, len(table)+1)
+	entries = append(entries, packet.HelloEntry{
+		Addr: n.cfg.Address, Metric: 0, Role: n.cfg.Role,
+	})
+	entries = append(entries, table...)
+	// Always send at least one HELLO, even with an empty table: it is
+	// how neighbors discover this node in the first place.
+	for first := true; first || len(entries) > 0; first = false {
+		chunk := entries
+		if len(chunk) > packet.MaxHelloEntries {
+			chunk = chunk[:packet.MaxHelloEntries]
+		}
+		entries = entries[len(chunk):]
+		payload, err := packet.MarshalHello(chunk)
+		if err != nil {
+			n.reg.Counter("drop.marshal").Inc()
+			return
+		}
+		p := &packet.Packet{
+			Dst:     packet.Broadcast,
+			Src:     n.cfg.Address,
+			Type:    packet.TypeHello,
+			Payload: payload,
+		}
+		if err := n.enqueue(p); err != nil {
+			// Queue pressure: the next beacon will carry the table.
+			return
+		}
+		n.reg.Counter("hello.sent").Inc()
+	}
+}
+
+// expiryTick drops stale routes and reschedules itself.
+func (n *Node) expiryTick() {
+	if n.stopped {
+		return
+	}
+	dead := n.table.ExpireStale(n.env.Now())
+	if len(dead) > 0 {
+		n.reg.Counter("routes.expired").Add(uint64(len(dead)))
+	}
+	n.reg.Gauge("routes.count").Set(float64(n.table.Len()))
+	n.expiryCancel = n.env.Schedule(n.routeCheckPeriod(), n.expiryTick)
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// priority orders packets in the transmit queue: routing control first
+// (the mesh depends on fresh tables), then stream control (ACK/LOST/SYNC,
+// which unblock in-flight transfers), then data.
+type priority int
+
+const (
+	prioRouting priority = iota + 1
+	prioControl
+	prioData
+	prioLevels = 3
+)
+
+func priorityFor(t packet.Type) priority {
+	switch t {
+	case packet.TypeHello:
+		return prioRouting
+	case packet.TypeAck, packet.TypeLost, packet.TypeSync:
+		return prioControl
+	default:
+		return prioData
+	}
+}
+
+// txQueue is a fixed-capacity, three-level priority FIFO.
+type txQueue struct {
+	levels [prioLevels][]*packet.Packet
+	size   int
+	cap    int
+}
+
+func newTxQueue(capacity int) *txQueue {
+	return &txQueue{cap: capacity}
+}
+
+func (q *txQueue) len() int { return q.size }
+
+// push enqueues p, rejecting when full. Routing packets may evict the
+// newest data packet when full: a mesh that stops beaconing under load
+// loses all routes, which is strictly worse than losing one datagram.
+func (q *txQueue) push(p *packet.Packet) error {
+	prio := priorityFor(p.Type)
+	if q.size >= q.cap {
+		if prio != prioRouting {
+			return fmt.Errorf("%w: %d packets queued", ErrQueueFull, q.size)
+		}
+		if !q.evictNewestData() {
+			return fmt.Errorf("%w: %d control packets queued", ErrQueueFull, q.size)
+		}
+	}
+	idx := int(prio) - 1
+	q.levels[idx] = append(q.levels[idx], p)
+	q.size++
+	return nil
+}
+
+// evictNewestData drops the most recently queued data packet to make room.
+func (q *txQueue) evictNewestData() bool {
+	idx := int(prioData) - 1
+	lvl := q.levels[idx]
+	if len(lvl) == 0 {
+		return false
+	}
+	lvl[len(lvl)-1] = nil
+	q.levels[idx] = lvl[:len(lvl)-1]
+	q.size--
+	return true
+}
+
+// peek returns the next packet to transmit without removing it.
+func (q *txQueue) peek() (*packet.Packet, bool) {
+	for i := range q.levels {
+		if len(q.levels[i]) > 0 {
+			return q.levels[i][0], true
+		}
+	}
+	return nil, false
+}
+
+// pop removes and returns the next packet.
+func (q *txQueue) pop() (*packet.Packet, bool) {
+	for i := range q.levels {
+		if len(q.levels[i]) > 0 {
+			p := q.levels[i][0]
+			q.levels[i][0] = nil
+			q.levels[i] = q.levels[i][1:]
+			q.size--
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// enqueue validates, queues, and pumps a packet assembled by the node.
+func (n *Node) enqueue(p *packet.Packet) error {
+	if n.stopped {
+		return ErrStopped
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := n.queue.push(p); err != nil {
+		n.reg.Counter("drop.queue_full").Inc()
+		return err
+	}
+	n.reg.Gauge("queue.depth").Set(float64(n.queue.len()))
+	n.pump(0)
+	return nil
+}
+
+// pump tries to start transmitting the head-of-queue packet after delay.
+// It is idempotent: at most one pending pump timer exists, and nothing
+// happens while a transmission is in flight (HandleTxDone re-pumps).
+func (n *Node) pump(delay time.Duration) {
+	if n.stopped || n.transmitting {
+		return
+	}
+	if n.pumpCancel != nil {
+		if delay > 0 {
+			// An earlier pump is already scheduled; it will run first.
+			return
+		}
+		n.pumpCancel()
+		n.pumpCancel = nil
+	}
+	if delay > 0 {
+		n.pumpCancel = n.env.Schedule(delay, func() {
+			n.pumpCancel = nil
+			n.pump(0)
+		})
+		return
+	}
+	n.transmitHead()
+}
+
+// transmitHead performs the duty-cycle and CAD checks and starts the
+// head-of-queue transmission.
+func (n *Node) transmitHead() {
+	head, ok := n.queue.peek()
+	if !ok {
+		return
+	}
+	frame, err := packet.Marshal(head)
+	if err != nil {
+		// The packet was validated at enqueue; treat as a bug signal,
+		// drop it, and keep the queue moving.
+		n.queue.pop()
+		n.reg.Counter("drop.marshal").Inc()
+		n.pump(0)
+		return
+	}
+	airtime, err := n.cfg.Phy.Airtime(len(frame))
+	if err != nil {
+		n.queue.pop()
+		n.reg.Counter("drop.marshal").Inc()
+		n.pump(0)
+		return
+	}
+	now := n.env.Now()
+	if !n.duty.CanTransmit(now, airtime) {
+		at, err := n.duty.NextAllowed(now, airtime)
+		if err != nil {
+			// The frame alone exceeds the whole budget; it can never
+			// be sent legally.
+			n.queue.pop()
+			n.reg.Counter("drop.dutycycle").Inc()
+			n.pump(0)
+			return
+		}
+		n.reg.Counter("dutycycle.deferrals").Inc()
+		n.pump(at.Sub(now) + time.Millisecond)
+		return
+	}
+	if n.cfg.CAD {
+		busy, err := n.env.ChannelBusy()
+		if err == nil && busy && n.cadTries < n.cfg.CADMaxTries {
+			n.cadTries++
+			n.reg.Counter("cad.deferrals").Inc()
+			backoff := time.Duration((1 + n.env.Rand()) * float64(n.cfg.CADBackoff))
+			n.pump(backoff)
+			return
+		}
+		n.cadTries = 0
+	}
+	n.queue.pop()
+	n.reg.Gauge("queue.depth").Set(float64(n.queue.len()))
+	if _, err := n.env.Transmit(frame); err != nil {
+		n.reg.Counter("drop.txerror").Inc()
+		n.pump(0)
+		return
+	}
+	n.duty.Record(now, airtime)
+	n.transmitting = true
+	n.reg.Counter("tx.frames").Inc()
+	n.reg.Counter("tx.type." + head.Type.String()).Inc()
+	n.reg.Counter("tx.bytes").Add(uint64(len(frame)))
+}
+
+// HandleTxDone is called by the host when the node's transmission ends.
+func (n *Node) HandleTxDone() {
+	if n.stopped {
+		return
+	}
+	n.transmitting = false
+	gap := n.cfg.InterFrameGap
+	if gap <= 0 {
+		n.pump(0)
+		return
+	}
+	// Jitter the inter-frame gap ±50% so forwarders on a shared path
+	// don't lock step into repeated collisions.
+	n.pump(time.Duration((0.5 + n.env.Rand()) * float64(gap)))
+}
+
+// fingerprint hashes a routed packet's end-to-end identity (everything but
+// the hop-local via field) for the forwarding loop-breaker.
+func fingerprint(p *packet.Packet) uint64 {
+	h := fnv.New64a()
+	var hdr [8]byte
+	hdr[0] = byte(p.Dst >> 8)
+	hdr[1] = byte(p.Dst)
+	hdr[2] = byte(p.Src >> 8)
+	hdr[3] = byte(p.Src)
+	hdr[4] = byte(p.Type)
+	hdr[5] = p.SeqID
+	hdr[6] = byte(p.Number >> 8)
+	hdr[7] = byte(p.Number)
+	h.Write(hdr[:])
+	h.Write(p.Payload)
+	return h.Sum64()
+}

@@ -1,0 +1,231 @@
+// Package dutycycle enforces ISM-band airtime regulations. LoRa in the
+// EU868 band is limited to a per-sub-band duty cycle (1% on the common
+// g1 sub-band: at most 36 s of airtime per rolling hour). The mesh node
+// consults a Regulator before every transmission and defers frames that
+// would exceed the budget, which is what keeps a beaconing mesh legal.
+package dutycycle
+
+import (
+	"fmt"
+	"time"
+)
+
+// EU868 sub-band duty-cycle limits.
+const (
+	// LimitG1 applies to 868.0–868.6 MHz (the default mesh channel).
+	LimitG1 = 0.01
+	// LimitG2 applies to 868.7–869.2 MHz.
+	LimitG2 = 0.001
+	// LimitG3 applies to 869.4–869.65 MHz (the high-power sub-band).
+	LimitG3 = 0.10
+)
+
+// DefaultWindow is the rolling accounting window used by the regulation.
+const DefaultWindow = time.Hour
+
+// LimitForFrequency returns the EU868 duty-cycle limit for a carrier
+// frequency, or an error for frequencies outside the regulated sub-bands.
+func LimitForFrequency(freqHz float64) (float64, error) {
+	switch {
+	case freqHz >= 868.0e6 && freqHz <= 868.6e6:
+		return LimitG1, nil
+	case freqHz >= 868.7e6 && freqHz <= 869.2e6:
+		return LimitG2, nil
+	case freqHz >= 869.4e6 && freqHz <= 869.65e6:
+		return LimitG3, nil
+	default:
+		return 0, fmt.Errorf("dutycycle: %.3f MHz is outside the EU868 sub-bands", freqHz/1e6)
+	}
+}
+
+// record is one past transmission.
+type record struct {
+	start time.Time
+	dur   time.Duration
+}
+
+// Regulator tracks transmissions over a rolling window and answers whether
+// a new transmission fits the duty-cycle budget. It is not safe for
+// concurrent use; each node owns one regulator per sub-band.
+type Regulator struct {
+	limit   float64
+	window  time.Duration
+	history []record
+	// total airtime ever recorded, for compliance reporting.
+	lifetime time.Duration
+}
+
+// NewRegulator returns a regulator enforcing the given duty-cycle limit
+// over the given rolling window. A limit of 1 effectively disables
+// regulation (useful for ablations).
+func NewRegulator(limit float64, window time.Duration) (*Regulator, error) {
+	if limit <= 0 || limit > 1 {
+		return nil, fmt.Errorf("dutycycle: limit %v out of (0,1]", limit)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("dutycycle: window %v must be positive", window)
+	}
+	return &Regulator{limit: limit, window: window}, nil
+}
+
+// Budget returns the airtime allowed per window.
+func (r *Regulator) Budget() time.Duration {
+	return time.Duration(float64(r.window) * r.limit)
+}
+
+// usedAt returns the airtime counted against the window ending at t,
+// assuming no transmissions after the recorded history.
+func (r *Regulator) usedAt(t time.Time) time.Duration {
+	from := t.Add(-r.window)
+	var used time.Duration
+	for _, rec := range r.history {
+		end := rec.start.Add(rec.dur)
+		lo := rec.start
+		if lo.Before(from) {
+			lo = from
+		}
+		hi := end
+		if hi.After(t) {
+			hi = t
+		}
+		if hi.After(lo) {
+			used += hi.Sub(lo)
+		}
+	}
+	return used
+}
+
+// prune drops records that can no longer affect any window at or after now.
+// It must only be called with the actual clock (from Record), never with a
+// speculative future instant: NextAllowed probes future times, and pruning
+// against a probe would discard records still counted at the present.
+func (r *Regulator) prune(now time.Time) {
+	from := now.Add(-r.window)
+	kept := r.history[:0]
+	for _, rec := range r.history {
+		if rec.start.Add(rec.dur).After(from) {
+			kept = append(kept, rec)
+		}
+	}
+	r.history = kept
+}
+
+// usedWithCandidate returns the airtime counted against the window ending
+// at t, including a candidate transmission [candStart, candStart+candDur]
+// that has not been recorded yet. Unlike usedAt, recorded intervals are
+// clipped only by the window — their scheduled future portions count too,
+// so admission control sees in-flight transmissions in full.
+func (r *Regulator) usedWithCandidate(t time.Time, candStart time.Time, candDur time.Duration) time.Duration {
+	from := t.Add(-r.window)
+	overlap := func(s time.Time, d time.Duration) time.Duration {
+		lo, hi := s, s.Add(d)
+		if lo.Before(from) {
+			lo = from
+		}
+		if hi.After(t) {
+			hi = t
+		}
+		if hi.After(lo) {
+			return hi.Sub(lo)
+		}
+		return 0
+	}
+	used := overlap(candStart, candDur)
+	for _, rec := range r.history {
+		used += overlap(rec.start, rec.dur)
+	}
+	return used
+}
+
+// CanTransmit reports whether a transmission of the given airtime starting
+// at now fits the budget at every future instant. Window usage including
+// the candidate peaks where some transmission ends, so it suffices to
+// check the candidate's own end and the ends of recorded transmissions
+// that finish after it starts.
+func (r *Regulator) CanTransmit(now time.Time, airtime time.Duration) bool {
+	if airtime > r.Budget() {
+		return false
+	}
+	end := now.Add(airtime)
+	if r.usedWithCandidate(end, now, airtime) > r.Budget() {
+		return false
+	}
+	for _, rec := range r.history {
+		if e := rec.start.Add(rec.dur); e.After(end) {
+			if r.usedWithCandidate(e, now, airtime) > r.Budget() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Record registers a transmission of the given airtime starting at now.
+// Callers record after the decision to transmit; the regulator does not
+// enforce that CanTransmit was consulted (ablations transmit regardless
+// and then measure violations).
+func (r *Regulator) Record(now time.Time, airtime time.Duration) {
+	if airtime <= 0 {
+		return
+	}
+	r.prune(now)
+	r.history = append(r.history, record{start: now, dur: airtime})
+	r.lifetime += airtime
+}
+
+// NextAllowed returns the earliest instant at or after now when a
+// transmission of the given airtime fits the budget. If the airtime alone
+// exceeds the whole budget it returns an error: the frame can never be
+// sent legally and must be re-chunked.
+func (r *Regulator) NextAllowed(now time.Time, airtime time.Duration) (time.Time, error) {
+	if airtime > r.Budget() {
+		return time.Time{}, fmt.Errorf("dutycycle: airtime %v exceeds the whole %v budget", airtime, r.Budget())
+	}
+	if r.CanTransmit(now, airtime) {
+		return now, nil
+	}
+	// Past the end of the last recorded transmission, window usage is
+	// nonincreasing in time, so admissibility is monotone there and a
+	// binary search finds the earliest legal start. (Gaps between
+	// in-flight transmissions before that point are conservatively
+	// skipped; mesh nodes are half-duplex and do not schedule into them
+	// anyway.) Every record has left the window after lastEnd+window.
+	lo := now
+	for _, rec := range r.history {
+		if e := rec.start.Add(rec.dur); e.After(lo) {
+			lo = e
+		}
+	}
+	if r.CanTransmit(lo, airtime) {
+		return lo, nil
+	}
+	hi := lo.Add(r.window)
+	for i := 0; i < 64 && hi.Sub(lo) > time.Microsecond; i++ {
+		mid := lo.Add(hi.Sub(lo) / 2)
+		if r.CanTransmit(mid, airtime) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// Utilization returns the fraction of the budget consumed in the window
+// ending at now (1.0 = at the regulatory limit).
+func (r *Regulator) Utilization(now time.Time) float64 {
+	b := r.Budget()
+	if b == 0 {
+		return 0
+	}
+	return float64(r.usedAt(now)) / float64(b)
+}
+
+// DutyCycle returns the raw duty cycle over the window ending at now
+// (airtime / window), the quantity the regulation caps.
+func (r *Regulator) DutyCycle(now time.Time) float64 {
+	return float64(r.usedAt(now)) / float64(r.window)
+}
+
+// LifetimeAirtime returns all airtime ever recorded.
+func (r *Regulator) LifetimeAirtime() time.Duration { return r.lifetime }

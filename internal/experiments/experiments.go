@@ -1,0 +1,204 @@
+// Package experiments regenerates every table and figure in the
+// evaluation (see DESIGN.md's experiment index): each experiment builds
+// its workload on internal/netsim, runs it under the deterministic
+// simulator, and renders the same rows/series the paper-scale evaluation
+// reports. cmd/meshbench is the CLI front end; bench_test.go at the repo
+// root wraps each experiment as a Go benchmark.
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// Quick shrinks sweeps and durations for CI and benchmarks.
+	Quick bool
+}
+
+// Result is one regenerated table/figure as rows of text cells.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the interpretation the evaluation draws from the
+	// numbers ("who wins, by what factor, where the crossover falls").
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// WriteTo renders the result as an aligned text table.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, wd := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", wd))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Spec registers one experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Result, error)
+}
+
+// All returns every experiment and ablation in display order.
+func All() []Spec {
+	return []Spec{
+		{"E1", "Mesh formation on the demo topology", E1MeshFormation},
+		{"E2", "Packet formats and header overhead", E2PacketFormats},
+		{"E3", "Routing convergence time vs network size", E3Convergence},
+		{"E4", "Routing control overhead (HELLO airtime)", E4ControlOverhead},
+		{"E5", "Multi-hop delivery: datagrams vs reliable transport", E5Delivery},
+		{"E6", "Large-payload transfer time vs size and hops", E6LargePayload},
+		{"E7", "LoRaMesher vs controlled flooding", E7Baseline},
+		{"E8", "EU868 duty-cycle compliance over 24 h", E8DutyCycle},
+		{"E9", "Scalability with node density", E9Density},
+		{"E10", "Route repair after router failure", E10Repair},
+		{"A1", "Ablation: route poisoning vs expiry-only", A1Poisoning},
+		{"A2", "Ablation: HELLO period trade-off", A2HelloPeriod},
+		{"A3", "Ablation: ARQ window (stop-and-wait vs go-back-N)", A3ARQWindow},
+		{"A4", "Ablation: spreading-factor sweep", A4SpreadingFactor},
+		{"A5", "Ablation: listen-before-talk (CAD) under contention", A5CAD},
+		{"X1", "Extension: energy and battery-life audit", X1Energy},
+		{"X2", "Extension: duty-cycled sleep for end devices", X2Sleep},
+		{"X3", "Extension: node mobility (random waypoint)", X3Mobility},
+		{"X4", "Extension: link-quality (SNR) routing metric", X4SNRRouting},
+		{"X5", "Extension: network partition and merge", X5Partition},
+		{"X6", "Extension: proactive vs reactive vs flooding", X6Reactive},
+	}
+}
+
+// Find returns the spec with the given id (case-insensitive).
+func Find(id string) (Spec, bool) {
+	for _, s := range All() {
+		if strings.EqualFold(s.ID, id) {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// IDs returns every experiment id, sorted by display order.
+func IDs() []string {
+	specs := All()
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// Formatting helpers shared by the experiment implementations.
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= 48*time.Hour:
+		return fmt.Sprintf("%.1fd", d.Hours()/24)
+	case d >= 2*time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}
+
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func fmtF(f float64, dec int) string { return fmt.Sprintf("%.*f", dec, f) }
+
+// median returns the middle of a small sample.
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// WriteCSV renders the result as RFC-4180 CSV with a leading comment row
+// for the title, for plotting pipelines.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"# " + r.ID}, r.Title)); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	if err := cw.Write(r.Header); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the result as a JSON document.
+func (r *Result) WriteJSON(w io.Writer) error {
+	doc := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{r.ID, r.Title, r.Header, r.Rows, r.Notes}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("experiments: json: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package geo
+
+import "fmt"
+
+// Neighbors returns, for each node, the indices of nodes within
+// rangeMeters (excluding itself). The result is a unit-disk connectivity
+// graph — the idealized view used for sanity checks; the actual simulator
+// decides reachability from the link budget.
+func Neighbors(t *Topology, rangeMeters float64) [][]int {
+	n := t.N()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if t.Positions[i].Distance(t.Positions[j]) <= rangeMeters {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return adj
+}
+
+// Connected reports whether the unit-disk graph at rangeMeters is a single
+// connected component.
+func Connected(t *Topology, rangeMeters float64) bool {
+	n := t.N()
+	if n == 0 {
+		return true
+	}
+	adj := Neighbors(t, rangeMeters)
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// HopDistances returns the BFS hop count from src to every node in the
+// unit-disk graph, or -1 where unreachable.
+func HopDistances(t *Topology, rangeMeters float64, src int) ([]int, error) {
+	n := t.N()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("geo: source index %d out of range [0,%d)", src, n)
+	}
+	adj := Neighbors(t, rangeMeters)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Diameter returns the longest shortest-path hop count in the unit-disk
+// graph, or -1 if the graph is disconnected.
+func Diameter(t *Topology, rangeMeters float64) int {
+	max := 0
+	for i := 0; i < t.N(); i++ {
+		dist, err := HopDistances(t, rangeMeters, i)
+		if err != nil {
+			return -1
+		}
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MeanDegree returns the average neighbor count at rangeMeters.
+func MeanDegree(t *Topology, rangeMeters float64) float64 {
+	if t.N() == 0 {
+		return 0
+	}
+	adj := Neighbors(t, rangeMeters)
+	total := 0
+	for _, a := range adj {
+		total += len(a)
+	}
+	return float64(total) / float64(t.N())
+}

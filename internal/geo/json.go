@@ -1,0 +1,79 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Topologies serialize to a small JSON document so a measured deployment
+// (or a generated field someone wants to pin) can be saved and replayed:
+//
+//	{"name": "campus", "positions": [{"x":0,"y":0}, {"x":8000,"y":0}]}
+
+// topologyJSON is the wire form of a Topology.
+type topologyJSON struct {
+	Name      string      `json:"name"`
+	Positions []pointJSON `json:"positions"`
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// WriteJSON serializes the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	doc := topologyJSON{Name: t.Name, Positions: make([]pointJSON, len(t.Positions))}
+	for i, p := range t.Positions {
+		doc.Positions[i] = pointJSON{X: p.X, Y: p.Y}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("geo: encoding topology: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a topology.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var doc topologyJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("geo: decoding topology: %w", err)
+	}
+	if len(doc.Positions) == 0 {
+		return nil, fmt.Errorf("geo: topology %q has no positions", doc.Name)
+	}
+	t := &Topology{Name: doc.Name, Positions: make([]Point, len(doc.Positions))}
+	for i, p := range doc.Positions {
+		t.Positions[i] = Point{X: p.X, Y: p.Y}
+	}
+	return t, nil
+}
+
+// SaveFile writes the topology to path.
+func (t *Topology) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("geo: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a topology from path.
+func LoadFile(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("geo: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRandomWaypointValidation(t *testing.T) {
+	if _, err := NewRandomWaypoint(0, 100, 100, 1, 2, 0, 1); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := NewRandomWaypoint(3, -1, 100, 1, 2, 0, 1); err == nil {
+		t.Error("negative field: want error")
+	}
+	if _, err := NewRandomWaypoint(3, 100, 100, 2, 1, 0, 1); err == nil {
+		t.Error("max < min speed: want error")
+	}
+	if _, err := NewRandomWaypoint(3, 100, 100, 1, 2, -time.Second, 1); err == nil {
+		t.Error("negative pause: want error")
+	}
+}
+
+func TestRandomWaypointStaysInField(t *testing.T) {
+	m, err := NewRandomWaypoint(4, 1000, 500, 1, 10, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := []Point{{0, 0}, {500, 250}, {999, 499}, {100, 400}}
+	for step := 0; step < 500; step++ {
+		for i := range pos {
+			pos[i] = m.Step(i, pos[i], 10*time.Second)
+			p := pos[i]
+			if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 500 {
+				t.Fatalf("node %d left the field at %v (step %d)", i, p, step)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	m, err := NewRandomWaypoint(1, 10000, 10000, 2, 5, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := Point{5000, 5000}
+	dt := 7 * time.Second
+	for step := 0; step < 200; step++ {
+		next := m.Step(0, cur, dt)
+		if d := cur.Distance(next); d > 5*dt.Seconds()+1e-6 {
+			t.Fatalf("moved %v m in %v at max speed 5 m/s", d, dt)
+		}
+		cur = next
+	}
+}
+
+func TestRandomWaypointPauses(t *testing.T) {
+	// With an enormous pause, a node that reaches its first waypoint must
+	// stay put.
+	m, err := NewRandomWaypoint(1, 100, 100, 50, 50, time.Hour, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := Point{50, 50}
+	// At 50 m/s in a 100 m field, any waypoint is reached within ~3 s.
+	cur = m.Step(0, cur, 10*time.Second)
+	arrived := cur
+	for i := 0; i < 10; i++ {
+		cur = m.Step(0, cur, 10*time.Second)
+	}
+	if cur != arrived {
+		t.Errorf("node moved during pause: %v -> %v", arrived, cur)
+	}
+}
+
+func TestRandomWaypointActuallyMoves(t *testing.T) {
+	m, err := NewRandomWaypoint(1, 10000, 10000, 5, 5, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := Point{5000, 5000}
+	cur := start
+	var travelled float64
+	for i := 0; i < 100; i++ {
+		next := m.Step(0, cur, time.Minute)
+		travelled += cur.Distance(next)
+		cur = next
+	}
+	// 100 minutes at 5 m/s with no pause ≈ 30 km of travel.
+	if travelled < 25000 {
+		t.Errorf("travelled only %v m in 100 min at 5 m/s", travelled)
+	}
+	if math.Abs(cur.X-start.X)+math.Abs(cur.Y-start.Y) < 1 {
+		t.Error("node ended exactly where it started; suspicious")
+	}
+}
+
+func TestRandomWaypointIgnoresBadInput(t *testing.T) {
+	m, err := NewRandomWaypoint(2, 100, 100, 1, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{10, 10}
+	if got := m.Step(-1, p, time.Second); got != p {
+		t.Error("negative index should be a no-op")
+	}
+	if got := m.Step(5, p, time.Second); got != p {
+		t.Error("out-of-range index should be a no-op")
+	}
+	if got := m.Step(0, p, 0); got != p {
+		t.Error("zero dt should be a no-op")
+	}
+}

@@ -1,0 +1,327 @@
+// Package livenet runs the same LoRaMesher protocol engines as the
+// discrete-event simulator, but live: one goroutine per node, real timers
+// (optionally time-scaled), and a concurrent in-memory medium. It exists
+// to prove the engine's host contract under genuine concurrency — the
+// deterministic simulator can hide ordering assumptions that a
+// goroutine-per-node deployment (or real hardware) would violate — and it
+// is exercised under the race detector in this package's tests.
+//
+// Each node owns a serial event loop; every interaction with its engine
+// (frames, timers, API calls) is a closure delivered to that loop, so the
+// engine itself still sees single-threaded execution, exactly as it would
+// behind an interrupt-driven radio driver.
+package livenet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loraphy"
+	"repro/internal/packet"
+)
+
+// Config describes a live network.
+type Config struct {
+	// TimeScale compresses virtual time: a scale of 60 runs one virtual
+	// minute per wall second. Zero means 1 (real time).
+	TimeScale float64
+	// Connect decides whether a frame transmitted by a reaches b. Nil
+	// means full connectivity. It must be safe for concurrent use.
+	Connect func(from, to packet.Address) bool
+	// Node is the engine configuration template; Address is assigned
+	// per node.
+	Node core.Config
+	// Seed drives per-node jitter randomness.
+	Seed int64
+	// MailboxDepth bounds each node's pending-event queue. Zero means
+	// 256.
+	MailboxDepth int
+}
+
+// Net is a running live network.
+type Net struct {
+	cfg   Config
+	start time.Time // wall anchor
+	phy   loraphy.Params
+
+	mu     sync.Mutex
+	nodes  []*Handle
+	byAddr map[packet.Address]*Handle
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	// onAir counts in-flight transmissions for ChannelBusy.
+	onAir atomic.Int64
+}
+
+// Handle is one live node.
+type Handle struct {
+	net  *Net
+	addr packet.Address
+	node *core.Node
+
+	events chan func()
+
+	mu      sync.Mutex
+	msgs    []core.AppMessage
+	events2 []core.StreamEvent
+	rng     *rand.Rand
+}
+
+// New creates an empty live network.
+func New(cfg Config) (*Net, error) {
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("livenet: negative time scale")
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 256
+	}
+	return &Net{
+		cfg:    cfg,
+		start:  time.Now(),
+		phy:    cfg.Node.EffectivePhy(),
+		byAddr: make(map[packet.Address]*Handle),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// wall converts a virtual duration to wall-clock time.
+func (n *Net) wall(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / n.cfg.TimeScale)
+}
+
+// virtualNow returns the current virtual time.
+func (n *Net) virtualNow() time.Time {
+	return n.start.Add(time.Duration(float64(time.Since(n.start)) * n.cfg.TimeScale))
+}
+
+// AddNode creates, registers, and starts a node with the given address.
+func (n *Net) AddNode(addr packet.Address) (*Handle, error) {
+	select {
+	case <-n.closed:
+		return nil, fmt.Errorf("livenet: network is closed")
+	default:
+	}
+	n.mu.Lock()
+	if _, dup := n.byAddr[addr]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("livenet: duplicate address %v", addr)
+	}
+	h := &Handle{
+		net:    n,
+		addr:   addr,
+		events: make(chan func(), n.cfg.MailboxDepth),
+		rng:    rand.New(rand.NewSource(n.cfg.Seed ^ int64(addr)*0x9e3779b9)),
+	}
+	cfg := n.cfg.Node
+	cfg.Address = addr
+	node, err := core.NewNode(cfg, (*liveEnv)(h))
+	if err != nil {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("livenet: %w", err)
+	}
+	h.node = node
+	n.nodes = append(n.nodes, h)
+	n.byAddr[addr] = h
+	n.wg.Add(1)
+	go h.loop(&n.wg)
+	n.mu.Unlock()
+
+	var startErr error
+	h.Do(func(node *core.Node) { startErr = node.Start() })
+	if startErr != nil {
+		return nil, fmt.Errorf("livenet: start %v: %w", addr, startErr)
+	}
+	return h, nil
+}
+
+// Close stops every node and waits for their loops to drain.
+func (n *Net) Close() {
+	n.mu.Lock()
+	select {
+	case <-n.closed:
+		n.mu.Unlock()
+		return
+	default:
+	}
+	close(n.closed)
+	nodes := append([]*Handle(nil), n.nodes...)
+	n.mu.Unlock()
+	n.wg.Wait()
+	for _, h := range nodes {
+		h.node.Stop()
+	}
+}
+
+// handles returns a snapshot of the registered nodes.
+func (n *Net) handles() []*Handle {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]*Handle(nil), n.nodes...)
+}
+
+// Addr returns the handle's mesh address.
+func (h *Handle) Addr() packet.Address { return h.addr }
+
+// loop serializes all engine interactions. It exits when the network
+// closes; the mailbox channel itself is never closed, because timer
+// goroutines may still attempt sends during shutdown (enqueue's select on
+// the closed signal drops those safely).
+func (h *Handle) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-h.net.closed:
+			return
+		case fn := <-h.events:
+			fn()
+		}
+	}
+}
+
+// enqueue delivers a closure to the node's loop; it drops the event if the
+// network is shutting down (matching a powered-off radio).
+func (h *Handle) enqueue(fn func()) {
+	select {
+	case <-h.net.closed:
+	case h.events <- fn:
+	}
+}
+
+// Do runs fn inside the node's event loop and waits for it, giving callers
+// race-free access to the engine (tables, sends, metrics).
+func (h *Handle) Do(fn func(n *core.Node)) {
+	done := make(chan struct{})
+	h.enqueue(func() {
+		fn(h.node)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-h.net.closed:
+	}
+}
+
+// Send transmits a datagram from this node.
+func (h *Handle) Send(dst packet.Address, payload []byte) error {
+	var err error
+	h.Do(func(n *core.Node) { err = n.Send(dst, payload) })
+	return err
+}
+
+// SendReliable opens a reliable transfer from this node.
+func (h *Handle) SendReliable(dst packet.Address, payload []byte) (uint8, error) {
+	var (
+		id  uint8
+		err error
+	)
+	h.Do(func(n *core.Node) { id, err = n.SendReliable(dst, payload) })
+	return id, err
+}
+
+// Messages returns a snapshot of delivered application messages.
+func (h *Handle) Messages() []core.AppMessage {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]core.AppMessage(nil), h.msgs...)
+}
+
+// StreamEvents returns a snapshot of reliable-transfer outcomes.
+func (h *Handle) StreamEvents() []core.StreamEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]core.StreamEvent(nil), h.events2...)
+}
+
+// RouteCount returns the node's usable routing-table size.
+func (h *Handle) RouteCount() int {
+	var c int
+	h.Do(func(n *core.Node) { c = n.Table().Len() })
+	return c
+}
+
+// HasRoute reports whether the node can reach dst.
+func (h *Handle) HasRoute(dst packet.Address) bool {
+	var ok bool
+	h.Do(func(n *core.Node) { _, ok = n.Table().NextHop(dst) })
+	return ok
+}
+
+// liveEnv adapts a Handle into the engine's host interface. Its methods
+// are invoked from the node's event loop.
+type liveEnv Handle
+
+var _ core.Env = (*liveEnv)(nil)
+
+func (e *liveEnv) handle() *Handle { return (*Handle)(e) }
+
+// Now implements core.Env.
+func (e *liveEnv) Now() time.Time { return e.handle().net.virtualNow() }
+
+// Schedule implements core.Env using wall timers scaled to virtual time.
+func (e *liveEnv) Schedule(d time.Duration, fn func()) func() {
+	h := e.handle()
+	t := time.AfterFunc(h.net.wall(d), func() { h.enqueue(fn) })
+	return func() { t.Stop() }
+}
+
+// Transmit implements core.Env: the frame arrives at every connected peer
+// after its airtime; the sender gets TxDone then.
+func (e *liveEnv) Transmit(frame []byte) (time.Duration, error) {
+	h := e.handle()
+	n := h.net
+	airtime, err := n.phy.Airtime(len(frame))
+	if err != nil {
+		return 0, fmt.Errorf("livenet: %w", err)
+	}
+	data := append([]byte(nil), frame...)
+	n.onAir.Add(1)
+	time.AfterFunc(n.wall(airtime), func() {
+		n.onAir.Add(-1)
+		for _, peer := range n.handles() {
+			if peer == h {
+				continue
+			}
+			if n.cfg.Connect != nil && !n.cfg.Connect(h.addr, peer.addr) {
+				continue
+			}
+			peer.enqueue(func() {
+				peer.node.HandleFrame(data, core.RxInfo{RSSIDBm: -80, SNRDB: 10})
+			})
+		}
+		h.enqueue(func() { h.node.HandleTxDone() })
+	})
+	return airtime, nil
+}
+
+// ChannelBusy implements core.Env from the global on-air count.
+func (e *liveEnv) ChannelBusy() (bool, error) {
+	return e.handle().net.onAir.Load() > 0, nil
+}
+
+// Deliver implements core.Env.
+func (e *liveEnv) Deliver(msg core.AppMessage) {
+	h := e.handle()
+	h.mu.Lock()
+	h.msgs = append(h.msgs, msg)
+	h.mu.Unlock()
+}
+
+// StreamDone implements core.Env.
+func (e *liveEnv) StreamDone(ev core.StreamEvent) {
+	h := e.handle()
+	h.mu.Lock()
+	h.events2 = append(h.events2, ev)
+	h.mu.Unlock()
+}
+
+// Rand implements core.Env. It runs only inside the node's loop, so the
+// unsynchronized source is safe.
+func (e *liveEnv) Rand() float64 { return e.handle().rng.Float64() }

@@ -1,0 +1,229 @@
+package livenet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// liveConfig compresses time 200x so a 2 s virtual HELLO period fires
+// every 10 ms of wall time.
+func liveConfig(connect func(a, b packet.Address) bool) Config {
+	return Config{
+		TimeScale: 200,
+		Connect:   connect,
+		Seed:      1,
+		Node: core.Config{
+			HelloPeriod:    2 * time.Second,
+			StreamRetry:    4 * time.Second,
+			DutyCycleLimit: 1,
+			Routing:        routing.Config{EntryTTL: 20 * time.Second},
+		},
+	}
+}
+
+// chainConnect restricts connectivity to adjacent addresses.
+func chainConnect(addrs ...packet.Address) func(a, b packet.Address) bool {
+	idx := make(map[packet.Address]int, len(addrs))
+	for i, a := range addrs {
+		idx[a] = i
+	}
+	return func(a, b packet.Address) bool {
+		ia, ok1 := idx[a]
+		ib, ok2 := idx[b]
+		if !ok1 || !ok2 {
+			return false
+		}
+		d := ia - ib
+		return d == 1 || d == -1
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestLiveMeshConvergesAndRoutes(t *testing.T) {
+	addrs := []packet.Address{1, 2, 3}
+	net, err := New(liveConfig(chainConnect(addrs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	var hs []*Handle
+	for _, a := range addrs {
+		h, err := net.AddNode(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if !waitFor(t, 10*time.Second, func() bool { return hs[0].HasRoute(3) && hs[2].HasRoute(1) }) {
+		t.Fatal("live mesh did not converge")
+	}
+	if err := hs[0].Send(3, []byte("live multi-hop")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 10*time.Second, func() bool { return len(hs[2].Messages()) >= 1 }) {
+		t.Fatal("datagram not delivered over the live mesh")
+	}
+	msg := hs[2].Messages()[0]
+	if string(msg.Payload) != "live multi-hop" || msg.From != 1 {
+		t.Errorf("message = %+v", msg)
+	}
+}
+
+func TestLiveReliableTransfer(t *testing.T) {
+	addrs := []packet.Address{1, 2, 3}
+	net, err := New(liveConfig(chainConnect(addrs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	var hs []*Handle
+	for _, a := range addrs {
+		h, err := net.AddNode(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if !waitFor(t, 10*time.Second, func() bool { return hs[0].HasRoute(3) }) {
+		t.Fatal("no convergence")
+	}
+	payload := make([]byte, 1200)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	if _, err := hs[0].SendReliable(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 30*time.Second, func() bool { return len(hs[0].StreamEvents()) == 1 }) {
+		t.Fatal("stream never completed")
+	}
+	if ev := hs[0].StreamEvents()[0]; ev.Err != nil {
+		t.Fatalf("stream failed: %v", ev.Err)
+	}
+	msgs := hs[2].Messages()
+	if len(msgs) != 1 || !bytes.Equal(msgs[0].Payload, payload) {
+		t.Fatal("reliable payload corrupted over live mesh")
+	}
+}
+
+func TestLiveConcurrentSenders(t *testing.T) {
+	// Full connectivity, several nodes sending simultaneously from test
+	// goroutines: exercises the mailbox serialization under the race
+	// detector.
+	net, err := New(liveConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	const n = 5
+	var hs []*Handle
+	for i := 1; i <= n; i++ {
+		h, err := net.AddNode(packet.Address(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if !waitFor(t, 10*time.Second, func() bool {
+		for _, h := range hs {
+			if h.RouteCount() < n-1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("full mesh did not converge")
+	}
+	var wg sync.WaitGroup
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				dst := packet.Address((i+1)%n + 1)
+				if err := h.Send(dst, []byte{byte(i), byte(j)}); err != nil {
+					t.Errorf("send %d/%d: %v", i, j, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	total := func() int {
+		sum := 0
+		for _, h := range hs {
+			sum += len(h.Messages())
+		}
+		return sum
+	}
+	if !waitFor(t, 20*time.Second, func() bool { return total() >= n*5*8/10 }) {
+		t.Fatalf("only %d/%d messages delivered", total(), n*5)
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	if _, err := New(Config{TimeScale: -1}); err == nil {
+		t.Error("negative time scale: want error")
+	}
+	net, err := New(liveConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddNode(1); err == nil {
+		t.Error("duplicate address: want error")
+	}
+	net.Close()
+	net.Close() // idempotent
+	if _, err := net.AddNode(2); err == nil {
+		t.Error("AddNode after Close: want error")
+	}
+}
+
+func TestLiveCloseUnblocksDo(t *testing.T) {
+	net, err := New(liveConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := net.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		net.Close()
+	}()
+	go func() {
+		// Hammer Do across the close; none may hang.
+		for i := 0; i < 1000; i++ {
+			h.Do(func(*core.Node) {})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do hung across Close")
+	}
+}

@@ -1,0 +1,73 @@
+package loraphy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// PayloadSymbols returns the number of payload symbols for a PHY payload of
+// payloadLen bytes, per the Semtech SX1276 datasheet (§4.1.1.7):
+//
+//	n = 8 + max(ceil((8PL - 4SF + 28 + 16CRC - 20IH) / (4(SF - 2DE))) * (CR+4), 0)
+//
+// where PL is the payload length in bytes, IH is 1 for implicit headers,
+// DE is 1 when low-data-rate optimization is on, and CR+4 is the coding
+// denominator.
+func (p Params) PayloadSymbols(payloadLen int) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if payloadLen < 0 || payloadLen > MaxPHYPayload {
+		return 0, fmt.Errorf("loraphy: payload length %d out of range [0,%d]", payloadLen, MaxPHYPayload)
+	}
+	sf := int(p.SpreadingFactor)
+	crc := 0
+	if p.CRC {
+		crc = 1
+	}
+	ih := 0
+	if !p.ExplicitHeader {
+		ih = 1
+	}
+	de := 0
+	if p.LowDataRateEnabled() {
+		de = 1
+	}
+	num := 8*payloadLen - 4*sf + 28 + 16*crc - 20*ih
+	den := 4 * (sf - 2*de)
+	extra := int(math.Ceil(float64(num)/float64(den))) * p.CodingRate.Denominator()
+	if extra < 0 {
+		extra = 0
+	}
+	return 8 + extra, nil
+}
+
+// PreambleTime returns the duration of the preamble including the 4.25
+// symbols of sync word: (N_preamble + 4.25) * T_sym.
+func (p Params) PreambleTime() time.Duration {
+	sym := p.SymbolTime()
+	return time.Duration((float64(p.PreambleSymbols) + 4.25) * float64(sym))
+}
+
+// Airtime returns the total time on air of a frame with a PHY payload of
+// payloadLen bytes: preamble plus payload symbols.
+func (p Params) Airtime(payloadLen int) (time.Duration, error) {
+	nSym, err := p.PayloadSymbols(payloadLen)
+	if err != nil {
+		return 0, err
+	}
+	payload := time.Duration(float64(nSym) * float64(p.SymbolTime()))
+	return p.PreambleTime() + payload, nil
+}
+
+// MustAirtime is Airtime for parameters and lengths already validated by
+// the caller; it panics on error (a programming bug, not a runtime
+// condition).
+func (p Params) MustAirtime(payloadLen int) time.Duration {
+	d, err := p.Airtime(payloadLen)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

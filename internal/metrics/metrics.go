@@ -1,0 +1,299 @@
+// Package metrics provides lightweight counters, gauges, and histograms
+// for simulation and live-runtime instrumentation. A Registry namespaces
+// instruments by name and can snapshot or merge, which is how per-node
+// statistics roll up into network-wide experiment results.
+//
+// All instruments are safe for concurrent use so the same code paths work
+// under the single-threaded simulator and the goroutine-per-node live
+// runtime.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram collects float64 samples and answers summary statistics.
+// Samples are retained in full: simulation scales are small enough that
+// exact quantiles beat approximation error in experiment output.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds, the convention for
+// latency instruments in this repo.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the sample mean, or NaN with no samples.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s / float64(len(h.samples))
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) by nearest-rank on the
+// sorted samples, or NaN with no samples.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample, or NaN with no samples.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample, or NaN with no samples.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Registry is a namespace of instruments, lazily created on first use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if new.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a flat name → value view: counters and gauges as-is,
+// histograms expanded to .count/.mean/.p50/.p99/.max.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+5*len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out[name+".count"] = float64(h.Count())
+		if h.Count() > 0 {
+			out[name+".mean"] = h.Mean()
+			out[name+".p50"] = h.Quantile(0.5)
+			out[name+".p99"] = h.Quantile(0.99)
+			out[name+".max"] = h.Max()
+		}
+	}
+	return out
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds other's counters and histogram samples into r, prefixing
+// names with the given prefix (e.g. "node.0003."). Gauges are copied under
+// the prefixed name.
+func (r *Registry) Merge(prefix string, other *Registry) {
+	other.mu.Lock()
+	type kc struct {
+		name string
+		v    uint64
+	}
+	type kg struct {
+		name string
+		v    float64
+	}
+	type kh struct {
+		name    string
+		samples []float64
+	}
+	var cs []kc
+	var gs []kg
+	var hs []kh
+	for name, c := range other.counters {
+		cs = append(cs, kc{name, c.Value()})
+	}
+	for name, g := range other.gauges {
+		gs = append(gs, kg{name, g.Value()})
+	}
+	for name, h := range other.histograms {
+		h.mu.Lock()
+		hs = append(hs, kh{name, append([]float64(nil), h.samples...)})
+		h.mu.Unlock()
+	}
+	other.mu.Unlock()
+
+	for _, c := range cs {
+		r.Counter(prefix + c.name).Add(c.v)
+	}
+	for _, g := range gs {
+		r.Gauge(prefix + g.name).Set(g.v)
+	}
+	for _, h := range hs {
+		dst := r.Histogram(prefix + h.name)
+		for _, v := range h.samples {
+			dst.Observe(v)
+		}
+	}
+}
+
+// FormatValue renders a metric value compactly for tables.
+func FormatValue(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

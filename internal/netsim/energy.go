@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// NodeEnergy is one node's consumption over the simulated window.
+type NodeEnergy struct {
+	Index         int
+	ChargeMAH     float64
+	MeanCurrentMA float64
+	// BatteryLife extrapolates the node's life on the given capacity.
+	BatteryLife time.Duration
+}
+
+// EnergyReport computes per-node consumption from radio-state residency:
+// transmit time from the medium's airtime accounting, with the remainder
+// of the window spent listening (a LoRaMesher router cannot sleep — it
+// must hear neighbors' traffic to forward it; that cost is the point of
+// the report).
+func (s *Sim) EnergyReport(profile energy.Profile, capacityMAH float64) ([]NodeEnergy, error) {
+	window := s.Elapsed()
+	if window <= 0 {
+		return nil, fmt.Errorf("netsim: energy report needs elapsed simulation time")
+	}
+	out := make([]NodeEnergy, 0, s.N())
+	for _, h := range s.handles {
+		tx, err := s.Medium.StationAirtime(h.Station)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: energy report: %w", err)
+		}
+		sleep := h.sleepAccum
+		if sleep > window-tx {
+			sleep = window - tx
+		}
+		u := energy.Usage{Tx: tx, Sleep: sleep, Window: window}
+		mah, err := profile.ChargeMAH(u)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: energy report node %d: %w", h.Index, err)
+		}
+		mean, err := profile.MeanCurrentMA(u)
+		if err != nil {
+			return nil, err
+		}
+		life, err := profile.BatteryLife(u, capacityMAH)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NodeEnergy{
+			Index:         h.Index,
+			ChargeMAH:     mah,
+			MeanCurrentMA: mean,
+			BatteryLife:   life,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/airmedium"
+	"repro/internal/core"
+	"repro/internal/loraphy"
+	"repro/internal/trace"
+)
+
+// nodeEnv adapts one protocol engine to the scheduler and the medium. It
+// implements core.Env toward the engine and airmedium.Receiver/TxObserver
+// toward the channel.
+type nodeEnv struct {
+	sim *Sim
+	h   *Handle
+	rng *rand.Rand
+	phy loraphy.Params
+}
+
+var (
+	_ core.Env             = (*nodeEnv)(nil)
+	_ airmedium.Receiver   = (*nodeEnv)(nil)
+	_ airmedium.TxObserver = (*nodeEnv)(nil)
+)
+
+// Now implements core.Env.
+func (e *nodeEnv) Now() time.Time { return e.sim.Sched.Now() }
+
+// Schedule implements core.Env.
+func (e *nodeEnv) Schedule(d time.Duration, fn func()) func() {
+	h := e.sim.Sched.MustAfter(d, fn)
+	return func() { e.sim.Sched.Cancel(h) }
+}
+
+// Transmit implements core.Env.
+func (e *nodeEnv) Transmit(frame []byte) (time.Duration, error) {
+	airtime, err := e.sim.Medium.Transmit(e.h.Station, frame, e.phy)
+	if err != nil {
+		return 0, err
+	}
+	e.sim.Tracer.Emit(e.Now(), e.h.Addr.String(), trace.KindTx,
+		"%d bytes, %v airtime", len(frame), airtime)
+	return airtime, nil
+}
+
+// ChannelBusy implements core.Env.
+func (e *nodeEnv) ChannelBusy() (bool, error) {
+	return e.sim.Medium.Busy(e.h.Station, e.phy.FrequencyHz)
+}
+
+// Deliver implements core.Env.
+func (e *nodeEnv) Deliver(msg core.AppMessage) {
+	e.h.Msgs = append(e.h.Msgs, msg)
+	e.sim.Tracer.Emit(e.Now(), e.h.Addr.String(), trace.KindApp,
+		"delivered %d bytes from %v (reliable=%v)", len(msg.Payload), msg.From, msg.Reliable)
+	if e.h.OnMessage != nil {
+		e.h.OnMessage(msg)
+	}
+}
+
+// StreamDone implements core.Env.
+func (e *nodeEnv) StreamDone(ev core.StreamEvent) {
+	e.h.StreamEvents = append(e.h.StreamEvents, ev)
+	e.sim.Tracer.Emit(e.Now(), e.h.Addr.String(), trace.KindStream,
+		"stream %d to %v: err=%v chunks=%d retrans=%d elapsed=%v",
+		ev.ID, ev.Dst, ev.Err, ev.Chunks, ev.Retransmissions, ev.Elapsed)
+	if e.h.OnStreamDone != nil {
+		e.h.OnStreamDone(ev)
+	}
+}
+
+// Rand implements core.Env.
+func (e *nodeEnv) Rand() float64 { return e.rng.Float64() }
+
+// OnFrame implements airmedium.Receiver.
+func (e *nodeEnv) OnFrame(d airmedium.Delivery) {
+	e.sim.Tracer.Emit(d.At, e.h.Addr.String(), trace.KindRx,
+		"%d bytes rssi=%.1f snr=%.1f", len(d.Data), d.RSSIDBm, d.SNRDB)
+	e.h.Proto.HandleFrame(d.Data, core.RxInfo{RSSIDBm: d.RSSIDBm, SNRDB: d.SNRDB})
+}
+
+// OnTxDone implements airmedium.TxObserver.
+func (e *nodeEnv) OnTxDone(time.Time) { e.h.Proto.HandleTxDone() }

@@ -1,0 +1,458 @@
+// Package netsim assembles complete mesh simulations: it places protocol
+// engines (the LoRaMesher core or the flooding baseline) on the simulated
+// LoRa medium at topology-defined positions, drives them through the
+// discrete-event scheduler, and offers failure injection, mobility,
+// convergence probes, traffic generation, and metric aggregation — the
+// machinery every experiment in the evaluation is built from.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/airmedium"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/reactive"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Epoch is the default simulation start time. A fixed epoch keeps runs
+// reproducible and timestamps readable.
+var Epoch = time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// ProtocolKind selects which engine the simulation runs.
+type ProtocolKind int
+
+// Supported protocols.
+const (
+	// KindMesher runs the LoRaMesher distance-vector engine.
+	KindMesher ProtocolKind = iota + 1
+	// KindFlooding runs the controlled-flooding baseline.
+	KindFlooding
+	// KindReactive runs the AODV-style on-demand baseline.
+	KindReactive
+)
+
+// Protocol is the engine surface shared by core.Node and baseline.Node.
+type Protocol interface {
+	Start() error
+	Stop()
+	Send(dst packet.Address, payload []byte) error
+	HandleFrame(frame []byte, info core.RxInfo)
+	HandleTxDone()
+	Address() packet.Address
+	Metrics() *metrics.Registry
+}
+
+var (
+	_ Protocol = (*core.Node)(nil)
+	_ Protocol = (*baseline.Node)(nil)
+	_ Protocol = (*reactive.Node)(nil)
+)
+
+// Config describes a simulation.
+type Config struct {
+	// Topology gives node positions; required.
+	Topology *geo.Topology
+	// Medium tunes the channel model (path loss, shadowing, capture).
+	Medium airmedium.Config
+	// Protocol selects the engine; zero means KindMesher.
+	Protocol ProtocolKind
+	// Node is the LoRaMesher configuration template; the address field
+	// is assigned per node.
+	Node core.Config
+	// NodeOverride, when set, customizes node i's configuration after
+	// the template (e.g. give node 0 the sink role).
+	NodeOverride func(i int, cfg core.Config) core.Config
+	// Flood is the baseline configuration template (KindFlooding).
+	Flood baseline.Config
+	// Reactive is the on-demand baseline template (KindReactive).
+	Reactive reactive.Config
+	// BaseAddress is node 0's address; node i gets BaseAddress+i.
+	// Zero means 0x0001.
+	BaseAddress packet.Address
+	// Seed drives all simulation randomness (jitter, traffic).
+	Seed int64
+	// Start is the virtual start time; zero means Epoch.
+	Start time.Time
+	// TraceCapacity enables event tracing when positive.
+	TraceCapacity int
+}
+
+// Handle is one node in the simulation.
+type Handle struct {
+	// Index is the node's topology index.
+	Index int
+	// Addr is the node's mesh address.
+	Addr packet.Address
+	// Station is the node's medium endpoint.
+	Station airmedium.StationID
+	// Proto is the protocol engine.
+	Proto Protocol
+	// Mesher is the engine as a *core.Node, nil under KindFlooding.
+	Mesher *core.Node
+	// Msgs collects application deliveries.
+	Msgs []core.AppMessage
+	// StreamEvents collects reliable-transfer outcomes.
+	StreamEvents []core.StreamEvent
+	// OnMessage, when set, observes each delivery as it happens.
+	OnMessage func(core.AppMessage)
+	// OnStreamDone, when set, observes each stream outcome.
+	OnStreamDone func(core.StreamEvent)
+
+	killed bool
+	env    *nodeEnv
+	// sleepAccum totals time spent with the receiver off (sleep cycles),
+	// feeding the energy report.
+	sleepAccum time.Duration
+	sleeping   bool
+}
+
+// Sim is a running simulation.
+type Sim struct {
+	Cfg    Config
+	Sched  *simtime.Scheduler
+	Medium *airmedium.Medium
+	Tracer *trace.Tracer
+
+	handles []*Handle
+	rng     *rand.Rand
+}
+
+// New builds and starts a simulation: all nodes are placed, started, and
+// ready; no virtual time has elapsed yet.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Topology == nil || cfg.Topology.N() == 0 {
+		return nil, fmt.Errorf("netsim: config needs a non-empty topology")
+	}
+	if cfg.Protocol == 0 {
+		cfg.Protocol = KindMesher
+	}
+	if cfg.BaseAddress == 0 {
+		cfg.BaseAddress = 0x0001
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = Epoch
+	}
+	last := int(cfg.BaseAddress) + cfg.Topology.N() - 1
+	if last >= int(packet.Broadcast) {
+		return nil, fmt.Errorf("netsim: address range ends at %04X, collides with broadcast", last)
+	}
+	if cfg.Medium.Seed == 0 {
+		cfg.Medium.Seed = cfg.Seed
+	}
+
+	sched := simtime.NewScheduler(cfg.Start)
+	medium, err := airmedium.New(sched, cfg.Medium)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	s := &Sim{
+		Cfg:    cfg,
+		Sched:  sched,
+		Medium: medium,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.TraceCapacity > 0 {
+		s.Tracer = trace.New(cfg.TraceCapacity)
+	}
+
+	for i, pos := range cfg.Topology.Positions {
+		addr := cfg.BaseAddress + packet.Address(i)
+		h := &Handle{Index: i, Addr: addr}
+		env := &nodeEnv{sim: s, h: h, rng: rand.New(rand.NewSource(cfg.Seed ^ int64(i+1)*0x9e3779b9))}
+		h.env = env
+
+		switch cfg.Protocol {
+		case KindMesher:
+			nc := cfg.Node
+			nc.Address = addr
+			if cfg.NodeOverride != nil {
+				nc = cfg.NodeOverride(i, nc)
+				nc.Address = addr // the override must not break addressing
+			}
+			n, err := core.NewNode(nc, env)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: node %d: %w", i, err)
+			}
+			h.Proto = n
+			h.Mesher = n
+			env.phy = n.Config().Phy
+		case KindFlooding:
+			fc := cfg.Flood
+			fc.Address = addr
+			n, err := baseline.NewNode(fc, env)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: node %d: %w", i, err)
+			}
+			h.Proto = n
+			env.phy = cfg.Node.EffectivePhy()
+		case KindReactive:
+			rc := cfg.Reactive
+			rc.Address = addr
+			n, err := reactive.NewNode(rc, env)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: node %d: %w", i, err)
+			}
+			h.Proto = n
+			env.phy = cfg.Node.EffectivePhy()
+		default:
+			return nil, fmt.Errorf("netsim: unknown protocol %d", cfg.Protocol)
+		}
+
+		station, err := medium.AddStation(pos, env)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: node %d: %w", i, err)
+		}
+		h.Station = station
+		s.handles = append(s.handles, h)
+	}
+	// Start engines only after every station exists, so first beacons
+	// reach all neighbors.
+	for i, h := range s.handles {
+		if err := h.Proto.Start(); err != nil {
+			return nil, fmt.Errorf("netsim: start node %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of nodes.
+func (s *Sim) N() int { return len(s.handles) }
+
+// Handle returns node i.
+func (s *Sim) Handle(i int) *Handle { return s.handles[i] }
+
+// ByAddr returns the node with the given address, or nil.
+func (s *Sim) ByAddr(a packet.Address) *Handle {
+	i := int(a) - int(s.Cfg.BaseAddress)
+	if i < 0 || i >= len(s.handles) {
+		return nil
+	}
+	return s.handles[i]
+}
+
+// Run advances the simulation by d.
+func (s *Sim) Run(d time.Duration) { s.Sched.RunFor(d) }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.Sched.Now() }
+
+// Elapsed returns virtual time since the simulation start.
+func (s *Sim) Elapsed() time.Duration { return s.Sched.Now().Sub(s.Cfg.Start) }
+
+// RunUntil steps the simulation by step until cond holds or max elapses.
+// It returns the virtual time spent in this call and whether cond held.
+func (s *Sim) RunUntil(cond func() bool, step, max time.Duration) (time.Duration, bool) {
+	start := s.Sched.Now()
+	for {
+		if cond() {
+			return s.Sched.Now().Sub(start), true
+		}
+		if s.Sched.Now().Sub(start) >= max {
+			return s.Sched.Now().Sub(start), false
+		}
+		s.Run(step)
+	}
+}
+
+// Kill permanently removes node i: the engine stops and the station falls
+// silent (failure injection).
+func (s *Sim) Kill(i int) error {
+	if i < 0 || i >= len(s.handles) {
+		return fmt.Errorf("netsim: kill: node %d out of range", i)
+	}
+	h := s.handles[i]
+	if h.killed {
+		return nil
+	}
+	h.killed = true
+	h.Proto.Stop()
+	if err := s.Medium.Remove(h.Station); err != nil {
+		return fmt.Errorf("netsim: kill node %d: %w", i, err)
+	}
+	s.Tracer.Emit(s.Sched.Now(), h.Addr.String(), trace.KindFailure, "node killed")
+	return nil
+}
+
+// Alive reports whether node i is still running.
+func (s *Sim) Alive(i int) bool { return !s.handles[i].killed }
+
+// Move relocates node i (mobility injection).
+func (s *Sim) Move(i int, pos geo.Point) error {
+	if i < 0 || i >= len(s.handles) {
+		return fmt.Errorf("netsim: move: node %d out of range", i)
+	}
+	return s.Medium.SetPosition(s.handles[i].Station, pos)
+}
+
+// Converged reports whether every live mesher node has a usable route to
+// every other live node. Under KindFlooding it is trivially true.
+func (s *Sim) Converged() bool {
+	if s.Cfg.Protocol != KindMesher {
+		return true
+	}
+	for _, a := range s.handles {
+		if a.killed {
+			continue
+		}
+		for _, b := range s.handles {
+			if b.killed || a == b {
+				continue
+			}
+			if _, ok := a.Mesher.Table().NextHop(b.Addr); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TimeToConvergence runs the simulation until Converged (checking every
+// step) and returns the elapsed virtual time, or false if max elapsed
+// first.
+func (s *Sim) TimeToConvergence(step, max time.Duration) (time.Duration, bool) {
+	return s.RunUntil(s.Converged, step, max)
+}
+
+// AggregateMetrics merges every node's registry under "node.<addr>." and
+// returns network-wide totals under "total.".
+func (s *Sim) AggregateMetrics() *metrics.Registry {
+	agg := metrics.NewRegistry()
+	for _, h := range s.handles {
+		agg.Merge(fmt.Sprintf("node.%v.", h.Addr), h.Proto.Metrics())
+		agg.Merge("total.", h.Proto.Metrics())
+	}
+	return agg
+}
+
+// TotalAirtime sums transmit airtime across all stations.
+func (s *Sim) TotalAirtime() time.Duration {
+	var total time.Duration
+	for _, h := range s.handles {
+		at, err := s.Medium.StationAirtime(h.Station)
+		if err == nil {
+			total += at
+		}
+	}
+	return total
+}
+
+// StartSleepCycle puts node i on a periodic sleep schedule: awake (radio
+// listening) for awakeFor, then asleep (receiver off) for sleepFor,
+// repeating. The node still wakes its radio to transmit — the classic
+// sleepy end-device pattern — but misses anything sent to it while
+// asleep, so routers should not sleep (experiment X2 quantifies both).
+func (s *Sim) StartSleepCycle(i int, awakeFor, sleepFor time.Duration) error {
+	if i < 0 || i >= len(s.handles) {
+		return fmt.Errorf("netsim: sleep: node %d out of range", i)
+	}
+	if awakeFor <= 0 || sleepFor <= 0 {
+		return fmt.Errorf("netsim: sleep phases must be positive")
+	}
+	h := s.handles[i]
+	var wake, sleep func()
+	sleep = func() {
+		if h.killed {
+			return
+		}
+		h.sleeping = true
+		if err := s.Medium.SetListening(h.Station, false); err != nil {
+			return
+		}
+		s.Sched.MustAfter(sleepFor, wake)
+	}
+	wake = func() {
+		if h.killed {
+			return
+		}
+		h.sleeping = false
+		h.sleepAccum += sleepFor
+		if err := s.Medium.SetListening(h.Station, true); err != nil {
+			return
+		}
+		s.Sched.MustAfter(awakeFor, sleep)
+	}
+	s.Sched.MustAfter(awakeFor, sleep)
+	return nil
+}
+
+// StartMobility steps every live node's position through the model every
+// interval. Route churn then follows from beacons refreshing or expiring,
+// exactly as with physical movement.
+func (s *Sim) StartMobility(model geo.Mobility, interval time.Duration) error {
+	if model == nil {
+		return fmt.Errorf("netsim: nil mobility model")
+	}
+	if interval <= 0 {
+		return fmt.Errorf("netsim: mobility interval must be positive")
+	}
+	var tick func()
+	tick = func() {
+		for _, h := range s.handles {
+			if h.killed {
+				continue
+			}
+			cur, err := s.Medium.Position(h.Station)
+			if err != nil {
+				continue
+			}
+			next := model.Step(h.Index, cur, interval)
+			if err := s.Medium.SetPosition(h.Station, next); err == nil && next != cur {
+				s.Tracer.Emit(s.Sched.Now(), h.Addr.String(), trace.KindRoute,
+					"moved to %v", next)
+			}
+		}
+		s.Sched.MustAfter(interval, tick)
+	}
+	s.Sched.MustAfter(interval, tick)
+	return nil
+}
+
+// Partition severs every link between the two node-index groups, leaving
+// intra-group links intact. Overlapping groups are an error.
+func (s *Sim) Partition(groupA, groupB []int) error {
+	return s.setPartition(groupA, groupB, true)
+}
+
+// Heal restores every link between the two groups.
+func (s *Sim) Heal(groupA, groupB []int) error {
+	return s.setPartition(groupA, groupB, false)
+}
+
+func (s *Sim) setPartition(groupA, groupB []int, blocked bool) error {
+	inA := make(map[int]bool, len(groupA))
+	for _, i := range groupA {
+		if i < 0 || i >= len(s.handles) {
+			return fmt.Errorf("netsim: partition: node %d out of range", i)
+		}
+		inA[i] = true
+	}
+	for _, j := range groupB {
+		if j < 0 || j >= len(s.handles) {
+			return fmt.Errorf("netsim: partition: node %d out of range", j)
+		}
+		if inA[j] {
+			return fmt.Errorf("netsim: partition: node %d in both groups", j)
+		}
+	}
+	for _, i := range groupA {
+		for _, j := range groupB {
+			if err := s.Medium.SetLinkBlocked(s.handles[i].Station, s.handles[j].Station, blocked); err != nil {
+				return fmt.Errorf("netsim: partition: %w", err)
+			}
+		}
+	}
+	verb := "healed"
+	if blocked {
+		verb = "partitioned"
+	}
+	s.Tracer.Emit(s.Sched.Now(), "sim", trace.KindFailure, "%s groups %v | %v", verb, groupA, groupB)
+	return nil
+}

@@ -1,0 +1,67 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal drives the frame decoder with arbitrary bytes: it must
+// never panic, and every frame it accepts must re-encode to the identical
+// bytes (decode/encode is the identity on valid frames).
+func FuzzUnmarshal(f *testing.F) {
+	seed := []*Packet{
+		{Dst: Broadcast, Src: 1, Type: TypeHello, Payload: []byte{0, 2, 1, 1}},
+		{Dst: 2, Src: 1, Type: TypeData, Via: 3, Payload: []byte("hi")},
+		{Dst: 2, Src: 1, Type: TypeSync, Via: 3, SeqID: 4, Number: 9, Payload: []byte{0, 0, 1, 0}},
+		{Dst: 2, Src: 1, Type: TypeAck, Via: 3, SeqID: 4, Number: 1},
+	}
+	for _, p := range seed {
+		buf, err := Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0x00, 0x01, 0x04})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v (%+v)", err, p)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not identity:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+// FuzzUnmarshalHello checks the HELLO payload decoder never panics and
+// round-trips whatever it accepts.
+func FuzzUnmarshalHello(f *testing.F) {
+	good, err := MarshalHello([]HelloEntry{{Addr: 1, Metric: 2, Role: RoleSink}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := UnmarshalHello(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalHello(entries)
+		if err != nil {
+			t.Fatalf("accepted hello failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("hello decode/encode not identity:\n in  %x\n out %x", data, out)
+		}
+	})
+}

@@ -1,0 +1,273 @@
+// Package packet defines the LoRaMesher wire format: the packet header,
+// packet types, and binary (de)serialization.
+//
+// The layout follows the LoRaMesher C++ prototype the paper demonstrates:
+//
+//	common header:  dst(2) src(2) type(1) size(1)
+//	routed packets: + via(2)
+//	stream packets: + seqID(1) number(2)
+//	payload:        up to the 255-byte LoRa PHY limit
+//
+// Node addresses are 16 bits (derived from the device MAC on hardware);
+// 0xFFFF broadcasts. HELLO packets carry the sender's routing table as a
+// sequence of (address, metric, role) tuples. Reliable large-payload
+// streams use SYNC / XL_DATA / ACK / LOST packets, all of which carry a
+// stream sequence id plus a packet number.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Address is a 16-bit mesh node address.
+type Address uint16
+
+// Broadcast is the all-nodes destination address.
+const Broadcast Address = 0xFFFF
+
+func (a Address) String() string { return fmt.Sprintf("%04X", uint16(a)) }
+
+// Type identifies the packet kind. Values reproduce the LoRaMesher
+// prototype's on-air constants, where bit 1 marks the data family and
+// higher bits select the sub-kind.
+type Type uint8
+
+// Wire packet types.
+const (
+	// TypeHello carries the sender's routing table; broadcast, never
+	// forwarded.
+	TypeHello Type = 0x04
+	// TypeData is an unreliable routed datagram.
+	TypeData Type = 0x02
+	// TypeDataAck is a routed datagram that requests an end-to-end ACK.
+	TypeDataAck Type = 0x03
+	// TypeSync opens a reliable large-payload stream: Number carries the
+	// total chunk count.
+	TypeSync Type = 0x42
+	// TypeXLData is one chunk of a reliable stream: Number is the
+	// 1-based chunk index.
+	TypeXLData Type = 0x12
+	// TypeAck acknowledges a SYNC (Number=0) or a chunk (Number=index).
+	TypeAck Type = 0x0A
+	// TypeLost asks the sender to retransmit chunk Number.
+	TypeLost Type = 0x22
+
+	// The two types below belong to the reactive (AODV-style) comparison
+	// protocol, not to LoRaMesher itself; they share the wire header so
+	// both protocols run on identical substrates.
+
+	// TypeRouteRequest floods a route discovery: Dst is the sought
+	// destination, Src the originator; the payload carries the request
+	// id and accumulated hop count.
+	TypeRouteRequest Type = 0x05
+	// TypeRouteReply returns the discovered route hop by hop toward the
+	// originator (routed: carries via).
+	TypeRouteReply Type = 0x06
+)
+
+// Valid reports whether t is a known packet type.
+func (t Type) Valid() bool {
+	switch t {
+	case TypeHello, TypeData, TypeDataAck, TypeSync, TypeXLData, TypeAck, TypeLost,
+		TypeRouteRequest, TypeRouteReply:
+		return true
+	default:
+		return false
+	}
+}
+
+// Routed reports whether packets of this type carry a via field and are
+// forwarded hop by hop using the routing table. HELLOs and route-request
+// floods are link-local broadcasts without one.
+func (t Type) Routed() bool {
+	return t.Valid() && t != TypeHello && t != TypeRouteRequest
+}
+
+// Stream reports whether packets of this type belong to a reliable stream
+// and carry (seqID, number).
+func (t Type) Stream() bool {
+	switch t {
+	case TypeSync, TypeXLData, TypeAck, TypeLost, TypeDataAck:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeData:
+		return "DATA"
+	case TypeDataAck:
+		return "DATA_ACK"
+	case TypeSync:
+		return "SYNC"
+	case TypeXLData:
+		return "XL_DATA"
+	case TypeAck:
+		return "ACK"
+	case TypeLost:
+		return "LOST"
+	case TypeRouteRequest:
+		return "RREQ"
+	case TypeRouteReply:
+		return "RREP"
+	default:
+		return fmt.Sprintf("Type(0x%02X)", uint8(t))
+	}
+}
+
+// Header and size constants, in bytes.
+const (
+	// BaseHeaderLen covers dst, src, type, size.
+	BaseHeaderLen = 6
+	// ViaLen is the extra next-hop field on routed packets.
+	ViaLen = 2
+	// StreamHeaderLen is the extra (seqID, number) on stream packets.
+	StreamHeaderLen = 3
+	// MaxFrameLen is the LoRa PHY payload limit.
+	MaxFrameLen = 255
+)
+
+// HeaderLen returns the total header length for a packet of type t.
+func HeaderLen(t Type) int {
+	n := BaseHeaderLen
+	if t.Routed() {
+		n += ViaLen
+	}
+	if t.Stream() {
+		n += StreamHeaderLen
+	}
+	return n
+}
+
+// MaxPayload returns the largest application payload a single packet of
+// type t can carry.
+func MaxPayload(t Type) int { return MaxFrameLen - HeaderLen(t) }
+
+// Packet is one LoRaMesher frame.
+type Packet struct {
+	Dst  Address
+	Src  Address
+	Type Type
+	// Via is the link-layer next hop for routed packets. Intermediate
+	// nodes rewrite it on each hop; receivers ignore frames whose Via is
+	// neither their address nor broadcast.
+	Via Address
+	// SeqID identifies a reliable stream (sender-scoped).
+	SeqID uint8
+	// Number is the stream chunk count (SYNC), chunk index (XL_DATA,
+	// ACK, LOST), or zero.
+	Number uint16
+	// Payload is the application or routing-table bytes.
+	Payload []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrTooLarge  = errors.New("packet: frame exceeds 255-byte PHY limit")
+	ErrTruncated = errors.New("packet: frame truncated")
+	ErrBadType   = errors.New("packet: unknown packet type")
+	ErrBadSize   = errors.New("packet: size field does not match frame length")
+)
+
+// WireLen returns the encoded length of p in bytes.
+func (p *Packet) WireLen() int { return HeaderLen(p.Type) + len(p.Payload) }
+
+// Validate checks that the packet can be encoded.
+func (p *Packet) Validate() error {
+	if !p.Type.Valid() {
+		return fmt.Errorf("%w: 0x%02X", ErrBadType, uint8(p.Type))
+	}
+	if p.WireLen() > MaxFrameLen {
+		return fmt.Errorf("%w: %d bytes of %v", ErrTooLarge, p.WireLen(), p.Type)
+	}
+	return nil
+}
+
+// Marshal encodes the packet into wire format.
+func Marshal(p *Packet) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, p.WireLen())
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Dst))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Src))
+	buf = append(buf, byte(p.Type), byte(p.WireLen()))
+	if p.Type.Routed() {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Via))
+	}
+	if p.Type.Stream() {
+		buf = append(buf, p.SeqID)
+		buf = binary.BigEndian.AppendUint16(buf, p.Number)
+	}
+	buf = append(buf, p.Payload...)
+	return buf, nil
+}
+
+// Unmarshal decodes a wire-format frame. The returned packet's payload
+// aliases buf; callers that retain the packet beyond the buffer's lifetime
+// must copy it.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < BaseHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(buf))
+	}
+	if len(buf) > MaxFrameLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
+	}
+	p := &Packet{
+		Dst:  Address(binary.BigEndian.Uint16(buf[0:2])),
+		Src:  Address(binary.BigEndian.Uint16(buf[2:4])),
+		Type: Type(buf[4]),
+	}
+	if !p.Type.Valid() {
+		return nil, fmt.Errorf("%w: 0x%02X", ErrBadType, buf[4])
+	}
+	if int(buf[5]) != len(buf) {
+		return nil, fmt.Errorf("%w: field %d, frame %d", ErrBadSize, buf[5], len(buf))
+	}
+	off := BaseHeaderLen
+	if p.Type.Routed() {
+		if len(buf) < off+ViaLen {
+			return nil, fmt.Errorf("%w: missing via", ErrTruncated)
+		}
+		p.Via = Address(binary.BigEndian.Uint16(buf[off : off+2]))
+		off += ViaLen
+	}
+	if p.Type.Stream() {
+		if len(buf) < off+StreamHeaderLen {
+			return nil, fmt.Errorf("%w: missing stream header", ErrTruncated)
+		}
+		p.SeqID = buf[off]
+		p.Number = binary.BigEndian.Uint16(buf[off+1 : off+3])
+		off += StreamHeaderLen
+	}
+	p.Payload = buf[off:]
+	return p, nil
+}
+
+// Clone returns a deep copy of p, including the payload. Forwarding rewrites
+// Via in place, so every queue boundary clones.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return &q
+}
+
+func (p *Packet) String() string {
+	s := fmt.Sprintf("%v %v->%v", p.Type, p.Src, p.Dst)
+	if p.Type.Routed() {
+		s += fmt.Sprintf(" via %v", p.Via)
+	}
+	if p.Type.Stream() {
+		s += fmt.Sprintf(" seq=%d num=%d", p.SeqID, p.Number)
+	}
+	return fmt.Sprintf("%s len=%d", s, p.WireLen())
+}

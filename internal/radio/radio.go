@@ -1,0 +1,283 @@
+// Package radio models an SX127x-class LoRa transceiver as an explicit
+// state machine: Sleep, Standby, Rx, Tx, and CAD, with datasheet-derived
+// transition and dwell times. The mesh engine itself only needs the
+// narrow Env surface (transmit + channel sense), but a hardware port
+// drives a real chip through exactly these states, and the energy model
+// needs per-state residency — this package is the reference for both.
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/loraphy"
+)
+
+// State is the transceiver operating mode.
+type State int
+
+// Transceiver states, mirroring the SX127x RegOpMode modes this model
+// distinguishes.
+const (
+	StateSleep State = iota + 1
+	StateStandby
+	StateRx
+	StateTx
+	StateCAD
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSleep:
+		return "sleep"
+	case StateStandby:
+		return "standby"
+	case StateRx:
+		return "rx"
+	case StateTx:
+		return "tx"
+	case StateCAD:
+		return "cad"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Datasheet-derived mode-transition times.
+const (
+	// WakeFromSleep is the sleep→standby oscillator start time.
+	WakeFromSleep = 250 * time.Microsecond
+	// ModeSwitch is the standby→rx/tx PLL lock time.
+	ModeSwitch = 50 * time.Microsecond
+)
+
+// CADSymbols is the channel-activity-detection dwell: the SX127x samples
+// roughly 1.75 symbol times and then raises CadDone.
+const CADSymbols = 1.75
+
+// Medium is the channel the radio drives. The airmedium package's
+// per-station surface matches it; a hardware port wraps SPI calls.
+type Medium interface {
+	// Transmit puts a frame on the air and returns its airtime. The
+	// medium signals completion back through the radio's FinishTx.
+	Transmit(data []byte, params loraphy.Params) (time.Duration, error)
+	// Busy reports detectable channel energy on the given frequency.
+	Busy(freqHz float64) (bool, error)
+	// SetListening opens or closes the receive path.
+	SetListening(on bool) error
+}
+
+// Clock provides time and timers (the simulator's scheduler or real time).
+type Clock interface {
+	Now() time.Time
+	Schedule(d time.Duration, fn func()) (cancel func())
+}
+
+// Events receives the radio's interrupt-style callbacks.
+type Events interface {
+	// TxDone fires when a transmission completes; the radio has already
+	// returned to Rx.
+	TxDone()
+	// CADDone fires when channel-activity detection completes.
+	CADDone(busy bool)
+}
+
+// Radio is the state machine. It is not safe for concurrent use; the host
+// serializes calls, exactly as a driver serializes SPI access.
+type Radio struct {
+	clock  Clock
+	medium Medium
+	events Events
+	params loraphy.Params
+
+	state      State
+	enteredAt  time.Time
+	residency  map[State]time.Duration
+	cancelWork func()
+}
+
+// New returns a radio in Standby with the given PHY parameters.
+func New(clock Clock, medium Medium, events Events, params loraphy.Params) (*Radio, error) {
+	if clock == nil || medium == nil || events == nil {
+		return nil, fmt.Errorf("radio: nil clock, medium, or events")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("radio: %w", err)
+	}
+	r := &Radio{
+		clock:     clock,
+		medium:    medium,
+		events:    events,
+		params:    params,
+		state:     StateStandby,
+		enteredAt: clock.Now(),
+		residency: make(map[State]time.Duration),
+	}
+	if err := medium.SetListening(false); err != nil {
+		return nil, fmt.Errorf("radio: %w", err)
+	}
+	return r, nil
+}
+
+// State returns the current operating mode.
+func (r *Radio) State() State { return r.state }
+
+// Params returns the active PHY parameters.
+func (r *Radio) Params() loraphy.Params { return r.params }
+
+// SetParams reconfigures the modem; only legal in Sleep or Standby, as on
+// hardware.
+func (r *Radio) SetParams(p loraphy.Params) error {
+	if r.state != StateSleep && r.state != StateStandby {
+		return fmt.Errorf("radio: cannot reconfigure in %v", r.state)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("radio: %w", err)
+	}
+	r.params = p
+	return nil
+}
+
+// transition moves to a new state, accounting residency.
+func (r *Radio) transition(to State) {
+	now := r.clock.Now()
+	r.residency[r.state] += now.Sub(r.enteredAt)
+	r.state = to
+	r.enteredAt = now
+}
+
+// Residency returns cumulative time per state, including the current
+// stay up to now. The energy model consumes this directly.
+func (r *Radio) Residency() map[State]time.Duration {
+	out := make(map[State]time.Duration, len(r.residency)+1)
+	for s, d := range r.residency {
+		out[s] = d
+	}
+	out[r.state] += r.clock.Now().Sub(r.enteredAt)
+	return out
+}
+
+// Sleep powers the transceiver down. Any pending CAD is abandoned; an
+// active transmission must finish first (hardware refuses too).
+func (r *Radio) Sleep() error {
+	if r.state == StateTx {
+		return fmt.Errorf("radio: cannot sleep while transmitting")
+	}
+	r.stopWork()
+	if err := r.medium.SetListening(false); err != nil {
+		return err
+	}
+	r.transition(StateSleep)
+	return nil
+}
+
+// Standby leaves Sleep/Rx/CAD into Standby.
+func (r *Radio) Standby() error {
+	if r.state == StateTx {
+		return fmt.Errorf("radio: cannot enter standby while transmitting")
+	}
+	r.stopWork()
+	if err := r.medium.SetListening(false); err != nil {
+		return err
+	}
+	r.transition(StateStandby)
+	return nil
+}
+
+// StartRx opens continuous receive.
+func (r *Radio) StartRx() error {
+	if r.state == StateTx {
+		return fmt.Errorf("radio: cannot enter rx while transmitting")
+	}
+	r.stopWork()
+	if err := r.medium.SetListening(true); err != nil {
+		return err
+	}
+	r.transition(StateRx)
+	return nil
+}
+
+// Transmit sends a frame: the radio closes the receive path (half
+// duplex), enters Tx, and raises TxDone via Events when the airtime
+// elapses, returning to Rx — the mesh node wants to listen again
+// immediately.
+func (r *Radio) Transmit(data []byte) (time.Duration, error) {
+	switch r.state {
+	case StateTx:
+		return 0, fmt.Errorf("radio: already transmitting")
+	case StateCAD:
+		return 0, fmt.Errorf("radio: CAD in progress")
+	case StateSleep:
+		return 0, fmt.Errorf("radio: asleep; wake to standby first")
+	}
+	if err := r.medium.SetListening(false); err != nil {
+		return 0, err
+	}
+	airtime, err := r.medium.Transmit(data, r.params)
+	if err != nil {
+		// Reopen the receive path; the frame never left.
+		if r.state == StateRx {
+			if lerr := r.medium.SetListening(true); lerr != nil {
+				return 0, fmt.Errorf("radio: %w (and reopening rx: %v)", err, lerr)
+			}
+		}
+		return 0, err
+	}
+	r.transition(StateTx)
+	r.cancelWork = r.clock.Schedule(airtime, r.finishTx)
+	return airtime, nil
+}
+
+// finishTx completes a transmission: back to Rx, notify the host.
+func (r *Radio) finishTx() {
+	r.cancelWork = nil
+	if err := r.medium.SetListening(true); err == nil {
+		r.transition(StateRx)
+	} else {
+		r.transition(StateStandby)
+	}
+	r.events.TxDone()
+}
+
+// StartCAD runs channel-activity detection: ~1.75 symbol times of
+// sampling, then CADDone(busy). Legal from Standby or Rx.
+func (r *Radio) StartCAD() error {
+	switch r.state {
+	case StateTx:
+		return fmt.Errorf("radio: cannot CAD while transmitting")
+	case StateSleep:
+		return fmt.Errorf("radio: asleep; wake to standby first")
+	case StateCAD:
+		return fmt.Errorf("radio: CAD already in progress")
+	}
+	prev := r.state
+	r.transition(StateCAD)
+	dwell := time.Duration(CADSymbols * float64(r.params.SymbolTime()))
+	r.cancelWork = r.clock.Schedule(dwell, func() {
+		r.cancelWork = nil
+		busy, err := r.medium.Busy(r.params.FrequencyHz)
+		if err != nil {
+			busy = false
+		}
+		// Return to where CAD was started from.
+		if prev == StateRx {
+			if err := r.medium.SetListening(true); err == nil {
+				r.transition(StateRx)
+			} else {
+				r.transition(StateStandby)
+			}
+		} else {
+			r.transition(StateStandby)
+		}
+		r.events.CADDone(busy)
+	})
+	return nil
+}
+
+// stopWork cancels any pending timer-driven completion.
+func (r *Radio) stopWork() {
+	if r.cancelWork != nil {
+		r.cancelWork()
+		r.cancelWork = nil
+	}
+}

@@ -1,0 +1,288 @@
+package radio
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/loraphy"
+	"repro/internal/simtime"
+)
+
+var t0 = time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// fakeMedium records interactions and simulates airtime.
+type fakeMedium struct {
+	listening bool
+	busy      bool
+	txErr     error
+	sent      [][]byte
+}
+
+func (m *fakeMedium) Transmit(data []byte, params loraphy.Params) (time.Duration, error) {
+	if m.txErr != nil {
+		return 0, m.txErr
+	}
+	m.sent = append(m.sent, data)
+	return params.MustAirtime(len(data)), nil
+}
+
+func (m *fakeMedium) Busy(float64) (bool, error) { return m.busy, nil }
+func (m *fakeMedium) SetListening(on bool) error { m.listening = on; return nil }
+
+// schedClock adapts simtime to the radio's Clock.
+type schedClock struct{ s *simtime.Scheduler }
+
+func (c schedClock) Now() time.Time { return c.s.Now() }
+func (c schedClock) Schedule(d time.Duration, fn func()) func() {
+	h := c.s.MustAfter(d, fn)
+	return func() { c.s.Cancel(h) }
+}
+
+// recorder captures interrupt callbacks.
+type recorder struct {
+	txDone  int
+	cadDone []bool
+}
+
+func (r *recorder) TxDone()        { r.txDone++ }
+func (r *recorder) CADDone(b bool) { r.cadDone = append(r.cadDone, b) }
+
+type fixture struct {
+	sched  *simtime.Scheduler
+	medium *fakeMedium
+	ev     *recorder
+	radio  *Radio
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{
+		sched:  simtime.NewScheduler(t0),
+		medium: &fakeMedium{},
+		ev:     &recorder{},
+	}
+	r, err := New(schedClock{f.sched}, f.medium, f.ev, loraphy.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.radio = r
+	return f
+}
+
+func TestNewStartsInStandby(t *testing.T) {
+	f := newFixture(t)
+	if f.radio.State() != StateStandby {
+		t.Errorf("state = %v, want standby", f.radio.State())
+	}
+	if f.medium.listening {
+		t.Error("standby radio is listening")
+	}
+	if _, err := New(nil, f.medium, f.ev, loraphy.DefaultParams()); err == nil {
+		t.Error("nil clock: want error")
+	}
+	bad := loraphy.DefaultParams()
+	bad.SpreadingFactor = 99
+	if _, err := New(schedClock{f.sched}, f.medium, f.ev, bad); err == nil {
+		t.Error("bad params: want error")
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	f := newFixture(t)
+	if err := f.radio.StartRx(); err != nil {
+		t.Fatal(err)
+	}
+	if f.radio.State() != StateRx || !f.medium.listening {
+		t.Error("rx transition failed")
+	}
+	if err := f.radio.Sleep(); err != nil {
+		t.Fatal(err)
+	}
+	if f.radio.State() != StateSleep || f.medium.listening {
+		t.Error("sleep transition failed")
+	}
+	if err := f.radio.Standby(); err != nil {
+		t.Fatal(err)
+	}
+	if f.radio.State() != StateStandby {
+		t.Error("standby transition failed")
+	}
+}
+
+func TestTransmitLifecycle(t *testing.T) {
+	f := newFixture(t)
+	if err := f.radio.StartRx(); err != nil {
+		t.Fatal(err)
+	}
+	air, err := f.radio.Transmit([]byte("frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.radio.State() != StateTx {
+		t.Errorf("state during tx = %v", f.radio.State())
+	}
+	if f.medium.listening {
+		t.Error("half-duplex: listening during tx")
+	}
+	// Double transmit refused.
+	if _, err := f.radio.Transmit([]byte("x")); err == nil {
+		t.Error("overlapping transmit: want error")
+	}
+	// Sleep refused mid-tx.
+	if err := f.radio.Sleep(); err == nil {
+		t.Error("sleep during tx: want error")
+	}
+	f.sched.RunFor(air)
+	if f.ev.txDone != 1 {
+		t.Fatalf("TxDone fired %d times, want 1", f.ev.txDone)
+	}
+	if f.radio.State() != StateRx || !f.medium.listening {
+		t.Error("radio did not return to rx after tx")
+	}
+	if len(f.medium.sent) != 1 || string(f.medium.sent[0]) != "frame" {
+		t.Errorf("medium sent = %v", f.medium.sent)
+	}
+}
+
+func TestTransmitFromSleepRefused(t *testing.T) {
+	f := newFixture(t)
+	if err := f.radio.Sleep(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.radio.Transmit([]byte("x")); err == nil {
+		t.Error("transmit from sleep: want error")
+	}
+}
+
+func TestTransmitErrorReopensRx(t *testing.T) {
+	f := newFixture(t)
+	if err := f.radio.StartRx(); err != nil {
+		t.Fatal(err)
+	}
+	f.medium.txErr = errors.New("pa failure")
+	if _, err := f.radio.Transmit([]byte("x")); err == nil {
+		t.Fatal("medium error not propagated")
+	}
+	if f.radio.State() != StateRx || !f.medium.listening {
+		t.Error("failed transmit left the receive path closed")
+	}
+}
+
+func TestCADLifecycle(t *testing.T) {
+	f := newFixture(t)
+	if err := f.radio.StartRx(); err != nil {
+		t.Fatal(err)
+	}
+	f.medium.busy = true
+	if err := f.radio.StartCAD(); err != nil {
+		t.Fatal(err)
+	}
+	if f.radio.State() != StateCAD {
+		t.Errorf("state = %v, want cad", f.radio.State())
+	}
+	if err := f.radio.StartCAD(); err == nil {
+		t.Error("nested CAD: want error")
+	}
+	// CAD dwell is ~1.75 symbols ≈ 1.8 ms at SF7.
+	f.sched.RunFor(5 * time.Millisecond)
+	if len(f.ev.cadDone) != 1 || !f.ev.cadDone[0] {
+		t.Fatalf("CADDone = %v, want [true]", f.ev.cadDone)
+	}
+	if f.radio.State() != StateRx {
+		t.Errorf("post-CAD state = %v, want rx (started from rx)", f.radio.State())
+	}
+	// From standby, CAD returns to standby.
+	if err := f.radio.Standby(); err != nil {
+		t.Fatal(err)
+	}
+	f.medium.busy = false
+	if err := f.radio.StartCAD(); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.RunFor(5 * time.Millisecond)
+	if len(f.ev.cadDone) != 2 || f.ev.cadDone[1] {
+		t.Fatalf("CADDone = %v, want second false", f.ev.cadDone)
+	}
+	if f.radio.State() != StateStandby {
+		t.Errorf("post-CAD state = %v, want standby", f.radio.State())
+	}
+}
+
+func TestSetParamsOnlyIdle(t *testing.T) {
+	f := newFixture(t)
+	p := loraphy.DefaultParams()
+	p.SpreadingFactor = loraphy.SF9
+	if err := f.radio.SetParams(p); err != nil {
+		t.Fatalf("SetParams in standby: %v", err)
+	}
+	if f.radio.Params().SpreadingFactor != loraphy.SF9 {
+		t.Error("params not applied")
+	}
+	if err := f.radio.StartRx(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.radio.SetParams(p); err == nil {
+		t.Error("SetParams in rx: want error")
+	}
+	bad := p
+	bad.Bandwidth = 99
+	if err := f.radio.Standby(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.radio.SetParams(bad); err == nil {
+		t.Error("invalid params: want error")
+	}
+}
+
+func TestResidencyAccounting(t *testing.T) {
+	f := newFixture(t)
+	f.sched.RunFor(time.Second) // 1 s standby
+	if err := f.radio.StartRx(); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.RunFor(2 * time.Second) // 2 s rx
+	air, err := f.radio.Transmit(make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.sched.RunFor(air) // tx
+	f.sched.RunFor(time.Second)
+	if err := f.radio.Sleep(); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.RunFor(3 * time.Second) // 3 s sleep
+
+	res := f.radio.Residency()
+	if got := res[StateStandby]; got != time.Second {
+		t.Errorf("standby = %v, want 1s", got)
+	}
+	if got := res[StateRx]; got != 3*time.Second {
+		t.Errorf("rx = %v, want 3s (2s before + 1s after tx)", got)
+	}
+	if got := res[StateTx]; got != air {
+		t.Errorf("tx = %v, want airtime %v", got, air)
+	}
+	if got := res[StateSleep]; got != 3*time.Second {
+		t.Errorf("sleep = %v, want 3s", got)
+	}
+	var total time.Duration
+	for _, d := range res {
+		total += d
+	}
+	if want := f.sched.Now().Sub(t0); total != want {
+		t.Errorf("residency total %v != elapsed %v", total, want)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	wants := map[State]string{
+		StateSleep: "sleep", StateStandby: "standby", StateRx: "rx",
+		StateTx: "tx", StateCAD: "cad",
+	}
+	for s, w := range wants {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}

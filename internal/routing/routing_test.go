@@ -1,0 +1,372 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/packet"
+)
+
+var t0 = time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestTable(cfg Config) *Table { return NewTable(0x0001, cfg) }
+
+func TestApplyHelloAddsNeighbor(t *testing.T) {
+	tab := newTestTable(DefaultConfig())
+	if !tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 5, nil) {
+		t.Fatal("first HELLO should change the table")
+	}
+	e, ok := tab.Lookup(0x0002)
+	if !ok {
+		t.Fatal("neighbor not installed")
+	}
+	if e.Via != 0x0002 || e.Metric != 1 {
+		t.Errorf("neighbor entry = %+v, want via itself at metric 1", e)
+	}
+	next, ok := tab.NextHop(0x0002)
+	if !ok || next != 0x0002 {
+		t.Errorf("NextHop = %v,%v, want 0002,true", next, ok)
+	}
+}
+
+func TestApplyHelloLearnsMultiHopRoute(t *testing.T) {
+	tab := newTestTable(DefaultConfig())
+	adv := []packet.HelloEntry{{Addr: 0x0003, Metric: 1, Role: packet.RoleSink}}
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, adv)
+	e, ok := tab.Lookup(0x0003)
+	if !ok {
+		t.Fatal("2-hop destination not installed")
+	}
+	if e.Via != 0x0002 || e.Metric != 2 || e.Role != packet.RoleSink {
+		t.Errorf("entry = %+v, want via 0002 metric 2 role sink", e)
+	}
+}
+
+func TestApplyHelloPrefersShorterRoute(t *testing.T) {
+	tab := newTestTable(DefaultConfig())
+	// Long route first: D at 3 hops via B.
+	tab.ApplyHello(t0, 0x000B, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 2, Role: packet.RoleDefault}})
+	// Shorter route via C: D at 2 hops.
+	tab.ApplyHello(t0, 0x000C, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 1, Role: packet.RoleDefault}})
+	e, _ := tab.Lookup(0x000D)
+	if e.Via != 0x000C || e.Metric != 2 {
+		t.Errorf("entry = %+v, want shorter route via 000C metric 2", e)
+	}
+	// A longer alternative must not displace it.
+	tab.ApplyHello(t0, 0x000B, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 4, Role: packet.RoleDefault}})
+	e, _ = tab.Lookup(0x000D)
+	if e.Via != 0x000C || e.Metric != 2 {
+		t.Errorf("entry after worse advert = %+v, want unchanged", e)
+	}
+}
+
+func TestApplyHelloSameViaAcceptsWorseMetric(t *testing.T) {
+	// If the next hop itself now reports a longer path, the route through
+	// it *is* longer; the table must track that, not keep stale optimism.
+	tab := newTestTable(DefaultConfig())
+	tab.ApplyHello(t0, 0x000B, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 1, Role: packet.RoleDefault}})
+	tab.ApplyHello(t0, 0x000B, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 5, Role: packet.RoleDefault}})
+	e, _ := tab.Lookup(0x000D)
+	if e.Metric != 6 {
+		t.Errorf("metric = %d, want 6 (track next hop's own degradation)", e.Metric)
+	}
+}
+
+func TestApplyHelloIgnoresSelfAndBroadcast(t *testing.T) {
+	tab := newTestTable(DefaultConfig())
+	if tab.ApplyHello(t0, 0x0001, packet.RoleDefault, 0, nil) {
+		t.Error("HELLO from self should be ignored")
+	}
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, []packet.HelloEntry{
+		{Addr: 0x0001, Metric: 1},           // route to self
+		{Addr: packet.Broadcast, Metric: 1}, // nonsense broadcast route
+	})
+	if _, ok := tab.Lookup(0x0001); ok {
+		t.Error("installed a route to self")
+	}
+	if _, ok := tab.Lookup(packet.Broadcast); ok {
+		t.Error("installed a route to broadcast")
+	}
+}
+
+func TestMaxHopsCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxHops = 3
+	tab := newTestTable(cfg)
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, []packet.HelloEntry{
+		{Addr: 0x0003, Metric: 2}, // becomes 3: allowed
+		{Addr: 0x0004, Metric: 3}, // becomes 4: over the cap
+	})
+	if _, ok := tab.Lookup(0x0003); !ok {
+		t.Error("3-hop route should be accepted at cap 3")
+	}
+	if _, ok := tab.Lookup(0x0004); ok {
+		t.Error("4-hop route should be rejected at cap 3")
+	}
+}
+
+func TestExpireStaleRemoves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EntryTTL = time.Minute
+	tab := newTestTable(cfg)
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, nil)
+	tab.ApplyHello(t0.Add(30*time.Second), 0x0003, packet.RoleDefault, 0, nil)
+
+	dead := tab.ExpireStale(t0.Add(70 * time.Second))
+	if len(dead) != 1 || dead[0] != 0x0002 {
+		t.Fatalf("dead = %v, want [0002]", dead)
+	}
+	if _, ok := tab.Lookup(0x0002); ok {
+		t.Error("expired entry still present without poisoning")
+	}
+	if _, ok := tab.Lookup(0x0003); !ok {
+		t.Error("fresh entry was expired")
+	}
+}
+
+func TestExpireRefreshedEntrySurvives(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EntryTTL = time.Minute
+	tab := newTestTable(cfg)
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, nil)
+	tab.ApplyHello(t0.Add(50*time.Second), 0x0002, packet.RoleDefault, 0, nil) // refresh
+	if dead := tab.ExpireStale(t0.Add(90 * time.Second)); len(dead) != 0 {
+		t.Fatalf("refreshed entry expired: %v", dead)
+	}
+}
+
+func TestPoisoningLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EntryTTL = time.Minute
+	cfg.Poisoning = true
+	cfg.PoisonHold = time.Minute
+	tab := newTestTable(cfg)
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, nil)
+
+	// Expiry poisons rather than removes.
+	tab.ExpireStale(t0.Add(2 * time.Minute))
+	e, ok := tab.Lookup(0x0002)
+	if !ok || !e.Poisoned() {
+		t.Fatalf("entry = %+v,%v, want poisoned", e, ok)
+	}
+	if _, ok := tab.NextHop(0x0002); ok {
+		t.Error("NextHop returned a poisoned route")
+	}
+	// Poisoned routes are advertised at infinity.
+	hs := tab.HelloEntries()
+	if len(hs) != 1 || hs[0].Metric != MetricInfinity {
+		t.Fatalf("hello entries = %v, want one at infinity", hs)
+	}
+	// After the hold, the entry vanishes.
+	tab.ExpireStale(t0.Add(4 * time.Minute))
+	if _, ok := tab.Lookup(0x0002); ok {
+		t.Error("poisoned entry survived its hold time")
+	}
+}
+
+func TestPoisonedAdvertKillsRouteThroughSender(t *testing.T) {
+	tab := newTestTable(Config{Poisoning: true})
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x0003, Metric: 1}})
+	// The next hop announces 0003 unreachable.
+	tab.ApplyHello(t0.Add(time.Second), 0x0002, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x0003, Metric: MetricInfinity}})
+	if _, ok := tab.NextHop(0x0003); ok {
+		t.Error("route through poisoning sender survived")
+	}
+	// But a poisoned advert from a node that is NOT our next hop is noise.
+	tab.ApplyHello(t0.Add(2*time.Second), 0x0004, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x0002, Metric: MetricInfinity}})
+	if _, ok := tab.NextHop(0x0002); !ok {
+		t.Error("poisoned advert from third party killed an unrelated route")
+	}
+}
+
+func TestPoisonedRouteResurrects(t *testing.T) {
+	cfg := Config{EntryTTL: time.Minute, Poisoning: true, PoisonHold: 10 * time.Minute}
+	tab := newTestTable(cfg)
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, nil)
+	tab.ExpireStale(t0.Add(2 * time.Minute))
+	if e, _ := tab.Lookup(0x0002); !e.Poisoned() {
+		t.Fatal("setup: entry should be poisoned")
+	}
+	// A fresh HELLO resurrects the neighbor.
+	tab.ApplyHello(t0.Add(3*time.Minute), 0x0002, packet.RoleDefault, 0, nil)
+	e, ok := tab.Lookup(0x0002)
+	if !ok || e.Poisoned() || e.Metric != 1 {
+		t.Errorf("entry = %+v,%v, want resurrected at metric 1", e, ok)
+	}
+}
+
+func TestPoisonHoldDownRejectsStaleAdverts(t *testing.T) {
+	cfg := Config{EntryTTL: time.Minute, Poisoning: true, PoisonHold: 10 * time.Minute}
+	tab := newTestTable(cfg)
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, nil)
+	tab.ExpireStale(t0.Add(2 * time.Minute))
+	if e, _ := tab.Lookup(0x0002); !e.Poisoned() {
+		t.Fatal("setup: entry should be poisoned")
+	}
+	// A third party still advertising the dead node must NOT resurrect it
+	// (that is exactly the count-to-infinity feedback poisoning breaks).
+	tab.ApplyHello(t0.Add(3*time.Minute), 0x0003, packet.RoleDefault, 0,
+		[]packet.HelloEntry{{Addr: 0x0002, Metric: 2}})
+	if e, _ := tab.Lookup(0x0002); !e.Poisoned() {
+		t.Error("stale multi-hop advert resurrected a poisoned route")
+	}
+	// Direct evidence (HELLO from the node itself) does resurrect.
+	tab.ApplyHello(t0.Add(4*time.Minute), 0x0002, packet.RoleDefault, 0, nil)
+	if e, _ := tab.Lookup(0x0002); e.Poisoned() || e.Metric != 1 {
+		t.Errorf("direct HELLO did not resurrect: %+v", e)
+	}
+}
+
+func TestRemoveNeighbor(t *testing.T) {
+	tab := newTestTable(DefaultConfig())
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, []packet.HelloEntry{
+		{Addr: 0x0003, Metric: 1}, {Addr: 0x0004, Metric: 2},
+	})
+	tab.ApplyHello(t0, 0x0005, packet.RoleDefault, 0, nil)
+	dead := tab.RemoveNeighbor(t0, 0x0002)
+	if len(dead) != 3 {
+		t.Fatalf("dead = %v, want the neighbor and both routes through it", dead)
+	}
+	if _, ok := tab.NextHop(0x0005); !ok {
+		t.Error("unrelated neighbor removed")
+	}
+}
+
+func TestHelloEntriesRoundTripThroughNeighbor(t *testing.T) {
+	// B learns A's table; routes must arrive at +1 metric.
+	a := NewTable(0x000A, DefaultConfig())
+	a.ApplyHello(t0, 0x000C, packet.RoleDefault, 0, nil) // A-C direct
+	b := NewTable(0x000B, DefaultConfig())
+	b.ApplyHello(t0, 0x000A, packet.RoleDefault, 0, a.HelloEntries())
+	e, ok := b.Lookup(0x000C)
+	if !ok || e.Metric != 2 || e.Via != 0x000A {
+		t.Errorf("B's route to C = %+v,%v, want metric 2 via A", e, ok)
+	}
+}
+
+func TestEntriesSortedAndCopied(t *testing.T) {
+	tab := newTestTable(DefaultConfig())
+	tab.ApplyHello(t0, 0x0009, packet.RoleDefault, 0, nil)
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, nil)
+	es := tab.Entries()
+	if len(es) != 2 || es[0].Addr != 0x0002 || es[1].Addr != 0x0009 {
+		t.Fatalf("entries = %v, want sorted by address", es)
+	}
+	es[0].Metric = 99
+	if e, _ := tab.Lookup(0x0002); e.Metric == 99 {
+		t.Error("Entries returned aliased storage")
+	}
+}
+
+func TestChangesCounterQuiesces(t *testing.T) {
+	tab := newTestTable(DefaultConfig())
+	adv := []packet.HelloEntry{{Addr: 0x0003, Metric: 1, Role: packet.RoleDefault}}
+	tab.ApplyHello(t0, 0x0002, packet.RoleDefault, 0, adv)
+	c := tab.Changes()
+	// Re-applying identical state must not count as change.
+	if tab.ApplyHello(t0.Add(time.Minute), 0x0002, packet.RoleDefault, 0, adv) {
+		t.Error("identical HELLO reported a change")
+	}
+	if tab.Changes() != c {
+		t.Errorf("changes went %d -> %d on identical HELLO", c, tab.Changes())
+	}
+}
+
+// TestPropertyMetricConsistency: for any sequence of random HELLOs, every
+// entry satisfies 1 <= metric <= MaxHops (or infinity when poisoned), and
+// NextHop only ever returns installed 1-hop neighbors... more precisely,
+// the via of every entry is itself present as a neighbor entry or equals
+// the entry address.
+func TestPropertyMetricConsistency(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(senders []uint16, dests []uint16, metrics []uint8) bool {
+		tab := newTestTable(cfg)
+		n := len(senders)
+		for i := 0; i < n; i++ {
+			var adv []packet.HelloEntry
+			if len(dests) > 0 && len(metrics) > 0 {
+				adv = []packet.HelloEntry{{
+					Addr:   packet.Address(dests[i%len(dests)]),
+					Metric: metrics[i%len(metrics)],
+					Role:   packet.RoleDefault,
+				}}
+			}
+			tab.ApplyHello(t0.Add(time.Duration(i)*time.Second),
+				packet.Address(senders[i]), packet.RoleDefault, 0, adv)
+		}
+		for _, e := range tab.Entries() {
+			if e.Poisoned() {
+				continue
+			}
+			if e.Metric < 1 || e.Metric > cfg.MaxHops {
+				return false
+			}
+			if e.Metric == 1 && e.Via != e.Addr {
+				return false
+			}
+			if via, ok := tab.Lookup(e.Via); !ok || via.Metric != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkApplyHello(b *testing.B) {
+	adv := make([]packet.HelloEntry, 30)
+	for i := range adv {
+		adv[i] = packet.HelloEntry{Addr: packet.Address(i + 10), Metric: uint8(i%5 + 1)}
+	}
+	tab := newTestTable(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.ApplyHello(t0.Add(time.Duration(i)*time.Second),
+			packet.Address(i%8+2), packet.RoleDefault, 0, adv)
+	}
+}
+
+func TestSNRTiebreak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SNRTiebreak = true
+	cfg.SNRMarginDB = 3
+	tab := newTestTable(cfg)
+	// Route to D at 2 hops via B, heard at SNR 2 dB.
+	tab.ApplyHello(t0, 0x000B, packet.RoleDefault, 2,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 1}})
+	// Equal-metric alternative via C at SNR 8 dB: displaces (margin met).
+	tab.ApplyHello(t0, 0x000C, packet.RoleDefault, 8,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 1}})
+	e, _ := tab.Lookup(0x000D)
+	if e.Via != 0x000C {
+		t.Errorf("route via %v, want stronger link via 000C", e.Via)
+	}
+	// A merely-slightly-better link (within the margin) does not flap.
+	tab.ApplyHello(t0, 0x000E, packet.RoleDefault, 9,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 1}})
+	e, _ = tab.Lookup(0x000D)
+	if e.Via != 0x000C {
+		t.Errorf("route flapped to %v on a 1 dB advantage", e.Via)
+	}
+	// Without the option, equal-metric candidates never displace.
+	plain := newTestTable(DefaultConfig())
+	plain.ApplyHello(t0, 0x000B, packet.RoleDefault, 2,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 1}})
+	plain.ApplyHello(t0, 0x000C, packet.RoleDefault, 20,
+		[]packet.HelloEntry{{Addr: 0x000D, Metric: 1}})
+	e, _ = plain.Lookup(0x000D)
+	if e.Via != 0x000B {
+		t.Errorf("hop-only table displaced equal-metric route to %v", e.Via)
+	}
+}

@@ -1,0 +1,225 @@
+// Package simtime implements a deterministic discrete-event scheduler.
+//
+// The scheduler maintains a virtual clock and an ordered queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes every simulation run bit-for-bit reproducible for
+// a given seed and workload. The virtual clock only advances when an event
+// fires; simulating hours of network time therefore costs only as much wall
+// time as the event handlers themselves.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Handle identifies a scheduled event so that it can be cancelled.
+// The zero Handle is invalid and is never returned by the scheduler.
+type Handle uint64
+
+// event is a single scheduled callback.
+type event struct {
+	at       time.Time
+	seq      uint64 // tie-breaker: schedule order
+	fn       func()
+	handle   Handle
+	canceled bool
+	index    int // position in the heap, maintained by eventQueue
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic(fmt.Sprintf("simtime: pushed non-event %T", x))
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use; the simulation drives it from a single goroutine.
+type Scheduler struct {
+	now     time.Time
+	queue   eventQueue
+	nextSeq uint64
+	pending map[Handle]*event
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{
+		now:     start,
+		pending: make(map[Handle]*event),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (s *Scheduler) Len() int { return len(s.pending) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the given virtual time. Scheduling in the past
+// is an error: the simulation would lose causal ordering.
+func (s *Scheduler) At(at time.Time, fn func()) (Handle, error) {
+	if fn == nil {
+		return 0, fmt.Errorf("simtime: schedule nil callback at %v", at)
+	}
+	if at.Before(s.now) {
+		return 0, fmt.Errorf("simtime: schedule at %v is before now %v", at, s.now)
+	}
+	s.nextSeq++
+	ev := &event{
+		at:     at,
+		seq:    s.nextSeq,
+		fn:     fn,
+		handle: Handle(s.nextSeq),
+	}
+	heap.Push(&s.queue, ev)
+	s.pending[ev.handle] = ev
+	return ev.handle, nil
+}
+
+// After schedules fn to run d after the current virtual time. A negative
+// duration is an error.
+func (s *Scheduler) After(d time.Duration, fn func()) (Handle, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("simtime: negative delay %v", d)
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// MustAfter is After for callers that schedule with non-negative delays and
+// non-nil callbacks by construction. It panics on error, which would
+// indicate a programming bug rather than a runtime condition.
+func (s *Scheduler) MustAfter(d time.Duration, fn func()) Handle {
+	h, err := s.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending; cancelling an already-fired or already-cancelled event is a
+// harmless no-op that returns false.
+func (s *Scheduler) Cancel(h Handle) bool {
+	ev, ok := s.pending[h]
+	if !ok {
+		return false
+	}
+	ev.canceled = true
+	delete(s.pending, h)
+	return true
+}
+
+// Step executes the next pending event, advancing the clock to its
+// scheduled time. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		ev, ok := heap.Pop(&s.queue).(*event)
+		if !ok {
+			panic("simtime: queue held non-event")
+		}
+		if ev.canceled {
+			continue
+		}
+		delete(s.pending, ev.handle)
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is exhausted or the
+// next event is after deadline. The clock is left at the later of its
+// current value and deadline, so periodic measurements can rely on the
+// clock having reached the deadline even in an idle network.
+func (s *Scheduler) RunUntil(deadline time.Time) {
+	for {
+		next, ok := s.peek()
+		if !ok || next.at.After(deadline) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d. See RunUntil.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Run executes events until none remain or maxEvents have fired.
+// maxEvents <= 0 means no limit. It returns the number of events executed.
+func (s *Scheduler) Run(maxEvents int) int {
+	n := 0
+	for maxEvents <= 0 || n < maxEvents {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// peek returns the earliest pending event without executing it.
+func (s *Scheduler) peek() (*event, bool) {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if !ev.canceled {
+			return ev, true
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil, false
+}
+
+// NextAt returns the time of the earliest pending event.
+func (s *Scheduler) NextAt() (time.Time, bool) {
+	ev, ok := s.peek()
+	if !ok {
+		return time.Time{}, false
+	}
+	return ev.at, true
+}

@@ -1,0 +1,115 @@
+// Package trace records structured simulation events (PHY, routing, app)
+// for debugging and for the CLI's timeline rendering. The tracer is a
+// bounded ring: long simulations keep the most recent events instead of
+// growing without bound.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Well-known event kinds.
+const (
+	KindTx      Kind = "tx"
+	KindRx      Kind = "rx"
+	KindDrop    Kind = "drop"
+	KindRoute   Kind = "route"
+	KindApp     Kind = "app"
+	KindStream  Kind = "stream"
+	KindFailure Kind = "failure"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     time.Time
+	Node   string
+	Kind   Kind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %-6s %-8s %s", e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Detail)
+}
+
+// Tracer collects events. It is safe for concurrent use. The zero value is
+// a disabled tracer that drops everything; use New for a recording tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	enabled bool
+	max     int
+	events  []Event
+	dropped uint64
+	start   int // ring start index once full
+}
+
+// New returns a tracer retaining at most max events (the most recent win).
+// max <= 0 means 4096.
+func New(max int) *Tracer {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Tracer{enabled: true, max: max}
+}
+
+// Emit records an event. On a nil or disabled tracer it is a no-op, so
+// call sites need no guards.
+func (t *Tracer) Emit(at time.Time, node string, kind Kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled {
+		return
+	}
+	ev := Event{At: at, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	if len(t.events) < t.max {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.start] = ev
+	t.start = (t.start + 1) % t.max
+	t.dropped++
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteTo renders the retained events, one per line.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, ev := range t.Events() {
+		k, err := fmt.Fprintln(w, ev)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

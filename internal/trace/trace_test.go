@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2022, 7, 1, 12, 0, 0, 0, time.UTC)
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := New(10)
+	tr.Emit(t0, "0001", KindTx, "frame %d", 1)
+	tr.Emit(t0.Add(time.Second), "0002", KindRx, "frame %d", 1)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != KindTx || evs[0].Detail != "frame 1" {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if !strings.Contains(evs[1].String(), "0002") {
+		t.Errorf("String() = %q", evs[1].String())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(t0.Add(time.Duration(i)*time.Second), "n", KindApp, "%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if want := string(rune('2' + i)); ev.Detail != want {
+			t.Errorf("event %d = %q, want %q (oldest evicted, order kept)", i, ev.Detail, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestNilAndDisabledTracer(t *testing.T) {
+	var nilTracer *Tracer
+	nilTracer.Emit(t0, "n", KindTx, "ignored") // must not panic
+	if nilTracer.Events() != nil {
+		t.Error("nil tracer returned events")
+	}
+	if nilTracer.Dropped() != 0 {
+		t.Error("nil tracer dropped nonzero")
+	}
+	var zero Tracer // disabled
+	zero.Emit(t0, "n", KindTx, "ignored")
+	if len(zero.Events()) != 0 {
+		t.Error("zero-value tracer recorded an event")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	tr := New(10)
+	tr.Emit(t0, "0001", KindDrop, "no route to %s", "0009")
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no route to 0009") {
+		t.Errorf("WriteTo output = %q", sb.String())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Emit(t0, "n", KindTx, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 128 {
+		t.Errorf("retained %d, want full ring 128", got)
+	}
+	if got := tr.Dropped(); got != 800-128 {
+		t.Errorf("dropped = %d, want %d", got, 800-128)
+	}
+}

@@ -1,0 +1,332 @@
+// Package udpnet runs a LoRaMesher node over real UDP sockets: the mesh
+// becomes an actual distributed system of OS processes with no shared
+// memory. Each host binds a UDP socket and "transmits" by unicasting the
+// frame to its configured peers after the frame's emulated LoRa airtime,
+// so protocol timing (airtime serialization, beacon pacing, ARQ round
+// trips) is preserved even though the bytes ride an IP network.
+//
+// Peers model radio connectivity: give each host the addresses it would
+// hear over the air. Hosts in separate processes — or separate machines —
+// form one mesh; examples/udpmesh wires a chain inside one process for a
+// self-contained demo.
+package udpnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loraphy"
+	"repro/internal/packet"
+)
+
+// Config describes one UDP mesh host.
+type Config struct {
+	// Listen is the UDP address to bind ("127.0.0.1:0" for an ephemeral
+	// localhost port).
+	Listen string
+	// Peers are the UDP addresses of the nodes this one can "hear".
+	// Connectivity is directional; list both ways for symmetric links.
+	Peers []string
+	// Node is the engine configuration (Address required and unique
+	// across the mesh).
+	Node core.Config
+	// TimeScale compresses protocol time, exactly as in livenet.
+	// Zero means 1.
+	TimeScale float64
+	// Seed drives jitter randomness. Zero means derived from the node
+	// address.
+	Seed int64
+	// DropRate injects random frame loss on reception, for exercising
+	// the ARQ over real sockets. Must be in [0, 1).
+	DropRate float64
+}
+
+// Host is one running UDP mesh node.
+type Host struct {
+	cfg   Config
+	node  *core.Node
+	conn  *net.UDPConn
+	phy   loraphy.Params
+	start time.Time
+
+	mu    sync.Mutex
+	peers []*net.UDPAddr
+	msgs  []core.AppMessage
+	evs   []core.StreamEvent
+	rng   *rand.Rand
+
+	events chan func()
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Start binds the socket and starts the node.
+func Start(cfg Config) (*Host, error) {
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("udpnet: negative time scale")
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		return nil, fmt.Errorf("udpnet: drop rate %v out of [0,1)", cfg.DropRate)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.Node.Address) + 1
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: %w", err)
+	}
+	h := &Host{
+		cfg:    cfg,
+		conn:   conn,
+		phy:    cfg.Node.EffectivePhy(),
+		start:  time.Now(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		events: make(chan func(), 256),
+		closed: make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if err := h.AddPeer(p); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	node, err := core.NewNode(cfg.Node, (*hostEnv)(h))
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("udpnet: %w", err)
+	}
+	h.node = node
+
+	h.wg.Add(2)
+	go h.loop()
+	go h.readLoop()
+
+	var startErr error
+	h.Do(func(n *core.Node) { startErr = n.Start() })
+	if startErr != nil {
+		h.Close()
+		return nil, fmt.Errorf("udpnet: %w", startErr)
+	}
+	return h, nil
+}
+
+// Addr returns the bound UDP address.
+func (h *Host) Addr() *net.UDPAddr {
+	addr, ok := h.conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		return nil
+	}
+	return addr
+}
+
+// MeshAddress returns the node's 16-bit mesh address.
+func (h *Host) MeshAddress() packet.Address { return h.cfg.Node.Address }
+
+// AddPeer adds a UDP destination this host's transmissions reach.
+func (h *Host) AddPeer(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: peer %q: %w", addr, err)
+	}
+	h.mu.Lock()
+	h.peers = append(h.peers, ua)
+	h.mu.Unlock()
+	return nil
+}
+
+// Close stops the node and releases the socket.
+func (h *Host) Close() {
+	h.mu.Lock()
+	select {
+	case <-h.closed:
+		h.mu.Unlock()
+		return
+	default:
+	}
+	close(h.closed)
+	h.mu.Unlock()
+	h.conn.Close() // unblocks the read loop
+	h.wg.Wait()
+	h.node.Stop()
+}
+
+// loop serializes engine interactions, as in livenet.
+func (h *Host) loop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.closed:
+			return
+		case fn := <-h.events:
+			fn()
+		}
+	}
+}
+
+// readLoop receives frames from the socket and hands them to the engine.
+func (h *Host) readLoop() {
+	defer h.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := h.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n == 0 || n > packet.MaxFrameLen {
+			continue
+		}
+		h.mu.Lock()
+		drop := h.cfg.DropRate > 0 && h.rng.Float64() < h.cfg.DropRate
+		h.mu.Unlock()
+		if drop {
+			continue
+		}
+		frame := append([]byte(nil), buf[:n]...)
+		h.enqueue(func() {
+			h.node.HandleFrame(frame, core.RxInfo{RSSIDBm: -80, SNRDB: 10})
+		})
+	}
+}
+
+func (h *Host) enqueue(fn func()) {
+	select {
+	case <-h.closed:
+	case h.events <- fn:
+	}
+}
+
+// Do runs fn in the engine's event loop and waits.
+func (h *Host) Do(fn func(n *core.Node)) {
+	done := make(chan struct{})
+	h.enqueue(func() {
+		fn(h.node)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-h.closed:
+	}
+}
+
+// Send transmits a datagram from this host.
+func (h *Host) Send(dst packet.Address, payload []byte) error {
+	var err error
+	h.Do(func(n *core.Node) { err = n.Send(dst, payload) })
+	return err
+}
+
+// SendReliable opens a reliable transfer from this host.
+func (h *Host) SendReliable(dst packet.Address, payload []byte) (uint8, error) {
+	var (
+		id  uint8
+		err error
+	)
+	h.Do(func(n *core.Node) { id, err = n.SendReliable(dst, payload) })
+	return id, err
+}
+
+// HasRoute reports whether the host can reach dst.
+func (h *Host) HasRoute(dst packet.Address) bool {
+	var ok bool
+	h.Do(func(n *core.Node) { _, ok = n.Table().NextHop(dst) })
+	return ok
+}
+
+// Messages snapshots delivered application messages.
+func (h *Host) Messages() []core.AppMessage {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]core.AppMessage(nil), h.msgs...)
+}
+
+// StreamEvents snapshots reliable-transfer outcomes.
+func (h *Host) StreamEvents() []core.StreamEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]core.StreamEvent(nil), h.evs...)
+}
+
+func (h *Host) wall(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / h.cfg.TimeScale)
+}
+
+// hostEnv adapts Host to the engine's Env. Methods run in the event loop.
+type hostEnv Host
+
+var _ core.Env = (*hostEnv)(nil)
+
+func (e *hostEnv) host() *Host { return (*Host)(e) }
+
+// Now implements core.Env with scaled time.
+func (e *hostEnv) Now() time.Time {
+	h := e.host()
+	return h.start.Add(time.Duration(float64(time.Since(h.start)) * h.cfg.TimeScale))
+}
+
+// Schedule implements core.Env.
+func (e *hostEnv) Schedule(d time.Duration, fn func()) func() {
+	h := e.host()
+	t := time.AfterFunc(h.wall(d), func() { h.enqueue(fn) })
+	return func() { t.Stop() }
+}
+
+// Transmit implements core.Env: after the frame's emulated airtime the
+// bytes go out to every peer and the engine gets TxDone.
+func (e *hostEnv) Transmit(frame []byte) (time.Duration, error) {
+	h := e.host()
+	airtime, err := h.phy.Airtime(len(frame))
+	if err != nil {
+		return 0, fmt.Errorf("udpnet: %w", err)
+	}
+	data := append([]byte(nil), frame...)
+	time.AfterFunc(h.wall(airtime), func() {
+		h.mu.Lock()
+		peers := append([]*net.UDPAddr(nil), h.peers...)
+		h.mu.Unlock()
+		for _, p := range peers {
+			// Losing a datagram matches losing a radio frame; ignore
+			// socket errors beyond that.
+			_, _ = h.conn.WriteToUDP(data, p)
+		}
+		h.enqueue(func() { h.node.HandleTxDone() })
+	})
+	return airtime, nil
+}
+
+// ChannelBusy implements core.Env: a UDP host cannot carrier-sense.
+func (e *hostEnv) ChannelBusy() (bool, error) { return false, nil }
+
+// Deliver implements core.Env.
+func (e *hostEnv) Deliver(msg core.AppMessage) {
+	h := e.host()
+	h.mu.Lock()
+	h.msgs = append(h.msgs, msg)
+	h.mu.Unlock()
+}
+
+// StreamDone implements core.Env.
+func (e *hostEnv) StreamDone(ev core.StreamEvent) {
+	h := e.host()
+	h.mu.Lock()
+	h.evs = append(h.evs, ev)
+	h.mu.Unlock()
+}
+
+// Rand implements core.Env; called only from the event loop.
+func (e *hostEnv) Rand() float64 {
+	h := e.host()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rng.Float64()
+}

@@ -1,0 +1,140 @@
+package udpnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// startChain boots n hosts on localhost wired as a chain (adjacent peers
+// only) and returns them. Hosts run at 100x time compression.
+func startChain(t *testing.T, n int, drop float64) []*Host {
+	t.Helper()
+	nodeCfg := func(addr packet.Address) core.Config {
+		return core.Config{
+			Address:        addr,
+			HelloPeriod:    2 * time.Second,
+			StreamRetry:    4 * time.Second,
+			DutyCycleLimit: 1,
+			Routing:        routing.Config{EntryTTL: 30 * time.Second},
+		}
+	}
+	hosts := make([]*Host, n)
+	for i := 0; i < n; i++ {
+		h, err := Start(Config{
+			Listen:    "127.0.0.1:0",
+			Node:      nodeCfg(packet.Address(i + 1)),
+			TimeScale: 100,
+			DropRate:  drop,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		t.Cleanup(h.Close)
+	}
+	// Wire adjacent peers both ways.
+	for i := 0; i < n-1; i++ {
+		if err := hosts[i].AddPeer(hosts[i+1].Addr().String()); err != nil {
+			t.Fatal(err)
+		}
+		if err := hosts[i+1].AddPeer(hosts[i].Addr().String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hosts
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestUDPMeshConvergesAndRoutes(t *testing.T) {
+	hosts := startChain(t, 3, 0)
+	if !waitFor(t, 15*time.Second, func() bool {
+		return hosts[0].HasRoute(3) && hosts[2].HasRoute(1)
+	}) {
+		t.Fatal("UDP mesh did not converge")
+	}
+	if err := hosts[0].Send(3, []byte("over real sockets")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 15*time.Second, func() bool { return len(hosts[2].Messages()) >= 1 }) {
+		t.Fatal("datagram not delivered over UDP mesh")
+	}
+	msg := hosts[2].Messages()[0]
+	if string(msg.Payload) != "over real sockets" || msg.From != 1 {
+		t.Errorf("message = %+v", msg)
+	}
+}
+
+func TestUDPMeshReliableWithLoss(t *testing.T) {
+	// 10% injected receive loss on every host: the ARQ must still get
+	// the payload across two hops of real sockets.
+	hosts := startChain(t, 3, 0.10)
+	if !waitFor(t, 20*time.Second, func() bool { return hosts[0].HasRoute(3) }) {
+		t.Fatal("no convergence under loss")
+	}
+	payload := make([]byte, 900)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	if _, err := hosts[0].SendReliable(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 60*time.Second, func() bool { return len(hosts[0].StreamEvents()) == 1 }) {
+		t.Fatal("stream never finished")
+	}
+	if ev := hosts[0].StreamEvents()[0]; ev.Err != nil {
+		t.Fatalf("stream failed: %v", ev.Err)
+	}
+	msgs := hosts[2].Messages()
+	if len(msgs) != 1 || !bytes.Equal(msgs[0].Payload, payload) {
+		t.Fatal("payload corrupted over lossy UDP mesh")
+	}
+}
+
+func TestUDPValidation(t *testing.T) {
+	if _, err := Start(Config{Listen: "127.0.0.1:0", TimeScale: -1,
+		Node: core.Config{Address: 1}}); err == nil {
+		t.Error("negative scale: want error")
+	}
+	if _, err := Start(Config{Listen: "127.0.0.1:0", DropRate: 1.5,
+		Node: core.Config{Address: 1}}); err == nil {
+		t.Error("drop rate 1.5: want error")
+	}
+	if _, err := Start(Config{Listen: "not-an-address",
+		Node: core.Config{Address: 1}}); err == nil {
+		t.Error("bad listen address: want error")
+	}
+	if _, err := Start(Config{Listen: "127.0.0.1:0",
+		Node: core.Config{Address: packet.Broadcast}}); err == nil {
+		t.Error("broadcast node address: want error")
+	}
+	h, err := Start(Config{Listen: "127.0.0.1:0", Node: core.Config{
+		Address: 7, DutyCycleLimit: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddPeer("///"); err == nil {
+		t.Error("bad peer address: want error")
+	}
+	if h.MeshAddress() != 7 {
+		t.Errorf("mesh address = %v", h.MeshAddress())
+	}
+	h.Close()
+	h.Close() // idempotent
+}

@@ -1,0 +1,135 @@
+// Package loramesher is the public API of the LoRaMesher library
+// reproduction: a protocol engine that runs on every LoRa node and forms a
+// mesh network among them, as demonstrated in "Demonstration of a library
+// prototype to build LoRa mesh networks for the IoT" (ICDCS 2022).
+//
+// # Model
+//
+// A Node is an event-driven protocol state machine with no I/O of its own.
+// Your host environment (an Env implementation) supplies time, timers, the
+// radio, and application callbacks; the node supplies the mesh:
+//
+//   - distance-vector routing built from periodic HELLO beacons — every
+//     node learns a next hop toward every other node and forwards packets
+//     for its neighbors;
+//   - an unreliable datagram service (Send) for payloads that fit one
+//     LoRa frame;
+//   - a reliable large-payload transport (SendReliable) that chunks,
+//     acknowledges, and retransmits across the mesh;
+//   - EU868 duty-cycle gating and optional listen-before-talk.
+//
+// On hardware the Env would wrap a real transceiver; in this repository
+// the lorasim package provides a complete simulated environment with a
+// calibrated LoRa PHY, so mesh behaviour can be studied at any scale on a
+// laptop.
+//
+// # Quickstart
+//
+// See examples/quickstart for a three-node chain where the end nodes can
+// only talk through the router in the middle:
+//
+//	cfg := lorasim.Config{Topology: topo}
+//	sim, _ := lorasim.New(cfg)
+//	sim.TimeToConvergence(time.Second, time.Hour)
+//	sim.Handle(0).Proto.Send(sim.Handle(2).Addr, []byte("hi"))
+package loramesher
+
+import (
+	"repro/internal/core"
+	"repro/internal/loraphy"
+	"repro/internal/packet"
+	"repro/internal/routing"
+)
+
+// Address is a 16-bit mesh node address. On hardware it derives from the
+// device MAC; in simulations it is assigned by the host.
+type Address = packet.Address
+
+// Broadcast is the all-nodes address.
+const Broadcast = packet.Broadcast
+
+// Role is what a node advertises itself as in routing beacons.
+type Role = packet.Role
+
+// Advertised roles.
+const (
+	RoleDefault = packet.RoleDefault
+	RoleGateway = packet.RoleGateway
+	RoleSink    = packet.RoleSink
+)
+
+// Node is the LoRaMesher protocol engine. Construct with NewNode, drive it
+// through HandleFrame / HandleTxDone, and call Start once the radio is up.
+type Node = core.Node
+
+// Config parameterizes a node: address, radio settings, beacon period,
+// routing TTLs, transport window, and duty-cycle policy.
+type Config = core.Config
+
+// Env is the host interface a node runs against: clock, timers, radio
+// transmit, channel sensing, and application delivery.
+type Env = core.Env
+
+// Message is an application payload delivered by the mesh.
+type Message = core.AppMessage
+
+// StreamEvent reports the outcome of a reliable transfer.
+type StreamEvent = core.StreamEvent
+
+// RxInfo carries link-quality measurements for a received frame.
+type RxInfo = core.RxInfo
+
+// NewNode creates a protocol engine with the given configuration on the
+// given host environment.
+func NewNode(cfg Config, env Env) (*Node, error) { return core.NewNode(cfg, env) }
+
+// Errors returned by the node API.
+var (
+	ErrNoRoute      = core.ErrNoRoute
+	ErrQueueFull    = core.ErrQueueFull
+	ErrTooLarge     = core.ErrTooLarge
+	ErrStopped      = core.ErrStopped
+	ErrBusyStream   = core.ErrBusyStream
+	ErrStreamFailed = core.ErrStreamFailed
+)
+
+// PHY re-exports: radio modulation parameters.
+type (
+	// PHYParams selects spreading factor, bandwidth, coding rate,
+	// preamble, and carrier frequency.
+	PHYParams = loraphy.Params
+	// SpreadingFactor is the LoRa spreading factor (SF7–SF12).
+	SpreadingFactor = loraphy.SpreadingFactor
+	// Bandwidth is the LoRa channel bandwidth.
+	Bandwidth = loraphy.Bandwidth
+	// CodingRate is the LoRa FEC rate.
+	CodingRate = loraphy.CodingRate
+)
+
+// Common PHY constants.
+const (
+	SF7   = loraphy.SF7
+	SF8   = loraphy.SF8
+	SF9   = loraphy.SF9
+	SF10  = loraphy.SF10
+	SF11  = loraphy.SF11
+	SF12  = loraphy.SF12
+	BW125 = loraphy.BW125
+	BW250 = loraphy.BW250
+	BW500 = loraphy.BW500
+	CR4_5 = loraphy.CR4_5
+	CR4_6 = loraphy.CR4_6
+	CR4_7 = loraphy.CR4_7
+	CR4_8 = loraphy.CR4_8
+)
+
+// DefaultPHY returns the prototype's radio configuration:
+// SF7 / 125 kHz / CR 4/5 on the EU868 868.1 MHz channel.
+func DefaultPHY() PHYParams { return loraphy.DefaultParams() }
+
+// RoutingConfig tunes the distance-vector table (entry TTL, hop cap,
+// route poisoning).
+type RoutingConfig = routing.Config
+
+// RouteEntry is one routing-table row, as returned by Node.Table().
+type RouteEntry = routing.Entry

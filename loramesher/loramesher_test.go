@@ -1,0 +1,123 @@
+package loramesher_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/loramesher"
+)
+
+// hostEnv is a minimal single-node host, the smallest thing a hardware
+// port would write: timers from a scheduler, a radio that goes nowhere.
+type hostEnv struct {
+	now    time.Time
+	timers []func()
+	msgs   []loramesher.Message
+	events []loramesher.StreamEvent
+	rng    *rand.Rand
+}
+
+func (e *hostEnv) Now() time.Time { return e.now }
+
+func (e *hostEnv) Schedule(d time.Duration, fn func()) func() {
+	e.timers = append(e.timers, fn)
+	return func() {}
+}
+
+func (e *hostEnv) Transmit(frame []byte) (time.Duration, error) {
+	return loramesher.DefaultPHY().Airtime(len(frame))
+}
+
+func (e *hostEnv) ChannelBusy() (bool, error)           { return false, nil }
+func (e *hostEnv) Deliver(m loramesher.Message)         { e.msgs = append(e.msgs, m) }
+func (e *hostEnv) StreamDone(ev loramesher.StreamEvent) { e.events = append(e.events, ev) }
+func (e *hostEnv) Rand() float64                        { return e.rng.Float64() }
+
+var _ loramesher.Env = (*hostEnv)(nil)
+
+func newHost() *hostEnv {
+	return &hostEnv{
+		now: time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC),
+		rng: rand.New(rand.NewSource(1)),
+	}
+}
+
+func TestPublicNodeConstruction(t *testing.T) {
+	env := newHost()
+	n, err := loramesher.NewNode(loramesher.Config{
+		Address:     0x0042,
+		Role:        loramesher.RoleSink,
+		HelloPeriod: time.Minute,
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Address() != 0x0042 {
+		t.Errorf("address = %v", n.Address())
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.timers) == 0 {
+		t.Error("Start scheduled no timers")
+	}
+	// Error surface is re-exported.
+	if err := n.Send(0x0099, []byte("x")); !errors.Is(err, loramesher.ErrNoRoute) {
+		t.Errorf("Send without route = %v, want ErrNoRoute", err)
+	}
+	n.Stop()
+	if err := n.Send(0x0099, []byte("x")); !errors.Is(err, loramesher.ErrStopped) {
+		t.Errorf("Send after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestPublicPHYHelpers(t *testing.T) {
+	phy := loramesher.DefaultPHY()
+	if phy.SpreadingFactor != loramesher.SF7 || phy.Bandwidth != loramesher.BW125 {
+		t.Errorf("default PHY = %+v", phy)
+	}
+	air, err := phy.Airtime(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if air <= 0 {
+		t.Error("airtime not positive")
+	}
+	for _, sf := range []loramesher.SpreadingFactor{
+		loramesher.SF8, loramesher.SF9, loramesher.SF10, loramesher.SF11, loramesher.SF12,
+	} {
+		p := phy
+		p.SpreadingFactor = sf
+		a2, err := p.Airtime(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a2 <= air {
+			t.Errorf("%v airtime %v not above previous %v", sf, a2, air)
+		}
+		air = a2
+	}
+}
+
+func TestPublicRoutingInspection(t *testing.T) {
+	env := newHost()
+	n, err := loramesher.NewNode(loramesher.Config{
+		Address: 1,
+		Routing: loramesher.RoutingConfig{EntryTTL: time.Minute},
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Table().Len(); got != 0 {
+		t.Errorf("fresh table has %d routes", got)
+	}
+	var entries []loramesher.RouteEntry = n.Table().Entries()
+	if len(entries) != 0 {
+		t.Errorf("fresh table entries = %v", entries)
+	}
+	if loramesher.Broadcast != 0xFFFF {
+		t.Errorf("Broadcast = %x", loramesher.Broadcast)
+	}
+}
