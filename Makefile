@@ -1,0 +1,10 @@
+.PHONY: check test bench
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...

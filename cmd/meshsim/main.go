@@ -8,6 +8,8 @@
 //	meshsim -topology random -n 12 -duration 2h -traffic sink
 //	meshsim -topology grid -n 9 -protocol flooding -traffic pairs
 //	meshsim -trace 50                         # show the last 50 events
+//	meshsim -trace-out events.jsonl           # stream every event as JSONL
+//	meshsim -trace-packet 9c4f...a1           # reconstruct one packet's journey
 package main
 
 import (
@@ -22,27 +24,52 @@ import (
 	"repro/internal/energy"
 	"repro/internal/geo"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/loramesher"
 )
 
+// options collects everything a run needs; flags map onto it 1:1.
+type options struct {
+	topology string
+	n        int
+	spacing  float64
+	protocol string
+	duration time.Duration
+	traffic  string
+	interval time.Duration
+	hello    time.Duration
+	seed     int64
+	traceN   int
+	shadow   float64
+	topoFile string
+	saveTopo string
+	// traceOut streams every trace event to this file as JSONL ("-" for
+	// stdout); packetdump -events reads the format back.
+	traceOut string
+	// tracePacket, a 16-hex-digit trace ID, prints that packet's
+	// reconstructed hop-by-hop journey after the run.
+	tracePacket string
+}
+
 func main() {
-	var (
-		topology = flag.String("topology", "line", "line | grid | star | random")
-		n        = flag.Int("n", 5, "number of nodes")
-		spacing  = flag.Float64("spacing", 8000, "node spacing / radius in meters")
-		protocol = flag.String("protocol", "mesher", "mesher | flooding | reactive")
-		duration = flag.Duration("duration", time.Hour, "simulated duration after convergence")
-		traffic  = flag.String("traffic", "pairs", "none | pairs | sink")
-		interval = flag.Duration("interval", 5*time.Minute, "mean traffic interval per flow")
-		hello    = flag.Duration("hello", 2*time.Minute, "HELLO beacon period")
-		seed     = flag.Int64("seed", 1, "random seed")
-		traceN   = flag.Int("trace", 0, "print the last N trace events")
-		shadow   = flag.Float64("shadow", 0, "log-normal shadowing sigma in dB")
-		topoFile = flag.String("topo", "", "load node positions from a topology JSON file (overrides -topology)")
-		saveTopo = flag.String("save-topo", "", "save the generated topology to a JSON file and continue")
-	)
+	var o options
+	flag.StringVar(&o.topology, "topology", "line", "line | grid | star | random")
+	flag.IntVar(&o.n, "n", 5, "number of nodes")
+	flag.Float64Var(&o.spacing, "spacing", 8000, "node spacing / radius in meters")
+	flag.StringVar(&o.protocol, "protocol", "mesher", "mesher | flooding | reactive")
+	flag.DurationVar(&o.duration, "duration", time.Hour, "simulated duration after convergence")
+	flag.StringVar(&o.traffic, "traffic", "pairs", "none | pairs | sink")
+	flag.DurationVar(&o.interval, "interval", 5*time.Minute, "mean traffic interval per flow")
+	flag.DurationVar(&o.hello, "hello", 2*time.Minute, "HELLO beacon period")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.traceN, "trace", 0, "print the last N trace events")
+	flag.Float64Var(&o.shadow, "shadow", 0, "log-normal shadowing sigma in dB")
+	flag.StringVar(&o.topoFile, "topo", "", "load node positions from a topology JSON file (overrides -topology)")
+	flag.StringVar(&o.saveTopo, "save-topo", "", "save the generated topology to a JSON file and continue")
+	flag.StringVar(&o.traceOut, "trace-out", "", "stream all trace events to this file as JSONL (\"-\" for stdout)")
+	flag.StringVar(&o.tracePacket, "trace-packet", "", "print the hop-by-hop journey of the packet with this trace ID")
 	flag.Parse()
-	if err := run(*topology, *n, *spacing, *protocol, *duration, *traffic, *interval, *hello, *seed, *traceN, *shadow, *topoFile, *saveTopo); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -68,34 +95,37 @@ func buildTopology(kind string, n int, spacing float64, seed int64) (*geo.Topolo
 	}
 }
 
-func run(topology string, n int, spacing float64, protocol string, duration time.Duration,
-	traffic string, interval, hello time.Duration, seed int64, traceN int, shadow float64,
-	topoFile, saveTopo string) error {
-
+func run(w io.Writer, o options) error {
 	var topo *geo.Topology
 	var err error
-	if topoFile != "" {
-		topo, err = geo.LoadFile(topoFile)
+	if o.topoFile != "" {
+		topo, err = geo.LoadFile(o.topoFile)
 	} else {
-		topo, err = buildTopology(topology, n, spacing, seed)
+		topo, err = buildTopology(o.topology, o.n, o.spacing, o.seed)
 	}
 	if err != nil {
 		return err
 	}
-	if saveTopo != "" {
-		if err := topo.SaveFile(saveTopo); err != nil {
+	if o.saveTopo != "" {
+		if err := topo.SaveFile(o.saveTopo); err != nil {
 			return err
 		}
-		fmt.Printf("topology saved to %s\n", saveTopo)
+		fmt.Fprintf(w, "topology saved to %s\n", o.saveTopo)
+	}
+	var wantID trace.TraceID
+	if o.tracePacket != "" {
+		if wantID, err = trace.ParseTraceID(o.tracePacket); err != nil {
+			return err
+		}
 	}
 	cfg := netsim.Config{
 		Topology: topo,
-		Seed:     seed,
-		Node:     loramesher.Config{HelloPeriod: hello},
+		Seed:     o.seed,
+		Node:     loramesher.Config{HelloPeriod: o.hello},
 		Flood:    baseline.Config{},
 	}
-	cfg.Medium.ShadowSigmaDB = shadow
-	switch protocol {
+	cfg.Medium.ShadowSigmaDB = o.shadow
+	switch o.protocol {
 	case "mesher":
 		cfg.Protocol = netsim.KindMesher
 	case "flooding":
@@ -103,36 +133,53 @@ func run(topology string, n int, spacing float64, protocol string, duration time
 	case "reactive":
 		cfg.Protocol = netsim.KindReactive
 	default:
-		return fmt.Errorf("unknown protocol %q", protocol)
+		return fmt.Errorf("unknown protocol %q", o.protocol)
 	}
-	if traceN > 0 {
-		cfg.TraceCapacity = traceN
+	if o.traceN > 0 {
+		cfg.TraceCapacity = o.traceN
+	}
+	if cfg.TraceCapacity == 0 && (o.traceOut != "" || o.tracePacket != "") {
+		// Tracing is implied; the sink sees everything regardless of the
+		// ring size, and journeys need a reasonable window.
+		cfg.TraceCapacity = 4096
 	}
 	sim, err := netsim.New(cfg)
 	if err != nil {
 		return err
 	}
+	if o.traceOut != "" {
+		sinkW := w
+		if o.traceOut != "-" {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sinkW = f
+		}
+		sim.Tracer.SetSink(sinkW)
+	}
 
-	fmt.Printf("topology %s: %d nodes\n", topo.Name, topo.N())
-	printMap(os.Stdout, topo)
-	fmt.Println()
+	fmt.Fprintf(w, "topology %s: %d nodes\n", topo.Name, topo.N())
+	printMap(w, topo)
+	fmt.Fprintln(w)
 
 	if cfg.Protocol == netsim.KindMesher {
 		conv, ok := sim.TimeToConvergence(10*time.Second, 12*time.Hour)
 		if !ok {
 			return fmt.Errorf("mesh did not converge in 12 h — check density vs radio range")
 		}
-		fmt.Printf("mesh converged in %v\n\n", conv.Round(time.Second))
+		fmt.Fprintf(w, "mesh converged in %v\n\n", conv.Round(time.Second))
 	}
 
 	var stats []*netsim.TrafficStats
-	switch traffic {
+	switch o.traffic {
 	case "none":
 	case "pairs":
 		for i := 0; i < sim.N(); i++ {
 			st, err := sim.StartFlow(netsim.Flow{
 				From: i, To: (i + sim.N()/2) % sim.N(), Payload: 24,
-				Interval: interval, Poisson: true,
+				Interval: o.interval, Poisson: true,
 			})
 			if err != nil {
 				return err
@@ -140,27 +187,27 @@ func run(topology string, n int, spacing float64, protocol string, duration time
 			stats = append(stats, st)
 		}
 	case "sink":
-		all, err := sim.StartManyToOne(0, 24, interval, true)
+		all, err := sim.StartManyToOne(0, 24, o.interval, true)
 		if err != nil {
 			return err
 		}
 		stats = all
 	default:
-		return fmt.Errorf("unknown traffic pattern %q", traffic)
+		return fmt.Errorf("unknown traffic pattern %q", o.traffic)
 	}
 
-	sim.Run(duration)
+	sim.Run(o.duration)
 
 	if len(stats) > 0 {
 		total := netsim.MergeStats(stats)
-		fmt.Printf("traffic (%s, mean interval %v) over %v:\n", traffic, interval, duration)
-		fmt.Printf("  offered %d  delivered %d  PDR %.1f%%  mean latency %v\n\n",
+		fmt.Fprintf(w, "traffic (%s, mean interval %v) over %v:\n", o.traffic, o.interval, o.duration)
+		fmt.Fprintf(w, "  offered %d  delivered %d  PDR %.1f%%  mean latency %v\n\n",
 			total.Offered, total.Delivered, 100*total.DeliveryRatio(),
 			total.MeanLatency().Round(time.Millisecond))
 	}
 
-	fmt.Println("per-node summary:")
-	fmt.Println("  node   tx      rx      fwd     routes  airtime     mean mA  life@3000mAh")
+	fmt.Fprintln(w, "per-node summary:")
+	fmt.Fprintln(w, "  node   tx      rx      fwd     routes  airtime     mean mA  life@3000mAh")
 	report, _ := sim.EnergyReport(energy.DefaultProfile(), 3000)
 	for i := 0; i < sim.N(); i++ {
 		h := sim.Handle(i)
@@ -175,20 +222,46 @@ func run(topology string, n int, spacing float64, protocol string, duration time
 			ma = fmt.Sprintf("%.1f", report[i].MeanCurrentMA)
 			life = fmt.Sprintf("%.1fd", report[i].BatteryLife.Hours()/24)
 		}
-		fmt.Printf("  %v   %-6d  %-6d  %-6d  %-6s  %-10v  %-7s  %s\n", h.Addr,
+		fmt.Fprintf(w, "  %v   %-6d  %-6d  %-6d  %-6s  %-10v  %-7s  %s\n", h.Addr,
 			m.Counter("tx.frames").Value(), m.Counter("rx.frames").Value(),
 			m.Counter("fwd.frames").Value(), routes, air.Round(time.Millisecond), ma, life)
 	}
 
 	ms := sim.Medium.Stats()
-	fmt.Printf("\nchannel: %d frames sent, %d receptions, %d lost to collisions, %d below sensitivity\n",
+	fmt.Fprintf(w, "\nchannel: %d frames sent, %d receptions, %d lost to collisions, %d below sensitivity\n",
 		ms.FramesSent, ms.FramesDelivered, ms.LostCollision, ms.LostBelowSensitivity)
 
-	if traceN > 0 && sim.Tracer != nil {
-		fmt.Printf("\nlast %d events:\n", traceN)
-		if _, err := sim.Tracer.WriteTo(os.Stdout); err != nil {
+	if o.traceN > 0 && sim.Tracer != nil {
+		fmt.Fprintf(w, "\nlast %d events:\n", o.traceN)
+		if _, err := sim.Tracer.WriteTo(w); err != nil {
 			return err
 		}
+	}
+	if o.tracePacket != "" {
+		if err := printJourney(w, sim.Tracer, wantID); err != nil {
+			return err
+		}
+	}
+	if err := sim.Tracer.SinkErr(); err != nil {
+		return fmt.Errorf("trace sink: %w", err)
+	}
+	return nil
+}
+
+// printJourney renders every retained event carrying the trace ID — the
+// packet's hop-by-hop reconstruction, drop reason included.
+func printJourney(w io.Writer, t *trace.Tracer, id trace.TraceID) error {
+	journey := trace.Filter(t.Events(), id)
+	fmt.Fprintf(w, "\npacket %v journey (%d events):\n", id, len(journey))
+	if len(journey) == 0 {
+		fmt.Fprintln(w, "  no retained events carry this trace ID; raise -trace or use -trace-out and packetdump -events")
+		return nil
+	}
+	for _, ev := range journey {
+		fmt.Fprintf(w, "  %v\n", ev)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "  (ring evicted %d earlier events; the journey may be truncated)\n", d)
 	}
 	return nil
 }

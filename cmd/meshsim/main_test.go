@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestBuildTopologyKinds(t *testing.T) {
@@ -39,20 +44,115 @@ func TestPrintMapRendersEveryNode(t *testing.T) {
 	}
 }
 
+// opts returns a tiny base scenario; tests tweak what they need.
+func opts() options {
+	return options{
+		topology: "line", n: 3, spacing: 8000, protocol: "mesher",
+		duration: 600e9, traffic: "pairs", interval: 300e9, hello: 120e9,
+		seed: 1,
+	}
+}
+
 func TestRunSmoke(t *testing.T) {
-	// End-to-end CLI logic on a tiny scenario (output goes to stdout;
-	// correctness is "no error").
-	err := run("line", 3, 8000, "mesher", 600e9, "pairs", 300e9, 120e9, 1, 0, 0, "", "")
+	// End-to-end CLI logic on a tiny scenario (correctness is "no error").
+	var out bytes.Buffer
+	if err := run(&out, opts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per-node summary") {
+		t.Error("report missing per-node summary")
+	}
+	o := opts()
+	o.protocol, o.duration, o.traffic = "flooding", 60e9, "none"
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	o = opts()
+	o.protocol, o.duration = "reactive", 60e9
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	o = opts()
+	o.traffic = "bogus"
+	if err := run(&out, o); err == nil {
+		t.Error("bogus traffic pattern: want error")
+	}
+}
+
+func TestRunTraceOutEmitsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	o := opts()
+	o.traceOut = path
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("line", 3, 8000, "flooding", 60e9, "none", 300e9, 120e9, 1, 0, 0, "", ""); err != nil {
+	defer f.Close()
+	evs, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("trace-out is not valid JSONL: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace-out captured nothing")
+	}
+	// Traffic ran, so some events must be tied to packets.
+	var traced int
+	for _, ev := range evs {
+		if ev.Trace != 0 {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Error("no event carries a trace ID")
+	}
+}
+
+func TestRunTracePacketPrintsJourney(t *testing.T) {
+	// First run with a sink to discover a real trace ID...
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	o := opts()
+	o.traceOut = path
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("line", 3, 8000, "reactive", 60e9, "pairs", 300e9, 120e9, 1, 0, 0, "", ""); err != nil {
+	f, err := os.Open(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("line", 3, 8000, "mesher", 60e9, "bogus", 300e9, 120e9, 1, 0, 0, "", ""); err == nil {
-		t.Error("bogus traffic pattern: want error")
+	evs, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id trace.TraceID
+	for _, ev := range evs {
+		if ev.Trace != 0 {
+			id = ev.Trace
+			break
+		}
+	}
+	if id == 0 {
+		t.Fatal("no traced packet in the run")
+	}
+	// ...then re-run the same seed asking for that packet's journey.
+	o = opts()
+	o.tracePacket = id.String()
+	out.Reset()
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "journey") || !strings.Contains(report, id.String()) {
+		t.Errorf("report missing the packet journey:\n%s", report)
+	}
+
+	o.tracePacket = "not-hex"
+	if err := run(&out, o); err == nil {
+		t.Error("malformed trace ID: want error")
 	}
 }

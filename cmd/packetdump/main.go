@@ -9,6 +9,12 @@
 //	    1234 metric 1 default
 //
 // Frames can also be piped on stdin, one hex string per line.
+//
+// With -events it instead reads a JSONL trace stream (as written by
+// meshsim -trace-out), pretty-printing each event with optional filters:
+//
+//	$ packetdump -events events.jsonl -trace 9c4f21aa03b7e5d1
+//	$ meshsim -trace-out - | packetdump -events - -kind drop -node 0003
 package main
 
 import (
@@ -22,11 +28,34 @@ import (
 
 	"repro/internal/loraphy"
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 func main() {
 	sf := flag.Int("sf", 7, "spreading factor for airtime annotation (7-12)")
+	events := flag.String("events", "", "read a JSONL trace stream from this file (\"-\" for stdin) instead of hex frames")
+	traceID := flag.String("trace", "", "with -events: only events for this trace ID (the packet's journey)")
+	kind := flag.String("kind", "", "with -events: only events of this kind (tx, rx, drop, route, app, stream, failure)")
+	node := flag.String("node", "", "with -events: only events from this node address")
 	flag.Parse()
+
+	if *events != "" {
+		r := os.Stdin
+		if *events != "-" {
+			f, err := os.Open(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "packetdump: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		if err := dumpEvents(os.Stdout, r, *traceID, *kind, *node); err != nil {
+			fmt.Fprintf(os.Stderr, "packetdump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	params := loraphy.DefaultParams()
 	params.SpreadingFactor = loraphy.SpreadingFactor(*sf)
@@ -59,6 +88,39 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// dumpEvents pretty-prints a JSONL trace stream, keeping only events that
+// pass every given filter (empty filters pass everything).
+func dumpEvents(w io.Writer, r io.Reader, traceID, kind, node string) error {
+	var wantID trace.TraceID
+	if traceID != "" {
+		id, err := trace.ParseTraceID(traceID)
+		if err != nil {
+			return err
+		}
+		wantID = id
+	}
+	evs, err := trace.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, ev := range evs {
+		if wantID != 0 && ev.Trace != wantID {
+			continue
+		}
+		if kind != "" && string(ev.Kind) != kind {
+			continue
+		}
+		if node != "" && ev.Node != node {
+			continue
+		}
+		fmt.Fprintln(w, ev)
+		shown++
+	}
+	fmt.Fprintf(w, "%d of %d events\n", shown, len(evs))
+	return nil
 }
 
 // dump decodes one hex frame and writes its description.

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/loraphy"
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 func encodeHex(t *testing.T, p *packet.Packet) string {
@@ -83,5 +87,58 @@ func TestPreviewPayload(t *testing.T) {
 	}
 	if got := previewPayload(long); !strings.HasSuffix(got, "...") {
 		t.Errorf("long preview not truncated: %s", got)
+	}
+}
+
+func TestDumpEvents(t *testing.T) {
+	// Build a small stream the way meshsim's sink would.
+	tr := trace.New(16)
+	var jsonl bytes.Buffer
+	tr.SetSink(&jsonl)
+	at := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	id := trace.TraceID(0x9c4f21aa03b7e5d1)
+	tr.EmitPacket(at, "0001", trace.KindTx, id, "tx DATA")
+	tr.EmitPacket(at.Add(time.Second), "0002", trace.KindRx, id, "rx DATA")
+	tr.EmitPacket(at.Add(2*time.Second), "0002", trace.KindDrop, id, "drop: no route")
+	tr.Emit(at.Add(3*time.Second), "0003", trace.KindTx, "unrelated beacon")
+
+	run := func(traceID, kind, node string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := dumpEvents(&out, bytes.NewReader(jsonl.Bytes()), traceID, kind, node); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+
+	all := run("", "", "")
+	if !strings.Contains(all, "4 of 4 events") {
+		t.Errorf("unfiltered dump:\n%s", all)
+	}
+	byTrace := run(id.String(), "", "")
+	if !strings.Contains(byTrace, "3 of 4 events") || strings.Contains(byTrace, "unrelated") {
+		t.Errorf("trace filter:\n%s", byTrace)
+	}
+	if !strings.Contains(byTrace, "drop: no route") {
+		t.Error("journey lost its drop reason")
+	}
+	byKind := run("", "drop", "")
+	if !strings.Contains(byKind, "1 of 4 events") {
+		t.Errorf("kind filter:\n%s", byKind)
+	}
+	byNode := run("", "", "0002")
+	if !strings.Contains(byNode, "2 of 4 events") {
+		t.Errorf("node filter:\n%s", byNode)
+	}
+	combined := run(id.String(), "rx", "0002")
+	if !strings.Contains(combined, "1 of 4 events") {
+		t.Errorf("combined filters:\n%s", combined)
+	}
+
+	if err := dumpEvents(io.Discard, bytes.NewReader(jsonl.Bytes()), "zzz", "", ""); err == nil {
+		t.Error("bad trace ID: want error")
+	}
+	if err := dumpEvents(io.Discard, strings.NewReader("{not json}\n"), "", "", ""); err == nil {
+		t.Error("malformed JSONL: want error")
 	}
 }

@@ -17,7 +17,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,18 +32,19 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "", "this node's mesh address (hex, e.g. 0x0001); empty runs the in-process demo")
-		listen = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		peers  = flag.String("peers", "", "comma-separated peer UDP addresses")
-		scale  = flag.Float64("timescale", 1, "protocol time compression")
-		send   = flag.String("send", "", "optional dst:message to send reliably once routed (e.g. 0x0001:hello)")
+		addr    = flag.String("addr", "", "this node's mesh address (hex, e.g. 0x0001); empty runs the in-process demo")
+		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers   = flag.String("peers", "", "comma-separated peer UDP addresses")
+		scale   = flag.Float64("timescale", 1, "protocol time compression")
+		send    = flag.String("send", "", "optional dst:message to send reliably once routed (e.g. 0x0001:hello)")
+		metrics = flag.String("metrics", "", "serve Prometheus /metrics and /healthz on this address (e.g. 127.0.0.1:9100)")
 	)
 	flag.Parse()
 	var err error
 	if *addr == "" {
 		err = demo()
 	} else {
-		err = single(*addr, *listen, *peers, *scale, *send)
+		err = single(*addr, *listen, *peers, *scale, *send, *metrics)
 	}
 	if err != nil {
 		log.SetFlags(0)
@@ -64,17 +67,18 @@ func demo() error {
 	hosts := make([]*udpnet.Host, n)
 	for i := range hosts {
 		h, err := udpnet.Start(udpnet.Config{
-			Listen:    "127.0.0.1:0",
-			Node:      nodeConfig(loramesher.Address(i + 1)),
-			TimeScale: 100,
-			Seed:      int64(i + 1),
+			Listen:      "127.0.0.1:0",
+			Node:        nodeConfig(loramesher.Address(i + 1)),
+			TimeScale:   100,
+			Seed:        int64(i + 1),
+			MetricsAddr: "127.0.0.1:0",
 		})
 		if err != nil {
 			return err
 		}
 		defer h.Close()
 		hosts[i] = h
-		fmt.Printf("  node %v on %v\n", h.MeshAddress(), h.Addr())
+		fmt.Printf("  node %v on %v (metrics http://%s/metrics)\n", h.MeshAddress(), h.Addr(), h.MetricsAddr())
 	}
 	for i := 0; i < n-1; i++ {
 		if err := hosts[i].AddPeer(hosts[i+1].Addr().String()); err != nil {
@@ -109,13 +113,40 @@ func demo() error {
 		return fmt.Errorf("transfer failed: %w", ev.Err)
 	}
 	msg := hosts[n-1].Messages()[0]
-	fmt.Printf("node %v received %q from %v, end-to-end acknowledged\n\nudpmesh demo OK\n",
+	fmt.Printf("node %v received %q from %v, end-to-end acknowledged\n",
 		loramesher.Address(n), msg.Payload, msg.From)
+
+	// Scrape node 0001's live /metrics endpoint — the same lines a
+	// Prometheus server would collect.
+	resp, err := http.Get("http://" + hosts[0].MetricsAddr() + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsample of node 0001's /metrics scrape:\n")
+	shown := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "tx_frames_total") ||
+			strings.HasPrefix(line, "rx_frames_total") ||
+			strings.HasPrefix(line, "fwd_frames_total") ||
+			strings.HasPrefix(line, "dutycycle_utilization") {
+			fmt.Printf("  %s\n", line)
+			shown++
+		}
+	}
+	if shown == 0 {
+		return fmt.Errorf("metrics scrape returned no counters")
+	}
+	fmt.Println("\nudpmesh demo OK")
 	return nil
 }
 
 // single runs one distributed node until interrupted.
-func single(addrHex, listen, peers string, scale float64, send string) error {
+func single(addrHex, listen, peers string, scale float64, send, metricsAddr string) error {
 	a, err := parseAddr(addrHex)
 	if err != nil {
 		return err
@@ -125,16 +156,20 @@ func single(addrHex, listen, peers string, scale float64, send string) error {
 		peerList = strings.Split(peers, ",")
 	}
 	h, err := udpnet.Start(udpnet.Config{
-		Listen:    listen,
-		Peers:     peerList,
-		Node:      nodeConfig(a),
-		TimeScale: scale,
+		Listen:      listen,
+		Peers:       peerList,
+		Node:        nodeConfig(a),
+		TimeScale:   scale,
+		MetricsAddr: metricsAddr,
 	})
 	if err != nil {
 		return err
 	}
 	defer h.Close()
 	fmt.Printf("node %v listening on %v, %d peers\n", a, h.Addr(), len(peerList))
+	if h.MetricsAddr() != "" {
+		fmt.Printf("metrics on http://%s/metrics (health on /healthz)\n", h.MetricsAddr())
+	}
 
 	var sendDst loramesher.Address
 	var sendMsg string

@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/routing"
+	"repro/internal/trace"
 )
 
 // Env is the node's view of its host. Implementations serialize all calls
@@ -150,6 +151,14 @@ type Config struct {
 	// remembered to break transient routing loops (the wire format has
 	// no TTL field). Zero means 1500 ms; negative disables.
 	DedupHorizon time.Duration
+	// Tracer, when set, receives per-packet causal events — origin,
+	// per-hop tx/rx, forwarding decisions, delivery, and every drop with
+	// its reason — keyed by the packet's trace ID, plus host-agnostic
+	// protocol events. Nil disables tracing; emission costs one nil
+	// check. The same tracer works under the deterministic simulator and
+	// the live runtimes because the node only stamps events with
+	// Env.Now.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -257,6 +266,10 @@ type dutyRegulator interface {
 	Record(now time.Time, airtime time.Duration)
 	NextAllowed(now time.Time, airtime time.Duration) (time.Time, error)
 	LifetimeAirtime() time.Duration
+	// Utilization is the fraction of the rolling airtime budget consumed
+	// at now (0 when unregulated); it feeds the dutycycle.utilization
+	// gauge.
+	Utilization(now time.Time) float64
 }
 
 // unlimitedDuty disables regulation.
@@ -268,6 +281,7 @@ func (u *unlimitedDuty) NextAllowed(now time.Time, _ time.Duration) (time.Time, 
 	return now, nil
 }
 func (u *unlimitedDuty) LifetimeAirtime() time.Duration { return u.lifetime }
+func (*unlimitedDuty) Utilization(time.Time) float64    { return 0 }
 
 // NewNode creates a node. The env must outlive the node.
 func NewNode(cfg Config, env Env) (*Node, error) {
@@ -293,7 +307,39 @@ func NewNode(cfg Config, env Env) (*Node, error) {
 		return nil, err
 	}
 	n.duty = duty
+	n.preRegisterInstruments()
 	return n, nil
+}
+
+// preRegisterInstruments creates the node's core instrument set up front,
+// so a /metrics scrape (or a dashboard) sees a stable schema from boot —
+// a drop counter that reads 0 is very different from one that does not
+// exist yet.
+func (n *Node) preRegisterInstruments() {
+	for _, c := range []string{
+		"tx.frames", "tx.bytes", "rx.frames", "fwd.frames",
+		"app.sent", "app.delivered",
+		"drop.noroute", "drop.duplicate", "drop.queue_full",
+		"drop.dutycycle", "drop.marshal", "drop.txerror",
+		"dutycycle.deferrals",
+	} {
+		n.reg.Counter(c)
+	}
+	n.reg.Gauge("queue.depth")
+	n.reg.Gauge("routes.count")
+	n.reg.Gauge("dutycycle.utilization")
+	n.reg.Histogram("tx.airtime_ms")
+	n.reg.Histogram("queue.wait_ms")
+}
+
+// tracePacket emits a causal event about p, stamped with p's trace ID.
+// It is a no-op without a configured tracer.
+func (n *Node) tracePacket(kind trace.Kind, p *packet.Packet, format string, args ...any) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	n.cfg.Tracer.EmitPacket(n.env.Now(), n.cfg.Address.String(), kind,
+		trace.TraceID(p.TraceID()), format, args...)
 }
 
 // Address returns the node's mesh address.

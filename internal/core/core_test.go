@@ -226,8 +226,8 @@ func TestQueueFullRejectsDataKeepsHello(t *testing.T) {
 	}
 	hasHello := false
 	for _, lvl := range n.queue.levels {
-		for _, p := range lvl {
-			if p.Type == packet.TypeHello {
+		for _, e := range lvl {
+			if e.p.Type == packet.TypeHello {
 				hasHello = true
 			}
 		}

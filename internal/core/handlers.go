@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 // RxInfo carries link-quality measurements for a received frame.
@@ -41,6 +42,7 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 		n.reg.Counter("rx.overheard").Inc()
 		return
 	}
+	n.tracePacket(trace.KindRx, p, "rx %v %v->%v snr=%.1f", p.Type, p.Src, p.Dst, info.SNRDB)
 	if p.Dst == n.cfg.Address {
 		n.consume(p)
 		return
@@ -101,6 +103,7 @@ func (n *Node) consume(p *packet.Packet) {
 // deliverData hands a datagram payload to the application.
 func (n *Node) deliverData(p *packet.Packet) {
 	n.reg.Counter("app.delivered").Inc()
+	n.tracePacket(trace.KindApp, p, "delivered %d bytes from %v", len(p.Payload), p.Src)
 	n.env.Deliver(AppMessage{
 		From:    p.Src,
 		To:      p.Dst,
@@ -114,19 +117,23 @@ func (n *Node) forward(p *packet.Packet) {
 	next, ok := n.table.NextHop(p.Dst)
 	if !ok {
 		n.reg.Counter("drop.noroute").Inc()
+		n.tracePacket(trace.KindDrop, p, "drop: no route to %v (forwarding)", p.Dst)
 		return
 	}
 	if n.isDuplicate(p) {
 		n.reg.Counter("drop.duplicate").Inc()
+		n.tracePacket(trace.KindDrop, p, "drop: duplicate within dedup horizon (loop breaker)")
 		return
 	}
 	fwd := p.Clone()
 	fwd.Via = next
 	if err := n.enqueue(fwd); err != nil {
-		// Metrics already counted the drop reason in enqueue.
+		// Metrics and the tracer already recorded the drop reason in
+		// enqueue.
 		return
 	}
 	n.reg.Counter("fwd.frames").Inc()
+	n.tracePacket(trace.KindRoute, fwd, "forward %v->%v via %v", fwd.Src, fwd.Dst, next)
 }
 
 // isDuplicate remembers routed-packet fingerprints for DedupHorizon and
@@ -162,6 +169,7 @@ func (n *Node) route(p *packet.Packet) error {
 	next, ok := n.table.NextHop(p.Dst)
 	if !ok {
 		n.reg.Counter("drop.noroute").Inc()
+		n.tracePacket(trace.KindDrop, p, "drop: no route to %v (origin)", p.Dst)
 		return fmt.Errorf("%w: %v", ErrNoRoute, p.Dst)
 	}
 	p.Via = next
@@ -211,6 +219,7 @@ func (n *Node) Send(dst packet.Address, payload []byte) error {
 		Type:    packet.TypeData,
 		Payload: append([]byte(nil), payload...),
 	}
+	n.tracePacket(trace.KindApp, p, "origin %d bytes -> %v", len(payload), dst)
 	if err := n.route(p); err != nil {
 		return err
 	}

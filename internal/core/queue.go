@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 // priority orders packets in the transmit queue: routing control first
@@ -31,9 +31,16 @@ func priorityFor(t packet.Type) priority {
 	}
 }
 
+// queued is one packet waiting to transmit, stamped with its enqueue time
+// so the queue.wait_ms histogram can measure head-of-line delay.
+type queued struct {
+	p  *packet.Packet
+	at time.Time
+}
+
 // txQueue is a fixed-capacity, three-level priority FIFO.
 type txQueue struct {
-	levels [prioLevels][]*packet.Packet
+	levels [prioLevels][]queued
 	size   int
 	cap    int
 }
@@ -47,7 +54,7 @@ func (q *txQueue) len() int { return q.size }
 // push enqueues p, rejecting when full. Routing packets may evict the
 // newest data packet when full: a mesh that stops beaconing under load
 // loses all routes, which is strictly worse than losing one datagram.
-func (q *txQueue) push(p *packet.Packet) error {
+func (q *txQueue) push(p *packet.Packet, at time.Time) error {
 	prio := priorityFor(p.Type)
 	if q.size >= q.cap {
 		if prio != prioRouting {
@@ -58,7 +65,7 @@ func (q *txQueue) push(p *packet.Packet) error {
 		}
 	}
 	idx := int(prio) - 1
-	q.levels[idx] = append(q.levels[idx], p)
+	q.levels[idx] = append(q.levels[idx], queued{p: p, at: at})
 	q.size++
 	return nil
 }
@@ -70,7 +77,7 @@ func (q *txQueue) evictNewestData() bool {
 	if len(lvl) == 0 {
 		return false
 	}
-	lvl[len(lvl)-1] = nil
+	lvl[len(lvl)-1] = queued{}
 	q.levels[idx] = lvl[:len(lvl)-1]
 	q.size--
 	return true
@@ -80,24 +87,24 @@ func (q *txQueue) evictNewestData() bool {
 func (q *txQueue) peek() (*packet.Packet, bool) {
 	for i := range q.levels {
 		if len(q.levels[i]) > 0 {
-			return q.levels[i][0], true
+			return q.levels[i][0].p, true
 		}
 	}
 	return nil, false
 }
 
-// pop removes and returns the next packet.
-func (q *txQueue) pop() (*packet.Packet, bool) {
+// pop removes and returns the next packet along with its enqueue time.
+func (q *txQueue) pop() (*packet.Packet, time.Time, bool) {
 	for i := range q.levels {
 		if len(q.levels[i]) > 0 {
-			p := q.levels[i][0]
-			q.levels[i][0] = nil
+			e := q.levels[i][0]
+			q.levels[i][0] = queued{}
 			q.levels[i] = q.levels[i][1:]
 			q.size--
-			return p, true
+			return e.p, e.at, true
 		}
 	}
-	return nil, false
+	return nil, time.Time{}, false
 }
 
 // enqueue validates, queues, and pumps a packet assembled by the node.
@@ -108,8 +115,11 @@ func (n *Node) enqueue(p *packet.Packet) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	if err := n.queue.push(p); err != nil {
+	if err := n.queue.push(p, n.env.Now()); err != nil {
 		n.reg.Counter("drop.queue_full").Inc()
+		if p.Type != packet.TypeHello {
+			n.tracePacket(trace.KindDrop, p, "drop: queue full (%d queued)", n.queue.len())
+		}
 		return err
 	}
 	n.reg.Gauge("queue.depth").Set(float64(n.queue.len()))
@@ -155,6 +165,7 @@ func (n *Node) transmitHead() {
 		// drop it, and keep the queue moving.
 		n.queue.pop()
 		n.reg.Counter("drop.marshal").Inc()
+		n.tracePacket(trace.KindDrop, head, "drop: marshal failed: %v", err)
 		n.pump(0)
 		return
 	}
@@ -162,6 +173,7 @@ func (n *Node) transmitHead() {
 	if err != nil {
 		n.queue.pop()
 		n.reg.Counter("drop.marshal").Inc()
+		n.tracePacket(trace.KindDrop, head, "drop: airtime rejected: %v", err)
 		n.pump(0)
 		return
 	}
@@ -173,10 +185,12 @@ func (n *Node) transmitHead() {
 			// be sent legally.
 			n.queue.pop()
 			n.reg.Counter("drop.dutycycle").Inc()
+			n.tracePacket(trace.KindDrop, head, "drop: frame airtime %v exceeds whole duty budget", airtime)
 			n.pump(0)
 			return
 		}
 		n.reg.Counter("dutycycle.deferrals").Inc()
+		n.reg.Gauge("dutycycle.utilization").Set(n.duty.Utilization(now))
 		n.pump(at.Sub(now) + time.Millisecond)
 		return
 	}
@@ -191,10 +205,11 @@ func (n *Node) transmitHead() {
 		}
 		n.cadTries = 0
 	}
-	n.queue.pop()
+	_, enqueuedAt, _ := n.queue.pop()
 	n.reg.Gauge("queue.depth").Set(float64(n.queue.len()))
 	if _, err := n.env.Transmit(frame); err != nil {
 		n.reg.Counter("drop.txerror").Inc()
+		n.tracePacket(trace.KindDrop, head, "drop: radio transmit error: %v", err)
 		n.pump(0)
 		return
 	}
@@ -203,6 +218,15 @@ func (n *Node) transmitHead() {
 	n.reg.Counter("tx.frames").Inc()
 	n.reg.Counter("tx.type." + head.Type.String()).Inc()
 	n.reg.Counter("tx.bytes").Add(uint64(len(frame)))
+	n.reg.Histogram("tx.airtime_ms").ObserveDuration(airtime)
+	if !enqueuedAt.IsZero() {
+		n.reg.Histogram("queue.wait_ms").ObserveDuration(now.Sub(enqueuedAt))
+	}
+	n.reg.Gauge("dutycycle.utilization").Set(n.duty.Utilization(now))
+	if head.Type != packet.TypeHello {
+		n.tracePacket(trace.KindTx, head, "tx %v %v->%v via %v, %d bytes, airtime %v",
+			head.Type, head.Src, head.Dst, head.Via, len(frame), airtime)
+	}
 }
 
 // HandleTxDone is called by the host when the node's transmission ends.
@@ -221,20 +245,7 @@ func (n *Node) HandleTxDone() {
 	n.pump(time.Duration((0.5 + n.env.Rand()) * float64(gap)))
 }
 
-// fingerprint hashes a routed packet's end-to-end identity (everything but
-// the hop-local via field) for the forwarding loop-breaker.
-func fingerprint(p *packet.Packet) uint64 {
-	h := fnv.New64a()
-	var hdr [8]byte
-	hdr[0] = byte(p.Dst >> 8)
-	hdr[1] = byte(p.Dst)
-	hdr[2] = byte(p.Src >> 8)
-	hdr[3] = byte(p.Src)
-	hdr[4] = byte(p.Type)
-	hdr[5] = p.SeqID
-	hdr[6] = byte(p.Number >> 8)
-	hdr[7] = byte(p.Number)
-	h.Write(hdr[:])
-	h.Write(p.Payload)
-	return h.Sum64()
-}
+// fingerprint is a routed packet's end-to-end identity (everything but
+// the hop-local via field) for the forwarding loop-breaker — the same
+// hash that serves as the packet's trace ID.
+func fingerprint(p *packet.Packet) uint64 { return p.TraceID() }

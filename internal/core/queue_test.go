@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/packet"
 )
@@ -17,22 +18,22 @@ func mkPacket(typ packet.Type, tag byte) *packet.Packet {
 func TestTxQueuePriorityOrder(t *testing.T) {
 	q := newTxQueue(16)
 	// Enqueue low priority first.
-	if err := q.push(mkPacket(packet.TypeData, 1)); err != nil {
+	if err := q.push(mkPacket(packet.TypeData, 1), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.push(mkPacket(packet.TypeAck, 2)); err != nil {
+	if err := q.push(mkPacket(packet.TypeAck, 2), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.push(mkPacket(packet.TypeHello, 3)); err != nil {
+	if err := q.push(mkPacket(packet.TypeHello, 3), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.push(mkPacket(packet.TypeData, 4)); err != nil {
+	if err := q.push(mkPacket(packet.TypeData, 4), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	wantOrder := []packet.Type{packet.TypeHello, packet.TypeAck, packet.TypeData, packet.TypeData}
 	wantTags := []byte{3, 2, 1, 4} // FIFO within a priority level
 	for i, want := range wantOrder {
-		p, ok := q.pop()
+		p, _, ok := q.pop()
 		if !ok {
 			t.Fatalf("queue empty at %d", i)
 		}
@@ -40,14 +41,14 @@ func TestTxQueuePriorityOrder(t *testing.T) {
 			t.Errorf("pop %d = %v tag %d, want %v tag %d", i, p.Type, p.Payload[0], want, wantTags[i])
 		}
 	}
-	if _, ok := q.pop(); ok {
+	if _, _, ok := q.pop(); ok {
 		t.Error("pop on empty queue returned a packet")
 	}
 }
 
 func TestTxQueuePeekDoesNotRemove(t *testing.T) {
 	q := newTxQueue(4)
-	if err := q.push(mkPacket(packet.TypeData, 7)); err != nil {
+	if err := q.push(mkPacket(packet.TypeData, 7), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	p1, ok1 := q.peek()
@@ -60,38 +61,50 @@ func TestTxQueuePeekDoesNotRemove(t *testing.T) {
 	}
 }
 
+func TestTxQueuePopReturnsEnqueueTime(t *testing.T) {
+	q := newTxQueue(4)
+	at := time.Date(2022, 5, 10, 12, 0, 0, 0, time.UTC)
+	if err := q.push(mkPacket(packet.TypeData, 1), at); err != nil {
+		t.Fatal(err)
+	}
+	_, got, ok := q.pop()
+	if !ok || !got.Equal(at) {
+		t.Errorf("pop enqueue time = %v, want %v", got, at)
+	}
+}
+
 func TestTxQueueCapacityAndEviction(t *testing.T) {
 	q := newTxQueue(3)
 	for i := 0; i < 3; i++ {
-		if err := q.push(mkPacket(packet.TypeData, byte(i))); err != nil {
+		if err := q.push(mkPacket(packet.TypeData, byte(i)), time.Time{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Data beyond capacity is rejected.
-	if err := q.push(mkPacket(packet.TypeData, 9)); err == nil {
+	if err := q.push(mkPacket(packet.TypeData, 9), time.Time{}); err == nil {
 		t.Error("overfull data push: want error")
 	}
 	// Control (non-routing) beyond capacity is rejected too.
-	if err := q.push(mkPacket(packet.TypeAck, 9)); err == nil {
+	if err := q.push(mkPacket(packet.TypeAck, 9), time.Time{}); err == nil {
 		t.Error("overfull control push: want error")
 	}
 	// A HELLO evicts the newest data packet.
-	if err := q.push(mkPacket(packet.TypeHello, 9)); err != nil {
+	if err := q.push(mkPacket(packet.TypeHello, 9), time.Time{}); err != nil {
 		t.Fatalf("hello should evict data: %v", err)
 	}
 	if q.len() != 3 {
 		t.Errorf("len = %d after eviction, want 3", q.len())
 	}
 	// First out is the hello, then data 0, 1 (data 2 was evicted).
-	p, _ := q.pop()
+	p, _, _ := q.pop()
 	if p.Type != packet.TypeHello {
 		t.Errorf("head = %v, want HELLO", p.Type)
 	}
-	p, _ = q.pop()
+	p, _, _ = q.pop()
 	if p.Payload[0] != 0 {
 		t.Errorf("second = tag %d, want 0", p.Payload[0])
 	}
-	p, _ = q.pop()
+	p, _, _ = q.pop()
 	if p.Payload[0] != 1 {
 		t.Errorf("third = tag %d, want 1 (tag 2 evicted)", p.Payload[0])
 	}
@@ -99,15 +112,15 @@ func TestTxQueueCapacityAndEviction(t *testing.T) {
 
 func TestTxQueueHelloCannotEvictControl(t *testing.T) {
 	q := newTxQueue(2)
-	if err := q.push(mkPacket(packet.TypeAck, 1)); err != nil {
+	if err := q.push(mkPacket(packet.TypeAck, 1), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.push(mkPacket(packet.TypeSync, 2)); err != nil {
+	if err := q.push(mkPacket(packet.TypeSync, 2), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	// Queue full of control packets: even a HELLO is refused rather than
 	// dropping stream control.
-	if err := q.push(mkPacket(packet.TypeHello, 3)); err == nil {
+	if err := q.push(mkPacket(packet.TypeHello, 3), time.Time{}); err == nil {
 		t.Error("hello evicted stream control: want error")
 	}
 }
@@ -127,7 +140,7 @@ func TestHelloPagination(t *testing.T) {
 	n.sendHello()
 	var frames []*packet.Packet
 	for {
-		p, ok := n.queue.pop()
+		p, _, ok := n.queue.pop()
 		if !ok {
 			break
 		}

@@ -15,12 +15,15 @@ package livenet
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/loraphy"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 )
 
@@ -40,6 +43,12 @@ type Config struct {
 	// MailboxDepth bounds each node's pending-event queue. Zero means
 	// 256.
 	MailboxDepth int
+	// MetricsAddr, when non-empty, serves Prometheus-format metrics on
+	// that TCP address: GET /metrics exposes every node's registry under
+	// node_<addr>_* plus network totals under mesh_*, and GET /healthz
+	// answers with a JSON liveness summary. Use "127.0.0.1:0" to let the
+	// kernel pick a free port (see Net.MetricsAddr).
+	MetricsAddr string
 }
 
 // Net is a running live network.
@@ -56,6 +65,9 @@ type Net struct {
 
 	// onAir counts in-flight transmissions for ChannelBusy.
 	onAir atomic.Int64
+
+	metricsLis net.Listener
+	metricsSrv *http.Server
 }
 
 // Handle is one live node.
@@ -83,13 +95,63 @@ func New(cfg Config) (*Net, error) {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 256
 	}
-	return &Net{
+	n := &Net{
 		cfg:    cfg,
 		start:  time.Now(),
 		phy:    cfg.Node.EffectivePhy(),
 		byAddr: make(map[packet.Address]*Handle),
 		closed: make(chan struct{}),
-	}, nil
+	}
+	if cfg.MetricsAddr != "" {
+		if err := n.serveMetrics(cfg.MetricsAddr); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// serveMetrics starts the /metrics and /healthz listener.
+func (n *Net) serveMetrics(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("livenet: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(n.AggregateMetrics))
+	mux.Handle("/healthz", metrics.HealthHandler(func() map[string]any {
+		return map[string]any{
+			"status":    "ok",
+			"nodes":     len(n.handles()),
+			"timescale": n.cfg.TimeScale,
+			"uptime":    time.Since(n.start).String(),
+		}
+	}))
+	n.metricsLis = lis
+	n.metricsSrv = &http.Server{Handler: mux}
+	go n.metricsSrv.Serve(lis)
+	return nil
+}
+
+// MetricsAddr returns the metrics listener's address ("" when disabled) —
+// with a ":0" config this is where the kernel actually bound it.
+func (n *Net) MetricsAddr() string {
+	if n.metricsLis == nil {
+		return ""
+	}
+	return n.metricsLis.Addr().String()
+}
+
+// AggregateMetrics merges every node's registry under "node.<addr>." plus
+// network-wide totals under "mesh.". Registries are safe to read while
+// the node loops run, so a scrape never blocks the mesh.
+func (n *Net) AggregateMetrics() *metrics.Registry {
+	agg := metrics.NewRegistry()
+	for _, h := range n.handles() {
+		reg := h.node.Metrics()
+		agg.Merge(fmt.Sprintf("node.%v.", h.addr), reg)
+		agg.Merge("mesh.", reg)
+	}
+	return agg
 }
 
 // wall converts a virtual duration to wall-clock time.
@@ -154,6 +216,9 @@ func (n *Net) Close() {
 	close(n.closed)
 	nodes := append([]*Handle(nil), n.nodes...)
 	n.mu.Unlock()
+	if n.metricsSrv != nil {
+		n.metricsSrv.Close()
+	}
 	n.wg.Wait()
 	for _, h := range nodes {
 		h.node.Stop()

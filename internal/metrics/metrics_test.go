@@ -200,6 +200,117 @@ func TestFormatValue(t *testing.T) {
 	}
 }
 
+// TestRegistryMergeAllKinds covers all three instrument kinds plus the
+// collision cases Merge must get right: merging twice under the same
+// prefix accumulates counters and histogram samples but overwrites
+// gauges, and a prefixed name that collides with an existing instrument
+// folds into it rather than clobbering it.
+func TestRegistryMergeAllKinds(t *testing.T) {
+	parent := NewRegistry()
+	child := NewRegistry()
+	child.Counter("tx").Add(3)
+	child.Gauge("queue").Set(7)
+	child.Histogram("lat").Observe(10)
+	child.Histogram("lat").Observe(20)
+
+	parent.Merge("n1.", child)
+	parent.Merge("n1.", child) // same prefix again
+	snap := parent.Snapshot()
+	if snap["n1.tx"] != 6 {
+		t.Errorf("counter re-merge = %v, want accumulated 6", snap["n1.tx"])
+	}
+	if snap["n1.queue"] != 7 {
+		t.Errorf("gauge re-merge = %v, want overwritten 7", snap["n1.queue"])
+	}
+	if snap["n1.lat.count"] != 4 || snap["n1.lat.mean"] != 15 {
+		t.Errorf("histogram re-merge = %v/%v, want 4 samples mean 15",
+			snap["n1.lat.count"], snap["n1.lat.mean"])
+	}
+
+	// Prefix collision: parent already owns "n2.tx"; merging child under
+	// "n2." must fold into the existing counter.
+	parent.Counter("n2.tx").Add(100)
+	parent.Merge("n2.", child)
+	if got := parent.Counter("n2.tx").Value(); got != 103 {
+		t.Errorf("collision merge = %d, want 103", got)
+	}
+
+	// Empty prefix merges names verbatim.
+	parent.Merge("", child)
+	if got := parent.Counter("tx").Value(); got != 3 {
+		t.Errorf("unprefixed merge = %d, want 3", got)
+	}
+}
+
+// TestSnapshotZeroSampleHistogram: a histogram that exists but has no
+// samples exports only its .count key — no NaN mean/quantiles leak into
+// the flat view.
+func TestSnapshotZeroSampleHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat")
+	snap := r.Snapshot()
+	if got, ok := snap["lat.count"]; !ok || got != 0 {
+		t.Errorf("lat.count = %v, %v; want 0, present", got, ok)
+	}
+	for _, key := range []string{"lat.mean", "lat.p50", "lat.p99", "lat.max"} {
+		if v, ok := snap[key]; ok {
+			t.Errorf("zero-sample histogram leaked %s = %v", key, v)
+		}
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 4000 {
+		t.Errorf("gauge = %v, want 4000 (CAS loop lost updates)", got)
+	}
+}
+
+// mutexCounter is the pre-atomic implementation, kept as the benchmark
+// baseline so the atomic win stays measured.
+type mutexCounter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (c *mutexCounter) Inc() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+func BenchmarkCounterParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter never incremented")
+	}
+}
+
+func BenchmarkMutexCounterParallel(b *testing.B) {
+	var c mutexCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
 func TestRegistryConcurrent(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"tx.frames", "tx_frames"},
+		{"node.0003.queue.depth", "node_0003_queue_depth"},
+		{"already_ok:sub", "already_ok:sub"},
+		{"9lead", "_lead"}, // digits may not lead
+	}
+	for _, tt := range tests {
+		if got := SanitizeName(tt.in); got != tt.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx.frames").Add(42)
+	r.Gauge("queue.depth").Set(3)
+	r.Histogram("latency.ms").Observe(10)
+	r.Histogram("latency.ms").Observe(30)
+	r.Histogram("empty.hist")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tx_frames_total counter",
+		"tx_frames_total 42",
+		"# TYPE queue_depth gauge",
+		"queue_depth 3",
+		"# TYPE latency_ms summary",
+		`latency_ms{quantile="0.5"} 10`,
+		"latency_ms_sum 40",
+		"latency_ms_count 2",
+		"empty_hist_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-sample histograms must not expose quantile samples.
+	if strings.Contains(out, "empty_hist{") {
+		t.Error("zero-sample histogram exposed quantiles")
+	}
+	// Deterministic: a second render is identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestHandlerAndHealth(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rx.frames").Inc()
+	srv := httptest.NewServer(Handler(func() *Registry { return r }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), "rx_frames_total 1") {
+		t.Errorf("scrape missing counter:\n%s", sb.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	hsrv := httptest.NewServer(HealthHandler(func() map[string]any {
+		return map[string]any{"status": "ok", "nodes": 3}
+	}))
+	defer hsrv.Close()
+	hresp, err := http.Get(hsrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hb strings.Builder
+	for {
+		n, err := hresp.Body.Read(buf)
+		hb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(hb.String(), `"status":"ok"`) {
+		t.Errorf("healthz = %s", hb.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/airmedium"
 	"repro/internal/core"
 	"repro/internal/loraphy"
+	"repro/internal/packet"
 	"repro/internal/trace"
 )
 
@@ -77,8 +78,16 @@ func (e *nodeEnv) Rand() float64 { return e.rng.Float64() }
 
 // OnFrame implements airmedium.Receiver.
 func (e *nodeEnv) OnFrame(d airmedium.Delivery) {
-	e.sim.Tracer.Emit(d.At, e.h.Addr.String(), trace.KindRx,
-		"%d bytes rssi=%.1f snr=%.1f", len(d.Data), d.RSSIDBm, d.SNRDB)
+	if e.sim.Tracer.Enabled() {
+		// Decode just enough to tag the medium-level event with the
+		// packet's trace ID; HandleFrame re-parses on its own.
+		var id trace.TraceID
+		if p, err := packet.Unmarshal(d.Data); err == nil {
+			id = trace.TraceID(p.TraceID())
+		}
+		e.sim.Tracer.EmitPacket(d.At, e.h.Addr.String(), trace.KindRx, id,
+			"%d bytes rssi=%.1f snr=%.1f", len(d.Data), d.RSSIDBm, d.SNRDB)
+	}
 	e.h.Proto.HandleFrame(d.Data, core.RxInfo{RSSIDBm: d.RSSIDBm, SNRDB: d.SNRDB})
 }
 

@@ -123,6 +123,10 @@ type Sim struct {
 
 	handles []*Handle
 	rng     *rand.Rand
+	// reg holds simulation-level instruments that no single node can
+	// compute, e.g. end-to-end delivery latency (send-to-deliver in
+	// virtual time, observed by StartFlow).
+	reg *metrics.Registry
 }
 
 // New builds and starts a simulation: all nodes are placed, started, and
@@ -158,6 +162,7 @@ func New(cfg Config) (*Sim, error) {
 		Sched:  sched,
 		Medium: medium,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		reg:    metrics.NewRegistry(),
 	}
 	if cfg.TraceCapacity > 0 {
 		s.Tracer = trace.New(cfg.TraceCapacity)
@@ -173,6 +178,7 @@ func New(cfg Config) (*Sim, error) {
 		case KindMesher:
 			nc := cfg.Node
 			nc.Address = addr
+			nc.Tracer = s.Tracer
 			if cfg.NodeOverride != nil {
 				nc = cfg.NodeOverride(i, nc)
 				nc.Address = addr // the override must not break addressing
@@ -321,14 +327,20 @@ func (s *Sim) TimeToConvergence(step, max time.Duration) (time.Duration, bool) {
 	return s.RunUntil(s.Converged, step, max)
 }
 
-// AggregateMetrics merges every node's registry under "node.<addr>." and
-// returns network-wide totals under "total.".
+// Metrics returns the simulation-level registry (end-to-end latency and
+// flow counters that no single node can observe).
+func (s *Sim) Metrics() *metrics.Registry { return s.reg }
+
+// AggregateMetrics merges every node's registry under "node.<addr>.",
+// network-wide totals under "total.", and the simulation-level registry
+// under "sim.".
 func (s *Sim) AggregateMetrics() *metrics.Registry {
 	agg := metrics.NewRegistry()
 	for _, h := range s.handles {
 		agg.Merge(fmt.Sprintf("node.%v.", h.Addr), h.Proto.Metrics())
 		agg.Merge("total.", h.Proto.Metrics())
 	}
+	agg.Merge("sim.", s.reg)
 	return agg
 }
 

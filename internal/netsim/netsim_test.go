@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/packet"
 	"repro/internal/routing"
+	"repro/internal/trace"
 )
 
 // fastNode returns a node template with short timers for quick tests.
@@ -596,5 +598,143 @@ func TestInvariantsAllProtocols(t *testing.T) {
 		if err := sim.CheckInvariants(); err != nil {
 			t.Errorf("protocol %d invariants:\n%v", kind, err)
 		}
+	}
+}
+
+// TestPacketTraceRoundTrip is the observability acceptance test: one
+// multi-hop delivery and one drop, streamed through the JSONL sink,
+// re-read, and filtered by trace ID into the packet's reconstructed
+// journey with the drop reason intact.
+func TestPacketTraceRoundTrip(t *testing.T) {
+	topo := mustLine(t, 3, 8000) // adjacent-only links: 0->2 must relay via 1
+	sim, err := New(Config{Topology: topo, Node: fastNode(), Seed: 11, TraceCapacity: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.TimeToConvergence(time.Second, 5*time.Minute); !ok {
+		t.Fatal("no convergence")
+	}
+	var sink bytes.Buffer
+	sim.Tracer.SetSink(&sink)
+
+	// Delivery case: a datagram that must be forwarded by node 0002.
+	payload := []byte("traced payload")
+	if err := sim.Handle(0).Proto.Send(sim.Handle(2).Addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(30 * time.Second)
+	if len(sim.Handle(2).Msgs) != 1 {
+		t.Fatalf("destination got %d messages, want 1", len(sim.Handle(2).Msgs))
+	}
+
+	// Drop case: no route to an address outside the mesh.
+	ghost := sim.Cfg.BaseAddress + 100
+	if err := sim.Handle(0).Proto.Send(ghost, payload); err == nil {
+		t.Fatal("send to unrouted address should fail")
+	}
+
+	// The trace ID is recomputed from the packet's hop-invariant fields —
+	// exactly what every hop derived on its own.
+	wantID := trace.TraceID((&packet.Packet{
+		Dst: sim.Handle(2).Addr, Src: sim.Handle(0).Addr,
+		Type: packet.TypeData, Payload: payload,
+	}).TraceID())
+
+	evs, err := trace.ReadJSONL(&sink)
+	if err != nil {
+		t.Fatalf("sink JSONL did not round-trip: %v", err)
+	}
+	journey := trace.Filter(evs, wantID)
+	if len(journey) == 0 {
+		t.Fatal("no events carry the delivery trace ID")
+	}
+	type hop struct {
+		node string
+		kind trace.Kind
+		sub  string
+	}
+	for _, want := range []hop{
+		{"0001", trace.KindApp, "origin"},
+		{"0001", trace.KindTx, "tx DATA"},
+		{"0002", trace.KindRx, "rx DATA"},
+		{"0002", trace.KindRoute, "forward"},
+		{"0002", trace.KindTx, "tx DATA"},
+		{"0003", trace.KindRx, "rx DATA"},
+		{"0003", trace.KindApp, "delivered"},
+	} {
+		found := false
+		for _, ev := range journey {
+			if ev.Node == want.node && ev.Kind == want.kind && strings.Contains(ev.Detail, want.sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("journey missing %s %s %q:\n%v", want.node, want.kind, want.sub, journey)
+		}
+	}
+	// Journeys are chronological as filtered.
+	for i := 1; i < len(journey); i++ {
+		if journey[i].At.Before(journey[i-1].At) {
+			t.Fatal("journey events out of order")
+		}
+	}
+
+	// The dropped packet's journey ends at the origin with the reason.
+	dropID := trace.TraceID((&packet.Packet{
+		Dst: ghost, Src: sim.Handle(0).Addr,
+		Type: packet.TypeData, Payload: payload,
+	}).TraceID())
+	dropJourney := trace.Filter(evs, dropID)
+	if len(dropJourney) == 0 {
+		t.Fatal("no events carry the drop trace ID")
+	}
+	last := dropJourney[len(dropJourney)-1]
+	if last.Kind != trace.KindDrop || !strings.Contains(last.Detail, "no route") {
+		t.Errorf("drop journey ends with %v %q, want drop with no-route reason", last.Kind, last.Detail)
+	}
+
+	// The in-memory ring agrees with what the sink streamed.
+	ringJourney := trace.Filter(sim.Tracer.Events(), wantID)
+	if len(ringJourney) != len(journey) {
+		t.Errorf("ring has %d journey events, sink %d", len(ringJourney), len(journey))
+	}
+}
+
+// TestSimLevelMetrics: StartFlow feeds the simulation-level registry, and
+// AggregateMetrics exposes it under the sim. prefix.
+func TestSimLevelMetrics(t *testing.T) {
+	topo := mustLine(t, 3, 1500)
+	sim, err := New(Config{Topology: topo, Node: fastNode(), Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.TimeToConvergence(time.Second, 5*time.Minute); !ok {
+		t.Fatal("no convergence")
+	}
+	stats, err := sim.StartFlow(Flow{From: 0, To: 2, Payload: 16, Interval: 20 * time.Second, Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(5 * time.Minute)
+	if stats.Delivered == 0 {
+		t.Fatal("flow delivered nothing")
+	}
+	snap := sim.AggregateMetrics().Snapshot()
+	if got := snap["sim.flows.offered"]; got != float64(stats.Offered) {
+		t.Errorf("sim.flows.offered = %v, want %d", got, stats.Offered)
+	}
+	if got := snap["sim.flows.delivered"]; got != float64(stats.Delivered) {
+		t.Errorf("sim.flows.delivered = %v, want %d", got, stats.Delivered)
+	}
+	if got := snap["sim.e2e.latency_ms.count"]; got != float64(stats.Delivered) {
+		t.Errorf("sim.e2e.latency_ms.count = %v, want %d", got, stats.Delivered)
+	}
+	if snap["sim.e2e.latency_ms.mean"] <= 0 {
+		t.Error("e2e latency histogram has no positive mean")
+	}
+	// Node-level duty-cycle gauge flows through aggregation too.
+	if _, ok := snap["node.0001.dutycycle.utilization"]; !ok {
+		t.Error("aggregate missing node duty-cycle utilization gauge")
 	}
 }

@@ -86,7 +86,10 @@ func (s *Sim) StartFlow(f Flow) (*TrafficStats, error) {
 		}
 		delete(sentAt, tag)
 		stats.Delivered++
-		stats.Latencies = append(stats.Latencies, msg.At.Sub(at))
+		lat := msg.At.Sub(at)
+		stats.Latencies = append(stats.Latencies, lat)
+		s.reg.Counter("flows.delivered").Inc()
+		s.reg.Histogram("e2e.latency_ms").ObserveDuration(lat)
 	}
 
 	var fire func()
@@ -112,8 +115,10 @@ func (s *Sim) StartFlow(f Flow) (*TrafficStats, error) {
 		payload[0], payload[1], payload[2], payload[3] =
 			byte(tag>>24), byte(tag>>16), byte(tag>>8), byte(tag)
 		stats.Offered++
+		s.reg.Counter("flows.offered").Inc()
 		if err := src.Proto.Send(dst.Addr, payload); err == nil {
 			stats.Accepted++
+			s.reg.Counter("flows.accepted").Inc()
 			sentAt[tag] = s.Sched.Now()
 		}
 		if f.Count == 0 || stats.Offered < f.Count {

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 )
 
 // Address is a 16-bit mesh node address.
@@ -248,6 +249,26 @@ func Unmarshal(buf []byte) (*Packet, error) {
 	}
 	p.Payload = buf[off:]
 	return p, nil
+}
+
+// TraceID hashes the packet's end-to-end identity — every field except
+// the hop-local Via — into a stable 64-bit ID. Because the hashed fields
+// are invariant along the path, every node that handles the packet
+// computes the same ID with no wire-format change; it keys per-packet
+// causal tracing and the forwarding loop-breaker. Two packets with
+// identical (src, dst, type, seqID, number, payload) share an ID, which
+// is exactly the dedup property forwarding wants.
+func (p *Packet) TraceID() uint64 {
+	h := fnv.New64a()
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(p.Dst))
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(p.Src))
+	hdr[4] = byte(p.Type)
+	hdr[5] = p.SeqID
+	binary.BigEndian.PutUint16(hdr[6:8], p.Number)
+	h.Write(hdr[:])
+	h.Write(p.Payload)
+	return h.Sum64()
 }
 
 // Clone returns a deep copy of p, including the payload. Forwarding rewrites

@@ -1,12 +1,23 @@
 // Package trace records structured simulation events (PHY, routing, app)
-// for debugging and for the CLI's timeline rendering. The tracer is a
-// bounded ring: long simulations keep the most recent events instead of
-// growing without bound.
+// for debugging, for the CLI's timeline rendering, and for per-packet
+// causal tracing: events that concern a specific datagram carry the
+// packet's trace ID, so a packet's full hop-by-hop journey — origin,
+// per-hop transmissions, forwarding decisions, and the eventual delivery
+// or drop reason — can be reconstructed by filtering on that ID.
+//
+// The tracer is a bounded ring: long simulations keep the most recent
+// events instead of growing without bound. An optional sink receives
+// every event as one JSON line the moment it is emitted, so a full
+// unbounded record can be streamed to a file (see SetSink) while the ring
+// stays small.
 package trace
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -25,16 +36,75 @@ const (
 	KindFailure Kind = "failure"
 )
 
+// TraceID identifies one datagram end to end. It is derived from the
+// packet's hop-invariant fields (see packet.Packet.TraceID), so every
+// node on the path computes the same ID without any wire-format change.
+// Zero means "not tied to a packet".
+type TraceID uint64
+
+// String renders the ID as 16 lowercase hex digits, the form accepted by
+// ParseTraceID and by the meshsim/packetdump -trace flags.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseTraceID parses the hex form produced by TraceID.String (an
+// optional 0x prefix is accepted).
+func ParseTraceID(s string) (TraceID, error) {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		s = s[2:]
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad trace ID %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
 // Event is one recorded occurrence.
 type Event struct {
-	At     time.Time
-	Node   string
-	Kind   Kind
+	At   time.Time
+	Node string
+	Kind Kind
+	// Trace ties the event to a specific datagram; zero for events that
+	// are not about one packet (beacons of state, failures, moves).
+	Trace  TraceID
 	Detail string
 }
 
 func (e Event) String() string {
+	if e.Trace != 0 {
+		return fmt.Sprintf("%s %-6s %-8s [%v] %s",
+			e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Trace, e.Detail)
+	}
 	return fmt.Sprintf("%s %-6s %-8s %s", e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Detail)
+}
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	At     time.Time `json:"at"`
+	Node   string    `json:"node"`
+	Kind   string    `json:"kind"`
+	Trace  string    `json:"trace,omitempty"`
+	Detail string    `json:"detail"`
+}
+
+func (e Event) toJSON() jsonEvent {
+	j := jsonEvent{At: e.At, Node: e.Node, Kind: string(e.Kind), Detail: e.Detail}
+	if e.Trace != 0 {
+		j.Trace = e.Trace.String()
+	}
+	return j
+}
+
+func (j jsonEvent) toEvent() (Event, error) {
+	e := Event{At: j.At, Node: j.Node, Kind: Kind(j.Kind), Detail: j.Detail}
+	if j.Trace != "" {
+		id, err := ParseTraceID(j.Trace)
+		if err != nil {
+			return Event{}, err
+		}
+		e.Trace = id
+	}
+	return e, nil
 }
 
 // Tracer collects events. It is safe for concurrent use. The zero value is
@@ -46,6 +116,9 @@ type Tracer struct {
 	events  []Event
 	dropped uint64
 	start   int // ring start index once full
+
+	sink    io.Writer
+	sinkErr error
 }
 
 // New returns a tracer retaining at most max events (the most recent win).
@@ -57,9 +130,39 @@ func New(max int) *Tracer {
 	return &Tracer{enabled: true, max: max}
 }
 
-// Emit records an event. On a nil or disabled tracer it is a no-op, so
-// call sites need no guards.
+// SetSink streams every subsequently emitted event to w as one JSON line,
+// in addition to the ring. The sink sees all events regardless of ring
+// capacity. Writes happen under the tracer's lock in emission order; the
+// first write error disables the sink (see SinkErr).
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = w
+	t.sinkErr = nil
+	t.mu.Unlock()
+}
+
+// SinkErr returns the write error that disabled the sink, if any.
+func (t *Tracer) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Emit records an event not tied to one packet. On a nil or disabled
+// tracer it is a no-op, so call sites need no guards.
 func (t *Tracer) Emit(at time.Time, node string, kind Kind, format string, args ...any) {
+	t.EmitPacket(at, node, kind, 0, format, args...)
+}
+
+// EmitPacket records an event about the datagram identified by id. A zero
+// id degrades to a plain event. On a nil or disabled tracer it is a no-op.
+func (t *Tracer) EmitPacket(at time.Time, node string, kind Kind, id TraceID, format string, args ...any) {
 	if t == nil {
 		return
 	}
@@ -68,7 +171,15 @@ func (t *Tracer) Emit(at time.Time, node string, kind Kind, format string, args 
 	if !t.enabled {
 		return
 	}
-	ev := Event{At: at, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	ev := Event{At: at, Node: node, Kind: kind, Trace: id, Detail: fmt.Sprintf(format, args...)}
+	if t.sink != nil && t.sinkErr == nil {
+		if b, err := json.Marshal(ev.toJSON()); err == nil {
+			b = append(b, '\n')
+			if _, werr := t.sink.Write(b); werr != nil {
+				t.sinkErr = werr
+			}
+		}
+	}
 	if len(t.events) < t.max {
 		t.events = append(t.events, ev)
 		return
@@ -76,6 +187,18 @@ func (t *Tracer) Emit(at time.Time, node string, kind Kind, format string, args 
 	t.events[t.start] = ev
 	t.start = (t.start + 1) % t.max
 	t.dropped++
+}
+
+// Enabled reports whether the tracer records events; callers use it to
+// skip building event context (e.g. decoding a frame for its trace ID)
+// when tracing is off.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
 }
 
 // Events returns the retained events in chronological order.
@@ -91,7 +214,10 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
-// Dropped returns how many events were evicted from the ring.
+// Dropped returns how many events were evicted from the ring. Eviction
+// only starts once the ring has filled to capacity: a tracer that never
+// wraps reports zero, however many events it recorded. Events streamed to
+// a sink are never counted as dropped — the sink saw them.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
@@ -112,4 +238,57 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return n, nil
+}
+
+// WriteJSONL writes the retained events to w, one JSON object per line —
+// the same schema the sink streams and ReadJSONL parses.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev.toJSON()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL event stream produced by WriteJSONL or a sink.
+// Blank lines are skipped; a malformed line fails with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var j jsonEvent
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		ev, err := j.toEvent()
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Filter returns the events carrying the given trace ID, preserving
+// order — the packet's reconstructed journey.
+func Filter(evs []Event, id TraceID) []Event {
+	var out []Event
+	for _, ev := range evs {
+		if ev.Trace == id {
+			out = append(out, ev)
+		}
+	}
+	return out
 }

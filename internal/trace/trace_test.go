@@ -92,3 +92,157 @@ func TestConcurrentEmit(t *testing.T) {
 		t.Errorf("dropped = %d, want %d", got, 800-128)
 	}
 }
+
+// TestRingWraparoundOrderUnderConcurrency hammers a tiny ring from many
+// goroutines (run under -race via scripts/check.sh), then verifies the
+// ring invariants: exactly max events retained, returned in
+// non-decreasing timestamp order, and Dropped counting only post-fill
+// evictions.
+func TestRingWraparoundOrderUnderConcurrency(t *testing.T) {
+	const ring = 7
+	const workers, per = 4, 50
+	tr := New(ring)
+	var mu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				// Monotone timestamps across goroutines: the ring's
+				// chronological contract is per-emission order.
+				mu.Lock()
+				seq := next
+				next++
+				at := t0.Add(time.Duration(seq) * time.Millisecond)
+				tr.Emit(at, "n", KindApp, "%d", seq)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != ring {
+		t.Fatalf("retained %d, want %d", len(evs), ring)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At.Before(evs[i-1].At) {
+			t.Fatalf("events out of order at %d: %v after %v", i, evs[i].At, evs[i-1].At)
+		}
+	}
+	total := workers * per
+	if got := tr.Dropped(); got != uint64(total-ring) {
+		t.Errorf("dropped = %d, want %d (eviction starts once the ring is full)", got, total-ring)
+	}
+	// A ring that never fills evicts nothing.
+	small := New(64)
+	for i := 0; i < 10; i++ {
+		small.Emit(t0, "n", KindApp, "x")
+	}
+	if got := small.Dropped(); got != 0 {
+		t.Errorf("unfilled ring dropped = %d, want 0", got)
+	}
+}
+
+func TestTraceIDString(t *testing.T) {
+	id := TraceID(0xdeadbeef)
+	if id.String() != "00000000deadbeef" {
+		t.Errorf("String() = %q", id.String())
+	}
+	for _, in := range []string{"00000000deadbeef", "0xdeadbeef", "DEADBEEF"} {
+		got, err := ParseTraceID(in)
+		if err != nil || got != id {
+			t.Errorf("ParseTraceID(%q) = %v, %v, want %v", in, got, err, id)
+		}
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Error("ParseTraceID on garbage: want error")
+	}
+	if !strings.Contains(Event{At: t0, Node: "a", Kind: KindTx, Trace: id, Detail: "d"}.String(), id.String()) {
+		t.Error("Event.String() missing trace ID")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(16)
+	tr.EmitPacket(t0, "0001", KindTx, 0xabc, "frame out")
+	tr.Emit(t0.Add(time.Second), "0002", KindFailure, "node killed")
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("round-tripped %d events, want 2", len(evs))
+	}
+	if evs[0].Trace != 0xabc || evs[0].Kind != KindTx || evs[0].Detail != "frame out" {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if !evs[0].At.Equal(t0) {
+		t.Errorf("timestamp drifted: %v != %v", evs[0].At, t0)
+	}
+	if evs[1].Trace != 0 || evs[1].Kind != KindFailure {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{bogus\n")); err == nil {
+		t.Error("malformed line: want error")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error %v missing line number", err)
+	}
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Errorf("blank lines = %v, %v; want empty, nil", evs, err)
+	}
+}
+
+func TestSinkStreamsBeyondRingCapacity(t *testing.T) {
+	tr := New(2)
+	var sb strings.Builder
+	tr.SetSink(&sb)
+	for i := 0; i < 5; i++ {
+		tr.EmitPacket(t0.Add(time.Duration(i)*time.Second), "n", KindTx, TraceID(i+1), "f%d", i)
+	}
+	evs, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("sink captured %d events, want all 5 despite ring of 2", len(evs))
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Errorf("ring retained %d, want 2", got)
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Errorf("sink error = %v", err)
+	}
+}
+
+func TestFilterReconstructsJourney(t *testing.T) {
+	tr := New(32)
+	const id TraceID = 0x42
+	tr.EmitPacket(t0, "0001", KindApp, id, "origin")
+	tr.EmitPacket(t0.Add(time.Second), "0001", KindTx, id, "tx hop 1")
+	tr.Emit(t0.Add(time.Second), "0002", KindRoute, "unrelated")
+	tr.EmitPacket(t0.Add(2*time.Second), "0002", KindRx, id, "rx hop 2")
+	tr.EmitPacket(t0.Add(3*time.Second), "0002", KindDrop, id, "no route")
+	journey := Filter(tr.Events(), id)
+	if len(journey) != 4 {
+		t.Fatalf("journey has %d events, want 4", len(journey))
+	}
+	wantNodes := []string{"0001", "0001", "0002", "0002"}
+	for i, ev := range journey {
+		if ev.Node != wantNodes[i] {
+			t.Errorf("journey[%d].Node = %s, want %s", i, ev.Node, wantNodes[i])
+		}
+	}
+	if journey[3].Kind != KindDrop {
+		t.Errorf("journey end = %v, want drop", journey[3].Kind)
+	}
+}

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/loraphy"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 )
 
@@ -43,6 +45,10 @@ type Config struct {
 	// DropRate injects random frame loss on reception, for exercising
 	// the ARQ over real sockets. Must be in [0, 1).
 	DropRate float64
+	// MetricsAddr, when non-empty, serves this host's registry in
+	// Prometheus format at GET /metrics plus a JSON /healthz on that TCP
+	// address ("127.0.0.1:0" picks a free port; see Host.MetricsAddr).
+	MetricsAddr string
 }
 
 // Host is one running UDP mesh node.
@@ -62,6 +68,9 @@ type Host struct {
 	events chan func()
 	closed chan struct{}
 	wg     sync.WaitGroup
+
+	metricsLis net.Listener
+	metricsSrv *http.Server
 }
 
 // Start binds the socket and starts the node.
@@ -108,6 +117,13 @@ func Start(cfg Config) (*Host, error) {
 	}
 	h.node = node
 
+	if cfg.MetricsAddr != "" {
+		if err := h.serveMetrics(cfg.MetricsAddr); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+
 	h.wg.Add(2)
 	go h.loop()
 	go h.readLoop()
@@ -119,6 +135,36 @@ func Start(cfg Config) (*Host, error) {
 		return nil, fmt.Errorf("udpnet: %w", startErr)
 	}
 	return h, nil
+}
+
+// serveMetrics starts the /metrics and /healthz listener.
+func (h *Host) serveMetrics(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(func() *metrics.Registry { return h.node.Metrics() }))
+	mux.Handle("/healthz", metrics.HealthHandler(func() map[string]any {
+		return map[string]any{
+			"status": "ok",
+			"mesh":   h.MeshAddress().String(),
+			"udp":    h.conn.LocalAddr().String(),
+			"uptime": time.Since(h.start).String(),
+		}
+	}))
+	h.metricsLis = lis
+	h.metricsSrv = &http.Server{Handler: mux}
+	go h.metricsSrv.Serve(lis)
+	return nil
+}
+
+// MetricsAddr returns the metrics listener's address ("" when disabled).
+func (h *Host) MetricsAddr() string {
+	if h.metricsLis == nil {
+		return ""
+	}
+	return h.metricsLis.Addr().String()
 }
 
 // Addr returns the bound UDP address.
@@ -156,6 +202,9 @@ func (h *Host) Close() {
 	}
 	close(h.closed)
 	h.mu.Unlock()
+	if h.metricsSrv != nil {
+		h.metricsSrv.Close()
+	}
 	h.conn.Close() // unblocks the read loop
 	h.wg.Wait()
 	h.node.Stop()

@@ -2,6 +2,9 @@ package udpnet
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -137,4 +140,41 @@ func TestUDPValidation(t *testing.T) {
 	}
 	h.Close()
 	h.Close() // idempotent
+}
+
+func TestHostMetricsEndpoint(t *testing.T) {
+	h, err := Start(Config{
+		Listen: "127.0.0.1:0",
+		Node: core.Config{
+			Address:        0x0A,
+			HelloPeriod:    2 * time.Second,
+			DutyCycleLimit: 1,
+			Routing:        routing.Config{EntryTTL: 30 * time.Second},
+		},
+		TimeScale:   200,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.MetricsAddr() == "" {
+		t.Fatal("metrics listener not bound")
+	}
+	// Let at least one beacon go out so counters move.
+	time.Sleep(50 * time.Millisecond)
+	resp, err := http.Get("http://" + h.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tx_frames_total", "dutycycle_utilization"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
 }

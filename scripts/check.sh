@@ -1,0 +1,16 @@
+#!/bin/sh
+# check.sh — the local quality gate: vet, build, full tests, then a race
+# pass over the packages with real concurrency (live harness, metrics
+# instruments, tracer). CI and contributors run exactly this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+echo "==> go build"
+go build ./...
+echo "==> go test"
+go test ./...
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/...
+echo "OK"
