@@ -1,5 +1,5 @@
 // meshbench regenerates the evaluation's tables and figures. Each
-// experiment (E1–E10) and ablation (A1–A5) maps to one table/figure in
+// experiment (E1–E11) and ablation (A1–A5) maps to one table/figure in
 // DESIGN.md's experiment index; EXPERIMENTS.md records the expected
 // shapes.
 //
@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,67 +22,82 @@ import (
 	"repro/internal/experiments"
 )
 
-func main() {
-	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
-	quick := flag.Bool("quick", false, "reduced sweeps and durations")
-	seed := flag.Int64("seed", 1, "random seed")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	format := flag.String("format", "table", "table | csv | json")
-	flag.Parse()
+// options collects everything a run needs; flags map onto it 1:1.
+type options struct {
+	exp    string
+	quick  bool
+	seed   int64
+	list   bool
+	format string
+}
 
-	if *list {
+func main() {
+	var o options
+	flag.StringVar(&o.exp, "exp", "", "comma-separated experiment ids (default: all)")
+	flag.BoolVar(&o.quick, "quick", false, "reduced sweeps and durations")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.BoolVar(&o.list, "list", false, "list experiment ids and exit")
+	flag.StringVar(&o.format, "format", "table", "table | csv | json")
+	flag.Parse()
+	if err := run(os.Stdout, os.Stderr, o); err != nil {
+		fmt.Fprintf(os.Stderr, "meshbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w, ew io.Writer, o options) error {
+	if o.list {
 		for _, s := range experiments.All() {
-			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+			fmt.Fprintf(w, "%-4s %s\n", s.ID, s.Title)
 		}
-		return
+		return nil
 	}
 
 	var specs []experiments.Spec
-	if *exp == "" {
+	if o.exp == "" {
 		specs = experiments.All()
 	} else {
-		for _, id := range strings.Split(*exp, ",") {
+		for _, id := range strings.Split(o.exp, ",") {
 			s, ok := experiments.Find(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q (try -list)\n", id)
-				os.Exit(1)
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
 			}
 			specs = append(specs, s)
 		}
 	}
 
-	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	opt := experiments.Options{Seed: o.seed, Quick: o.quick}
 	failed := 0
 	for _, s := range specs {
 		start := time.Now()
 		res, err := s.Run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "meshbench: %s failed: %v\n", s.ID, err)
+			fmt.Fprintf(ew, "meshbench: %s failed: %v\n", s.ID, err)
 			failed++
 			continue
 		}
 		var werr error
-		switch *format {
+		switch o.format {
 		case "table":
-			_, werr = res.WriteTo(os.Stdout)
+			_, werr = res.WriteTo(w)
 		case "csv":
-			werr = res.WriteCSV(os.Stdout)
+			werr = res.WriteCSV(w)
 		case "json":
-			werr = res.WriteJSON(os.Stdout)
+			werr = res.WriteJSON(w)
 		default:
-			fmt.Fprintf(os.Stderr, "meshbench: unknown format %q\n", *format)
-			os.Exit(1)
+			return fmt.Errorf("unknown format %q", o.format)
 		}
 		if werr != nil {
-			fmt.Fprintf(os.Stderr, "meshbench: writing %s: %v\n", s.ID, werr)
+			fmt.Fprintf(ew, "meshbench: writing %s: %v\n", s.ID, werr)
 			failed++
 			continue
 		}
-		if *format == "table" {
-			fmt.Printf("(%s completed in %v wall time)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+		if o.format == "table" {
+			fmt.Fprintf(w, "(%s completed in %v wall time)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d experiment(s) failed", failed)
 	}
+	return nil
 }

@@ -1,0 +1,247 @@
+// meshgw demonstrates the full store-and-forward bridge on real sockets:
+// it boots an in-process UDP mesh chain, attaches a gateway to the sink
+// node, and drains field telemetry into an uplink backend — the embedded
+// test backend by default, or any external collector via -url.
+//
+// Usage examples:
+//
+//	meshgw                          # 4-node chain, embedded backend
+//	meshgw -n 6 -count 10           # 10 readings per source, then exit
+//	meshgw -url http://host:9000/up # uplink to an external backend
+//	meshgw -spool gw.wal            # durable spool, survives restarts
+//	meshgw -metrics 127.0.0.1:9100  # serve gateway metrics + health
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/udpnet"
+)
+
+// options collects everything a run needs; flags map onto it 1:1.
+type options struct {
+	n         int
+	url       string
+	spool     string
+	batch     int
+	flush     time.Duration
+	interval  time.Duration
+	count     int
+	duration  time.Duration
+	timescale float64
+	hello     time.Duration
+	metrics   string
+	downlink  bool
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.n, "n", 4, "nodes in the chain (node 1 is the sink gateway)")
+	flag.StringVar(&o.url, "url", "", "backend uplink URL (empty: start the embedded backend)")
+	flag.StringVar(&o.spool, "spool", "", "WAL spool path (empty: in-memory only)")
+	flag.IntVar(&o.batch, "batch", 8, "uplink batch size")
+	flag.DurationVar(&o.flush, "flush", 2*time.Second, "uplink flush interval")
+	flag.DurationVar(&o.interval, "interval", time.Second, "reading interval per source node")
+	flag.IntVar(&o.count, "count", 5, "readings per source (0: run for -duration)")
+	flag.DurationVar(&o.duration, "duration", 30*time.Second, "run time when -count is 0; drain timeout otherwise")
+	flag.Float64Var(&o.timescale, "timescale", 50, "protocol time compression")
+	flag.DurationVar(&o.hello, "hello", 2*time.Second, "HELLO beacon period (protocol time)")
+	flag.StringVar(&o.metrics, "metrics", "", "serve gateway /metrics and /healthz on this address")
+	flag.BoolVar(&o.downlink, "downlink", true, "demonstrate a backend->mesh downlink command")
+	flag.Parse()
+	if err := run(os.Stdout, o); err != nil {
+		fmt.Fprintf(os.Stderr, "meshgw: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, o options) error {
+	if o.n < 2 {
+		return fmt.Errorf("need at least 2 nodes, got %d", o.n)
+	}
+
+	// Backend: embedded unless an external URL is given.
+	var backend *gateway.Backend
+	url := o.url
+	if url == "" {
+		backend = gateway.NewBackend()
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: backend}
+		go srv.Serve(lis)
+		defer srv.Close()
+		url = "http://" + lis.Addr().String() + "/uplink"
+		fmt.Fprintf(w, "embedded backend listening on %s\n", url)
+	}
+
+	// The mesh: a chain of UDP hosts on localhost, adjacent peers only,
+	// so traffic from the far end really multi-hops to the sink.
+	hosts := make([]*udpnet.Host, o.n)
+	for i := range hosts {
+		h, err := udpnet.Start(udpnet.Config{
+			Listen: "127.0.0.1:0",
+			Node: core.Config{
+				Address:        packet.Address(i + 1),
+				HelloPeriod:    o.hello,
+				DutyCycleLimit: 1,
+				Routing:        routing.Config{EntryTTL: 15 * o.hello},
+			},
+			TimeScale: o.timescale,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			return err
+		}
+		hosts[i] = h
+		defer h.Close()
+	}
+	for i := 0; i < o.n-1; i++ {
+		if err := hosts[i].AddPeer(hosts[i+1].Addr().String()); err != nil {
+			return err
+		}
+		if err := hosts[i+1].AddPeer(hosts[i].Addr().String()); err != nil {
+			return err
+		}
+	}
+	sink := hosts[0]
+	fmt.Fprintf(w, "mesh: %d-node chain, sink %v at %s\n", o.n, sink.MeshAddress(), sink.Addr())
+
+	// The gateway rides on the sink.
+	g, err := gateway.New(gateway.Config{
+		URL:           url,
+		SpoolPath:     o.spool,
+		BatchSize:     o.batch,
+		FlushInterval: o.flush,
+		RetryBase:     500 * time.Millisecond,
+		RetryMax:      10 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	gateway.AttachHost(sink, g)
+	g.Start()
+	defer g.Close()
+
+	if o.metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(g.Metrics))
+		mux.Handle("/healthz", metrics.HealthHandler(func() map[string]any {
+			return map[string]any{
+				"pending": g.Pending(),
+				"breaker": g.BreakerOpen(),
+			}
+		}))
+		lis, err := net.Listen("tcp", o.metrics)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(lis)
+		defer srv.Close()
+		fmt.Fprintf(w, "gateway metrics on http://%s/metrics\n", lis.Addr())
+	}
+
+	// Wait for routes so the first readings aren't dropped on the floor.
+	deadline := time.Now().Add(o.duration)
+	for {
+		ok := true
+		for _, h := range hosts[1:] {
+			if !h.HasRoute(sink.MeshAddress()) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mesh did not converge within %v", o.duration)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Fprintf(w, "mesh converged; %d sources reporting every %v\n", o.n-1, o.interval)
+
+	// Sources: every non-sink node emits readings toward the sink.
+	stop := make(chan struct{})
+	for idx, h := range hosts[1:] {
+		go func(idx int, h *udpnet.Host) {
+			tick := time.NewTicker(o.interval)
+			defer tick.Stop()
+			for i := 0; o.count == 0 || i < o.count; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				payload := []byte(fmt.Sprintf("node%d reading %d", idx+1, i))
+				if err := h.Send(sink.MeshAddress(), payload); err != nil {
+					fmt.Fprintf(w, "send from %v: %v\n", h.MeshAddress(), err)
+				}
+			}
+		}(idx, h)
+	}
+	defer close(stop)
+
+	// The reverse path: queue a command for the far end of the chain; it
+	// rides back in an uplink response and re-enters the mesh at the sink.
+	far := hosts[o.n-1]
+	if o.downlink && backend != nil {
+		backend.PushDownlink(gateway.Downlink{
+			To: far.MeshAddress(), Payload: []byte("downlink ping"),
+		})
+	}
+
+	// Run: either until every counted reading is uplinked, or for the
+	// fixed duration.
+	want := (o.n - 1) * o.count
+	if o.count > 0 && backend != nil {
+		for backend.Distinct() < want && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		// One more flush window so trailing partial batches depart.
+		time.Sleep(o.flush + 200*time.Millisecond)
+	} else {
+		time.Sleep(time.Until(deadline))
+	}
+
+	// Report.
+	reg := g.Metrics()
+	fmt.Fprintf(w, "\ngateway: offered %d, uplinked %d readings in %d batches, %d failures, pending %d\n",
+		reg.Counter("gw.offered").Value(), reg.Counter("gw.uplink.readings").Value(),
+		reg.Counter("gw.uplink.batches").Value(), reg.Counter("gw.uplink.failures").Value(),
+		g.Pending())
+	if backend != nil {
+		fmt.Fprintf(w, "backend: %d distinct readings, %d duplicates, %d batches\n",
+			backend.Distinct(), backend.Duplicates(), backend.Batches())
+		for _, h := range hosts[1:] {
+			fmt.Fprintf(w, "  from %v: %d readings\n", h.MeshAddress(), len(backend.FromAddr(h.MeshAddress())))
+		}
+		if o.count > 0 && backend.Distinct() < want {
+			return fmt.Errorf("only %d/%d readings uplinked before the deadline", backend.Distinct(), want)
+		}
+	}
+	if o.downlink && backend != nil {
+		got := false
+		for _, m := range far.Messages() {
+			if string(m.Payload) == "downlink ping" {
+				got = true
+				break
+			}
+		}
+		fmt.Fprintf(w, "downlink to %v delivered: %v\n", far.MeshAddress(), got)
+	}
+	return nil
+}

@@ -61,6 +61,12 @@ type AppMessage struct {
 	Payload []byte
 	// Reliable marks payloads that arrived via the stream transport.
 	Reliable bool
+	// Trace is the delivering packet's causal trace ID (for an assembled
+	// multi-chunk stream, a stable ID over the stream's end-to-end
+	// identity and reassembled payload). It doubles as a dedup
+	// fingerprint: re-deliveries of the same reading carry the same ID,
+	// which is what the gateway's exactly-once uplink keys on.
+	Trace trace.TraceID
 	// At is the delivery time.
 	At time.Time
 }

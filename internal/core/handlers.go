@@ -108,6 +108,7 @@ func (n *Node) deliverData(p *packet.Packet) {
 		From:    p.Src,
 		To:      p.Dst,
 		Payload: append([]byte(nil), p.Payload...),
+		Trace:   trace.TraceID(p.TraceID()),
 		At:      n.env.Now(),
 	})
 }

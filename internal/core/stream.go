@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 // Reliable large-payload transport.
@@ -349,6 +350,7 @@ func (n *Node) handleSingle(p *packet.Packet) {
 		To:       p.Dst,
 		Payload:  append([]byte(nil), p.Payload...),
 		Reliable: true,
+		Trace:    trace.TraceID(p.TraceID()),
 		At:       n.env.Now(),
 	})
 	n.sendControl(p.Src, packet.TypeAck, p.SeqID, p.Number)
@@ -439,11 +441,19 @@ func (n *Node) handleChunk(p *packet.Packet) {
 			n.reg.Counter("stream.length_mismatch").Inc()
 		}
 		n.reg.Counter("stream.received").Inc()
+		// A multi-chunk stream has no single delivering packet; derive a
+		// stable end-to-end ID from the stream's identity and reassembled
+		// payload, so every retransmission-path outcome hashes alike.
+		sid := &packet.Packet{
+			Dst: n.cfg.Address, Src: p.Src, Type: packet.TypeSync,
+			SeqID: p.SeqID, Number: uint16(s.total), Payload: payload,
+		}
 		n.env.Deliver(AppMessage{
 			From:     p.Src,
 			To:       n.cfg.Address,
 			Payload:  payload,
 			Reliable: true,
+			Trace:    trace.TraceID(sid.TraceID()),
 			At:       n.env.Now(),
 		})
 	}

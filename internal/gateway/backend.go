@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// Backend is an embedded in-memory uplink collector: an http.Handler
+// speaking the gateway's POST protocol. It exists so every layer of the
+// bridge can be exercised end to end without external infrastructure —
+// cmd/meshgw embeds it behind a flag, examples/sensornet drains field
+// telemetry into it, experiment E11 measures against it, and the tests
+// use its exactly-once bookkeeping (Duplicates) to verify dedup.
+//
+// It also implements the reverse path: downlink commands queued with
+// PushDownlink ride out in the response to the gateway's next uplink
+// POST, and fault injection (FailNext, SetFailing) simulates backend
+// outages so backoff and the circuit breaker can be observed.
+type Backend struct {
+	mu        sync.Mutex
+	readings  []Reading
+	seen      map[trace.TraceID]int // uploads per trace ID (first + dupes)
+	downlinks []Downlink
+	batches   int
+	failNext  int
+	failing   bool
+}
+
+// NewBackend returns an empty collector.
+func NewBackend() *Backend {
+	return &Backend{seen: make(map[trace.TraceID]int)}
+}
+
+// ServeHTTP implements http.Handler for the uplink endpoint.
+func (b *Backend) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	b.mu.Lock()
+	if b.failing || b.failNext > 0 {
+		if b.failNext > 0 {
+			b.failNext--
+		}
+		b.mu.Unlock()
+		http.Error(w, "injected outage", http.StatusServiceUnavailable)
+		return
+	}
+	b.mu.Unlock()
+
+	var ur uplinkRequest
+	if err := json.NewDecoder(req.Body).Decode(&ur); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	b.mu.Lock()
+	accepted := 0
+	for _, r := range ur.Readings {
+		b.seen[r.Trace]++
+		if b.seen[r.Trace] == 1 {
+			b.readings = append(b.readings, r)
+			accepted++
+		}
+	}
+	b.batches++
+	resp := uplinkResponse{Accepted: accepted, Downlinks: b.downlinks}
+	b.downlinks = nil
+	b.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// FailNext makes the next n uplink requests fail with 503.
+func (b *Backend) FailNext(n int) {
+	b.mu.Lock()
+	b.failNext = n
+	b.mu.Unlock()
+}
+
+// SetFailing switches an indefinite outage on or off.
+func (b *Backend) SetFailing(on bool) {
+	b.mu.Lock()
+	b.failing = on
+	b.mu.Unlock()
+}
+
+// PushDownlink queues a command for the mesh; it departs in the response
+// to the next successful uplink POST.
+func (b *Backend) PushDownlink(d Downlink) {
+	b.mu.Lock()
+	b.downlinks = append(b.downlinks, d)
+	b.mu.Unlock()
+}
+
+// Readings returns the distinct readings received, in arrival order.
+func (b *Backend) Readings() []Reading {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Reading(nil), b.readings...)
+}
+
+// Distinct returns how many unique readings (by trace ID) arrived.
+func (b *Backend) Distinct() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.readings)
+}
+
+// Duplicates returns how many redundant uploads arrived — readings whose
+// trace ID had already been accepted. Zero means the gateway achieved
+// exactly-once delivery.
+func (b *Backend) Duplicates() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := 0
+	for _, n := range b.seen {
+		d += n - 1
+	}
+	return d
+}
+
+// Batches returns how many uplink POSTs succeeded.
+func (b *Backend) Batches() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batches
+}
+
+// FromAddr returns the distinct readings originated by a given node.
+func (b *Backend) FromAddr(a packet.Address) []Reading {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Reading
+	for _, r := range b.readings {
+		if r.From == a {
+			out = append(out, r)
+		}
+	}
+	return out
+}

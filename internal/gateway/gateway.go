@@ -1,0 +1,650 @@
+// Package gateway bridges a LoRa mesh to an IP backend: the missing layer
+// between a gateway-less field mesh and the infrastructure that ultimately
+// consumes its data. A Gateway attaches to a sink-role node on any of the
+// repo's mesh runtimes — the deterministic simulator (internal/netsim, via
+// AttachSim), the goroutine-per-node live runtime (internal/livenet), or
+// the UDP socket runtime (internal/udpnet, both via AttachHost) — and
+// store-and-forwards every application delivery to an HTTP backend:
+//
+//   - every mesh delivery is deduplicated by its causal trace ID and
+//     appended to a file-backed WAL spool (see spool.go), so no reading is
+//     lost across a gateway restart;
+//   - an uplinker drains the spool in size- or time-triggered batches over
+//     a plain net/http POST, with exponential backoff plus jitter on
+//     failure and a circuit breaker after consecutive failures;
+//   - the spool is a bounded queue: under sustained backend outage an
+//     explicit drop policy (oldest or newest) decides what gives, and the
+//     decision is counted, never silent;
+//   - the backend's POST responses may carry downlink commands, which the
+//     gateway injects back into the mesh through the node's normal
+//     datagram/reliable API.
+//
+// Every decision — admission, dedup, drop, batch outcome, breaker
+// transition, downlink injection — surfaces through internal/metrics
+// instruments and internal/trace events, so the bridge is as observable
+// as the mesh under it.
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// DropPolicy selects which reading a full spool sacrifices.
+type DropPolicy int
+
+const (
+	// DropOldest evicts the oldest pending reading (default): under
+	// prolonged outage the spool holds the freshest window of data.
+	DropOldest DropPolicy = iota
+	// DropNewest rejects the incoming reading, preserving the backlog in
+	// arrival order.
+	DropNewest
+)
+
+func (p DropPolicy) String() string {
+	if p == DropNewest {
+		return "newest"
+	}
+	return "oldest"
+}
+
+// Reading is one spooled uplink record: an application message the mesh
+// delivered to the gateway node.
+type Reading struct {
+	// From is the originating mesh node.
+	From packet.Address
+	// To is the gateway node's address (or broadcast).
+	To packet.Address
+	// Trace is the reading's end-to-end causal ID — the dedup key.
+	Trace trace.TraceID
+	// Payload is the application data.
+	Payload []byte
+	// Reliable marks readings that arrived via the stream transport.
+	Reliable bool
+	// At is the mesh delivery time (virtual under simulation).
+	At time.Time
+}
+
+// readingJSON is Reading's wire/WAL form: the trace ID travels as the
+// canonical 16-hex-digit string so non-Go backends never face a 64-bit
+// JSON number.
+type readingJSON struct {
+	From     packet.Address `json:"from"`
+	To       packet.Address `json:"to"`
+	Trace    string         `json:"trace"`
+	Payload  []byte         `json:"payload"`
+	Reliable bool           `json:"reliable,omitempty"`
+	At       time.Time      `json:"at"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r Reading) MarshalJSON() ([]byte, error) {
+	return json.Marshal(readingJSON{
+		From: r.From, To: r.To, Trace: r.Trace.String(),
+		Payload: r.Payload, Reliable: r.Reliable, At: r.At,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Reading) UnmarshalJSON(b []byte) error {
+	var j readingJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	id, err := trace.ParseTraceID(j.Trace)
+	if err != nil {
+		return err
+	}
+	*r = Reading{
+		From: j.From, To: j.To, Trace: id,
+		Payload: j.Payload, Reliable: j.Reliable, At: j.At,
+	}
+	return nil
+}
+
+// FromAppMessage converts a mesh delivery into a spoolable reading.
+func FromAppMessage(m core.AppMessage) Reading {
+	return Reading{
+		From:     m.From,
+		To:       m.To,
+		Trace:    m.Trace,
+		Payload:  append([]byte(nil), m.Payload...),
+		Reliable: m.Reliable,
+		At:       m.At,
+	}
+}
+
+// Downlink is one backend→mesh command, returned in uplink responses.
+type Downlink struct {
+	// To is the destination mesh node.
+	To packet.Address `json:"to"`
+	// Payload is the command bytes.
+	Payload []byte `json:"payload"`
+	// Reliable selects the stream transport over a plain datagram.
+	Reliable bool `json:"reliable,omitempty"`
+}
+
+// uplinkRequest is the POST body.
+type uplinkRequest struct {
+	Gateway  packet.Address `json:"gateway"`
+	Readings []Reading      `json:"readings"`
+}
+
+// uplinkResponse is the POST response body.
+type uplinkResponse struct {
+	Accepted  int        `json:"accepted"`
+	Downlinks []Downlink `json:"downlinks,omitempty"`
+}
+
+// Config parameterizes a gateway.
+type Config struct {
+	// URL is the backend uplink endpoint (POST).
+	URL string
+	// Addr is the gateway node's mesh address, stamped on every uplink
+	// request. Attach helpers fill it from the node when zero.
+	Addr packet.Address
+	// SpoolPath is the WAL file backing the spool; empty means a
+	// memory-only spool (no restart durability).
+	SpoolPath string
+	// SpoolCapacity bounds the pending queue. Zero means 1024.
+	SpoolCapacity int
+	// Drop selects the full-spool policy (default DropOldest).
+	Drop DropPolicy
+	// BatchSize is the most readings per POST; reaching it triggers an
+	// immediate flush. Zero means 32.
+	BatchSize int
+	// FlushInterval is the time-triggered flush for partial batches.
+	// Zero means 5 s.
+	FlushInterval time.Duration
+	// RetryBase is the first backoff after a failed POST; it doubles per
+	// consecutive failure. Zero means 500 ms.
+	RetryBase time.Duration
+	// RetryMax caps the backoff. Zero means 1 min.
+	RetryMax time.Duration
+	// BreakerThreshold opens the circuit breaker after that many
+	// consecutive failures. Zero means 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks attempts before
+	// a half-open probe. Zero means 30 s.
+	BreakerCooldown time.Duration
+	// DedupHorizon bounds how many trace IDs the spool remembers for
+	// duplicate suppression. Zero means 8192.
+	DedupHorizon int
+	// Client performs the POSTs. Nil means an http.Client with a 10 s
+	// timeout.
+	Client *http.Client
+	// Tracer, when set, receives gateway events. Nil disables tracing.
+	Tracer *trace.Tracer
+	// Jitter returns a uniform float64 in [0,1) used to decorrelate
+	// retry backoffs across a fleet. Nil means a fixed midpoint (no
+	// jitter, fully deterministic); pass a seeded source for
+	// reproducible jittered runs.
+	Jitter func() float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpoolCapacity <= 0 {
+		c.SpoolCapacity = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 5 * time.Second
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 500 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Minute
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.DedupHorizon <= 0 {
+		c.DedupHorizon = 8192
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Jitter == nil {
+		c.Jitter = func() float64 { return 0.5 }
+	}
+	return c
+}
+
+// Gateway is a store-and-forward bridge instance. Create with New, feed
+// with Offer (usually via AttachSim/AttachHost), and drive either with
+// Start (real time, own goroutine) or Poll (externally clocked — the
+// deterministic simulator). It is safe for concurrent use.
+type Gateway struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu sync.Mutex
+	sp *spool
+	// lastFlush anchors the time-triggered flush.
+	lastFlush time.Time
+	// consecFails drives backoff growth and the breaker.
+	consecFails int
+	nextRetryAt time.Time
+	breakerOpen bool
+	breakerTil  time.Time
+	sender      func(Downlink) error
+	closed      bool
+
+	// kick wakes the real-time loop when a batch fills.
+	kick     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New opens the spool (replaying any WAL) and returns a ready gateway.
+// Nothing uplinks until Start or Poll drives it.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("gateway: config needs a backend URL")
+	}
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:  cfg,
+		reg:  metrics.NewRegistry(),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	g.preRegisterInstruments()
+	sp, err := openSpool(cfg.SpoolPath, cfg.SpoolCapacity, cfg.Drop, cfg.DedupHorizon, g.reg)
+	if err != nil {
+		return nil, err
+	}
+	g.sp = sp
+	if sp.replayed > 0 {
+		g.reg.Counter("gw.spool.replayed").Add(uint64(sp.replayed))
+		g.emit("replayed %d pending readings from %s", sp.replayed, cfg.SpoolPath)
+	}
+	g.reg.Gauge("gw.spool.depth").Set(float64(sp.len()))
+	return g, nil
+}
+
+// preRegisterInstruments creates the gateway's instrument schema up
+// front, mirroring core.Node: a scrape sees stable names from boot.
+func (g *Gateway) preRegisterInstruments() {
+	for _, c := range []string{
+		"gw.offered", "gw.accepted", "gw.drop.duplicate", "gw.drop.oldest",
+		"gw.drop.newest", "gw.drop.walerror",
+		"gw.uplink.batches", "gw.uplink.readings", "gw.uplink.failures",
+		"gw.breaker.opened", "gw.spool.replayed", "gw.spool.compactions",
+		"gw.downlink.received", "gw.downlink.injected", "gw.downlink.errors",
+	} {
+		g.reg.Counter(c)
+	}
+	g.reg.Gauge("gw.spool.depth")
+	g.reg.Gauge("gw.breaker.open")
+	g.reg.Gauge("gw.backoff_ms")
+	g.reg.Histogram("gw.uplink.batch_size")
+	g.reg.Histogram("gw.uplink.rtt_ms")
+	g.reg.Histogram("gw.uplink.age_ms")
+}
+
+// emit records a gateway trace event (no-op without a tracer).
+func (g *Gateway) emit(format string, args ...any) {
+	g.cfg.Tracer.Emit(time.Now(), fmt.Sprintf("gw.%v", g.cfg.Addr), trace.KindGateway, format, args...)
+}
+
+// emitPacket records a gateway trace event tied to one reading.
+func (g *Gateway) emitPacket(id trace.TraceID, format string, args ...any) {
+	g.cfg.Tracer.EmitPacket(time.Now(), fmt.Sprintf("gw.%v", g.cfg.Addr), trace.KindGateway, id, format, args...)
+}
+
+// Metrics exposes the gateway's instrument registry.
+func (g *Gateway) Metrics() *metrics.Registry { return g.reg }
+
+// Addr returns the gateway's mesh address.
+func (g *Gateway) Addr() packet.Address {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.Addr
+}
+
+// setAddr fills the mesh address when the config left it zero (used by
+// the attach helpers).
+func (g *Gateway) setAddr(a packet.Address) {
+	g.mu.Lock()
+	if g.cfg.Addr == 0 {
+		g.cfg.Addr = a
+	}
+	g.mu.Unlock()
+}
+
+// SetSender installs the downlink injector — the function that puts a
+// backend command onto the mesh. Attach helpers wire it to the node's
+// Send/SendReliable.
+func (g *Gateway) SetSender(fn func(Downlink) error) {
+	g.mu.Lock()
+	g.sender = fn
+	g.mu.Unlock()
+}
+
+// Pending returns the number of spooled readings awaiting uplink.
+func (g *Gateway) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sp.len()
+}
+
+// BreakerOpen reports whether the circuit breaker is currently open.
+func (g *Gateway) BreakerOpen() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.breakerOpen
+}
+
+// Offer admits one reading into the spool. It returns true when the
+// reading was admitted, false when it was recognized as a duplicate or
+// rejected by the DropNewest policy. Offer never blocks on the network.
+func (g *Gateway) Offer(r Reading) bool {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return false
+	}
+	g.reg.Counter("gw.offered").Inc()
+	res, evicted, err := g.sp.add(r)
+	depth := g.sp.len()
+	g.mu.Unlock()
+
+	if err != nil {
+		// The reading is queued in memory even when the WAL write
+		// failed; durability degrades, delivery does not.
+		g.reg.Counter("gw.drop.walerror").Inc()
+		g.emit("WAL append failed: %v", err)
+	}
+	g.reg.Gauge("gw.spool.depth").Set(float64(depth))
+	switch res {
+	case addDuplicate:
+		g.reg.Counter("gw.drop.duplicate").Inc()
+		g.emitPacket(r.Trace, "duplicate reading from %v suppressed", r.From)
+		return false
+	case addRejected:
+		g.reg.Counter("gw.drop.newest").Inc()
+		g.emitPacket(r.Trace, "spool full (%d): newest reading from %v dropped", g.cfg.SpoolCapacity, r.From)
+		return false
+	}
+	if evicted != nil {
+		g.reg.Counter("gw.drop.oldest").Inc()
+		g.emitPacket(evicted.Trace, "spool full (%d): oldest reading from %v evicted", g.cfg.SpoolCapacity, evicted.From)
+	}
+	g.reg.Counter("gw.accepted").Inc()
+	g.emitPacket(r.Trace, "spooled %d bytes from %v (depth %d)", len(r.Payload), r.From, depth)
+	if depth >= g.cfg.BatchSize {
+		select {
+		case g.kick <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// OfferMessage converts and admits a mesh delivery.
+func (g *Gateway) OfferMessage(m core.AppMessage) bool { return g.Offer(FromAppMessage(m)) }
+
+// Poll advances the uplinker at the given time: it performs every flush
+// that is due (full batches drain eagerly; a partial batch flushes once
+// FlushInterval has passed; backoff and breaker windows are respected)
+// and returns how long until it next wants to run. Poll is the
+// externally-clocked drive used by the simulator adapter; the real-time
+// loop calls it with time.Now().
+func (g *Gateway) Poll(now time.Time) time.Duration {
+	for {
+		wait, attempt := g.decide(now)
+		if !attempt {
+			return wait
+		}
+		if !g.flushOnce(now) {
+			wait, _ := g.decide(now)
+			return wait
+		}
+	}
+}
+
+// decide reports whether a flush attempt is due at now, or how long to
+// wait otherwise.
+func (g *Gateway) decide(now time.Time) (time.Duration, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return time.Hour, false
+	}
+	if g.lastFlush.IsZero() {
+		g.lastFlush = now
+	}
+	if g.breakerOpen {
+		if now.Before(g.breakerTil) {
+			return g.breakerTil.Sub(now), false
+		}
+		// Half-open: one probe attempt passes straight through — the
+		// breaker supersedes the per-attempt backoff gate.
+	} else if now.Before(g.nextRetryAt) {
+		return g.nextRetryAt.Sub(now), false
+	}
+	pending := g.sp.len()
+	if pending == 0 {
+		g.lastFlush = now
+		return g.cfg.FlushInterval, false
+	}
+	if pending >= g.cfg.BatchSize || now.Sub(g.lastFlush) >= g.cfg.FlushInterval {
+		return 0, true
+	}
+	return g.lastFlush.Add(g.cfg.FlushInterval).Sub(now), false
+}
+
+// flushOnce attempts one batch POST at now and reports success. State
+// (backoff, breaker, spool acks) is updated under the lock; the HTTP
+// round trip itself runs unlocked so Offer never waits on the backend.
+func (g *Gateway) flushOnce(now time.Time) bool {
+	g.mu.Lock()
+	batch := g.sp.peek(g.cfg.BatchSize)
+	addr := g.cfg.Addr
+	halfOpen := g.breakerOpen
+	g.mu.Unlock()
+	if len(batch) == 0 {
+		return true
+	}
+
+	resp, rtt, err := g.post(uplinkRequest{Gateway: addr, Readings: batch})
+
+	g.mu.Lock()
+	if err != nil {
+		g.consecFails++
+		g.reg.Counter("gw.uplink.failures").Inc()
+		backoff := g.backoff(g.consecFails)
+		g.nextRetryAt = now.Add(backoff)
+		g.reg.Gauge("gw.backoff_ms").Set(float64(backoff) / float64(time.Millisecond))
+		opened := false
+		if g.cfg.BreakerThreshold > 0 && g.consecFails >= g.cfg.BreakerThreshold {
+			g.breakerOpen = true
+			g.breakerTil = now.Add(g.cfg.BreakerCooldown)
+			g.reg.Gauge("gw.breaker.open").Set(1)
+			opened = true
+		}
+		fails := g.consecFails
+		g.mu.Unlock()
+		if opened {
+			g.reg.Counter("gw.breaker.opened").Inc()
+			g.emit("circuit breaker OPEN after %d consecutive failures (cooldown %v): %v",
+				fails, g.cfg.BreakerCooldown, err)
+		} else {
+			g.emit("uplink batch of %d failed (attempt %d, retry in %v): %v",
+				len(batch), fails, backoff, err)
+		}
+		return false
+	}
+
+	// Success: acknowledge the batch in the WAL, reset failure state.
+	if wErr := g.sp.ack(batch); wErr != nil {
+		g.emit("WAL ack failed: %v", wErr)
+	}
+	if halfOpen || g.breakerOpen {
+		g.breakerOpen = false
+		g.reg.Gauge("gw.breaker.open").Set(0)
+		g.emit("circuit breaker CLOSED after successful probe")
+	}
+	g.consecFails = 0
+	g.nextRetryAt = time.Time{}
+	g.lastFlush = now
+	depth := g.sp.len()
+	g.mu.Unlock()
+
+	g.reg.Gauge("gw.backoff_ms").Set(0)
+	g.reg.Gauge("gw.spool.depth").Set(float64(depth))
+	g.reg.Counter("gw.uplink.batches").Inc()
+	g.reg.Counter("gw.uplink.readings").Add(uint64(len(batch)))
+	g.reg.Histogram("gw.uplink.batch_size").Observe(float64(len(batch)))
+	g.reg.Histogram("gw.uplink.rtt_ms").ObserveDuration(rtt)
+	for _, r := range batch {
+		g.reg.Histogram("gw.uplink.age_ms").ObserveDuration(now.Sub(r.At))
+	}
+	g.emit("uplinked batch of %d (accepted %d, depth %d)", len(batch), resp.Accepted, depth)
+	g.injectDownlinks(resp.Downlinks)
+	return true
+}
+
+// post performs the HTTP round trip.
+func (g *Gateway) post(req uplinkRequest) (*uplinkResponse, time.Duration, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gateway: encode batch: %w", err)
+	}
+	start := time.Now()
+	hr, err := http.NewRequest(http.MethodPost, g.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("gateway: %w", err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := g.cfg.Client.Do(hr)
+	if err != nil {
+		return nil, time.Since(start), fmt.Errorf("gateway: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	rtt := time.Since(start)
+	if err != nil {
+		return nil, rtt, fmt.Errorf("gateway: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, rtt, fmt.Errorf("gateway: backend status %d", resp.StatusCode)
+	}
+	var ur uplinkResponse
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &ur); err != nil {
+			return nil, rtt, fmt.Errorf("gateway: decode response: %w", err)
+		}
+	}
+	return &ur, rtt, nil
+}
+
+// injectDownlinks pushes backend commands into the mesh via the sender.
+func (g *Gateway) injectDownlinks(cmds []Downlink) {
+	if len(cmds) == 0 {
+		return
+	}
+	g.reg.Counter("gw.downlink.received").Add(uint64(len(cmds)))
+	g.mu.Lock()
+	sender := g.sender
+	g.mu.Unlock()
+	if sender == nil {
+		g.reg.Counter("gw.downlink.errors").Add(uint64(len(cmds)))
+		g.emit("%d downlink commands dropped: no mesh sender attached", len(cmds))
+		return
+	}
+	for _, d := range cmds {
+		if err := sender(d); err != nil {
+			g.reg.Counter("gw.downlink.errors").Inc()
+			g.emit("downlink to %v failed: %v", d.To, err)
+			continue
+		}
+		g.reg.Counter("gw.downlink.injected").Inc()
+		g.emit("downlink %d bytes injected toward %v (reliable=%v)", len(d.Payload), d.To, d.Reliable)
+	}
+}
+
+// backoff computes the exponential, jittered delay for the nth
+// consecutive failure (n >= 1).
+func (g *Gateway) backoff(n int) time.Duration {
+	d := g.cfg.RetryBase
+	for i := 1; i < n && d < g.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > g.cfg.RetryMax {
+		d = g.cfg.RetryMax
+	}
+	// Decorrelate retries across a fleet: scale into [0.5, 1.0] of the
+	// computed delay.
+	return time.Duration(float64(d) * (0.5 + 0.5*g.cfg.Jitter()))
+}
+
+// Start launches the real-time drain loop (livenet/udpnet hosts and
+// cmd/meshgw). Pair with Close.
+func (g *Gateway) Start() {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		for {
+			d := g.Poll(time.Now())
+			timer := time.NewTimer(d)
+			select {
+			case <-g.stop:
+				timer.Stop()
+				return
+			case <-g.kick:
+				timer.Stop()
+			case <-timer.C:
+			}
+		}
+	}()
+}
+
+// Close stops the loop, attempts one final best-effort flush of a full
+// or partial batch, and closes the spool WAL. Readings still pending
+// remain in the WAL for the next process to replay.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.mu.Unlock()
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+
+	// Final flush outside the loop: drain what the backend will take,
+	// but do not retry — the WAL keeps the rest.
+	now := time.Now()
+	g.mu.Lock()
+	blocked := g.breakerOpen && now.Before(g.breakerTil) || now.Before(g.nextRetryAt)
+	g.mu.Unlock()
+	if !blocked {
+		for g.Pending() > 0 && g.flushOnce(now) {
+		}
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	return g.sp.close()
+}

@@ -1,0 +1,334 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// newTestGateway builds a gateway against an embedded backend with
+// deterministic timing; mut can adjust the Config before construction.
+func newTestGateway(t *testing.T, b *Backend, mut func(*Config)) (*Gateway, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(b)
+	t.Cleanup(srv.Close)
+	cfg := Config{
+		URL:              srv.URL,
+		Addr:             0x0001,
+		BatchSize:        4,
+		FlushInterval:    10 * time.Second,
+		RetryBase:        time.Second,
+		RetryMax:         8 * time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+		Jitter:           func() float64 { return 1 }, // exact doubling
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, srv
+}
+
+func TestReadingJSONRoundTrip(t *testing.T) {
+	r := testReading(7)
+	r.Reliable = true
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace ID must travel as the canonical hex string.
+	var raw map[string]any
+	json.Unmarshal(b, &raw)
+	if raw["trace"] != r.Trace.String() {
+		t.Fatalf("trace serialized as %v, want %q", raw["trace"], r.Trace.String())
+	}
+	var back Reading
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != r.Trace || back.From != r.From || !back.At.Equal(r.At) ||
+		string(back.Payload) != string(r.Payload) || !back.Reliable {
+		t.Fatalf("round trip mutated the reading: %+v vs %+v", back, r)
+	}
+}
+
+func TestGatewayBatchSizeTrigger(t *testing.T) {
+	b := NewBackend()
+	g, _ := newTestGateway(t, b, nil)
+	now := time.Unix(0, 0)
+
+	// Three readings: under the batch size, nothing uplinks before the
+	// flush interval.
+	for i := 0; i < 3; i++ {
+		if !g.Offer(testReading(i)) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	g.Poll(now)
+	if b.Distinct() != 0 {
+		t.Fatal("partial batch flushed before the interval")
+	}
+	// The fourth reading completes a batch: the next poll drains it
+	// immediately, no interval wait.
+	g.Offer(testReading(3))
+	g.Poll(now.Add(time.Second))
+	if b.Distinct() != 4 || b.Batches() != 1 {
+		t.Fatalf("full batch: distinct=%d batches=%d", b.Distinct(), b.Batches())
+	}
+}
+
+func TestGatewayTimeTrigger(t *testing.T) {
+	b := NewBackend()
+	g, _ := newTestGateway(t, b, nil)
+	now := time.Unix(0, 0)
+
+	g.Poll(now) // anchor lastFlush
+	g.Offer(testReading(0))
+	if d := g.Poll(now.Add(time.Second)); d <= 0 || d > 10*time.Second {
+		t.Fatalf("poll wait %v, want remaining interval", d)
+	}
+	if b.Distinct() != 0 {
+		t.Fatal("flushed early")
+	}
+	g.Poll(now.Add(11 * time.Second))
+	if b.Distinct() != 1 {
+		t.Fatalf("time-triggered flush missing: distinct=%d", b.Distinct())
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending %d after flush", g.Pending())
+	}
+}
+
+func TestGatewayBackoffAndCircuitBreaker(t *testing.T) {
+	b := NewBackend()
+	b.SetFailing(true)
+	g, _ := newTestGateway(t, b, nil)
+	reg := g.Metrics()
+	now := time.Unix(0, 0)
+
+	for i := 0; i < 4; i++ {
+		g.Offer(testReading(i))
+	}
+
+	// Failure 1: backoff = RetryBase (jitter pinned to 1.0).
+	if d := g.Poll(now); d != time.Second {
+		t.Fatalf("backoff after failure 1 = %v, want 1s", d)
+	}
+	// Poll again inside the backoff window: no extra attempt.
+	g.Poll(now.Add(500 * time.Millisecond))
+	if got := reg.Counter("gw.uplink.failures").Value(); got != 1 {
+		t.Fatalf("failures=%d, want 1 (backoff not respected)", got)
+	}
+	// Failure 2 doubles the backoff.
+	now = now.Add(time.Second)
+	if d := g.Poll(now); d != 2*time.Second {
+		t.Fatalf("backoff after failure 2 = %v, want 2s", d)
+	}
+	// Failure 3 crosses the threshold: breaker opens for the cooldown.
+	now = now.Add(2 * time.Second)
+	if d := g.Poll(now); d != time.Minute {
+		t.Fatalf("after failure 3 want breaker cooldown 1m, got %v", d)
+	}
+	if !g.BreakerOpen() {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if reg.Counter("gw.breaker.opened").Value() != 1 || reg.Gauge("gw.breaker.open").Value() != 1 {
+		t.Fatal("breaker metrics not recorded")
+	}
+	// While open, attempts are suppressed entirely.
+	g.Poll(now.Add(30 * time.Second))
+	if got := reg.Counter("gw.uplink.failures").Value(); got != 3 {
+		t.Fatalf("failures=%d while breaker open, want 3", got)
+	}
+
+	// Backend recovers; the half-open probe closes the breaker and the
+	// spool drains with zero loss and no duplicates.
+	b.SetFailing(false)
+	now = now.Add(time.Minute)
+	g.Poll(now)
+	if g.BreakerOpen() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if reg.Gauge("gw.breaker.open").Value() != 0 {
+		t.Fatal("breaker gauge still 1 after close")
+	}
+	if b.Distinct() != 4 || b.Duplicates() != 0 || g.Pending() != 0 {
+		t.Fatalf("post-recovery: distinct=%d dupes=%d pending=%d",
+			b.Distinct(), b.Duplicates(), g.Pending())
+	}
+}
+
+func TestGatewayReopensBreakerOnFailedProbe(t *testing.T) {
+	b := NewBackend()
+	b.SetFailing(true)
+	g, _ := newTestGateway(t, b, nil)
+	now := time.Unix(0, 0)
+	// A full batch so the very first poll attempts an uplink.
+	for i := 0; i < 4; i++ {
+		g.Offer(testReading(i))
+	}
+
+	for i := 0; i < 3; i++ {
+		d := g.Poll(now)
+		now = now.Add(d)
+	}
+	if !g.BreakerOpen() {
+		t.Fatal("breaker should be open")
+	}
+	// Probe fails: the breaker re-arms for another cooldown.
+	g.Poll(now)
+	if !g.BreakerOpen() {
+		t.Fatal("breaker closed on a failed probe")
+	}
+	if got := g.Metrics().Counter("gw.uplink.failures").Value(); got != 4 {
+		t.Fatalf("failures=%d, want 4 (exactly one probe)", got)
+	}
+}
+
+func TestGatewayDedupAcrossOffers(t *testing.T) {
+	b := NewBackend()
+	g, _ := newTestGateway(t, b, nil)
+	r := testReading(0)
+	if !g.Offer(r) {
+		t.Fatal("first offer rejected")
+	}
+	if g.Offer(r) {
+		t.Fatal("duplicate offer accepted")
+	}
+	if got := g.Metrics().Counter("gw.drop.duplicate").Value(); got != 1 {
+		t.Fatalf("gw.drop.duplicate=%d, want 1", got)
+	}
+	g.Poll(time.Unix(100, 0))
+	// Even after upload, a mesh re-delivery stays suppressed.
+	if g.Offer(r) {
+		t.Fatal("post-upload duplicate accepted")
+	}
+}
+
+func TestGatewayDropOldestUnderOutage(t *testing.T) {
+	b := NewBackend()
+	b.SetFailing(true)
+	g, _ := newTestGateway(t, b, func(c *Config) { c.SpoolCapacity = 3 })
+	now := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		g.Offer(testReading(i))
+		g.Poll(now)
+	}
+	if g.Pending() != 3 {
+		t.Fatalf("pending=%d, want capacity 3", g.Pending())
+	}
+	if got := g.Metrics().Counter("gw.drop.oldest").Value(); got != 2 {
+		t.Fatalf("gw.drop.oldest=%d, want 2", got)
+	}
+	// Recovery delivers exactly the surviving window: readings 2..4.
+	b.SetFailing(false)
+	g.Poll(now.Add(time.Hour))
+	got := b.Readings()
+	if len(got) != 3 || got[0].Trace != testReading(2).Trace {
+		t.Fatalf("survivors wrong: %v", got)
+	}
+}
+
+func TestGatewayDownlinkInjection(t *testing.T) {
+	b := NewBackend()
+	g, _ := newTestGateway(t, b, nil)
+	var injected []Downlink
+	g.SetSender(func(d Downlink) error {
+		injected = append(injected, d)
+		return nil
+	})
+	b.PushDownlink(Downlink{To: 0x0007, Payload: []byte("valve off"), Reliable: true})
+
+	now := time.Unix(0, 0)
+	g.Poll(now) // anchor lastFlush
+	g.Offer(testReading(0))
+	g.Poll(now.Add(time.Hour))
+	if len(injected) != 1 || injected[0].To != packet.Address(0x0007) || !injected[0].Reliable {
+		t.Fatalf("downlink not injected: %v", injected)
+	}
+	reg := g.Metrics()
+	if reg.Counter("gw.downlink.received").Value() != 1 || reg.Counter("gw.downlink.injected").Value() != 1 {
+		t.Fatal("downlink metrics missing")
+	}
+}
+
+// TestGatewayRestartReplay is the durability acceptance test: readings
+// spooled during a backend outage survive a gateway process restart and
+// upload exactly once afterward.
+func TestGatewayRestartReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "uplink.wal")
+	b := NewBackend()
+	b.SetFailing(true)
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	cfg := Config{
+		URL:           srv.URL,
+		Addr:          0x0001,
+		SpoolPath:     path,
+		BatchSize:     8,
+		FlushInterval: 20 * time.Millisecond,
+		RetryBase:     10 * time.Millisecond,
+		RetryMax:      50 * time.Millisecond,
+	}
+	g1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1.Start()
+	var want []trace.TraceID
+	for i := 0; i < 10; i++ {
+		r := testReading(i)
+		want = append(want, r.Trace)
+		if !g1.Offer(r) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	// Give the loop a few failed attempts, then stop the process.
+	time.Sleep(100 * time.Millisecond)
+	if err := g1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Distinct() != 0 {
+		t.Fatal("nothing should have reached the failing backend")
+	}
+
+	// "New process": same WAL, healthy backend.
+	b.SetFailing(false)
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if g2.Pending() != len(want) {
+		t.Fatalf("replayed %d pending, want %d", g2.Pending(), len(want))
+	}
+	if g2.Metrics().Counter("gw.spool.replayed").Value() != uint64(len(want)) {
+		t.Fatal("gw.spool.replayed not recorded")
+	}
+	g2.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && b.Distinct() < len(want) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if b.Distinct() != len(want) || b.Duplicates() != 0 {
+		t.Fatalf("after restart: distinct=%d dupes=%d, want %d/0",
+			b.Distinct(), b.Duplicates(), len(want))
+	}
+	got := b.Readings()
+	for i, id := range want {
+		if got[i].Trace != id {
+			t.Fatalf("reading %d out of order or lost: %v != %v", i, got[i].Trace, id)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/livenet"
+	"repro/internal/routing"
+)
+
+// TestAttachHostLivenet wires the gateway onto the goroutine-per-node
+// live runtime: readings from a peer reach the backend through the
+// sink's gateway, and a queued downlink command crosses back.
+func TestAttachHostLivenet(t *testing.T) {
+	b := NewBackend()
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	net, err := livenet.New(livenet.Config{
+		TimeScale: 200,
+		Seed:      1,
+		Node: core.Config{
+			HelloPeriod:    2 * time.Second,
+			DutyCycleLimit: 1,
+			Routing:        routing.Config{EntryTTL: 20 * time.Second},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	sink, err := net.AddNode(0x0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := net.AddNode(0x0002)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := New(Config{
+		URL:           srv.URL,
+		BatchSize:     4,
+		FlushInterval: 100 * time.Millisecond,
+		RetryBase:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachHost(sink, g)
+	g.Start()
+	defer g.Close()
+
+	waitFor := func(d time.Duration, cond func() bool) bool {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return true
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return cond()
+	}
+
+	if !waitFor(10*time.Second, func() bool { return sensor.HasRoute(0x0001) }) {
+		t.Fatal("live mesh did not converge")
+	}
+	b.PushDownlink(Downlink{To: sensor.Addr(), Payload: []byte("ack")})
+	for i := 0; i < 3; i++ {
+		if err := sensor.Send(0x0001, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(10*time.Second, func() bool { return b.Distinct() == 3 }) {
+		t.Fatalf("backend has %d readings, want 3", b.Distinct())
+	}
+	if b.Duplicates() != 0 {
+		t.Fatalf("%d duplicate uploads", b.Duplicates())
+	}
+	if !waitFor(10*time.Second, func() bool {
+		for _, m := range sensor.Messages() {
+			if string(m.Payload) == "ack" {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("downlink never reached the sensor")
+	}
+}

@@ -1,0 +1,348 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// The spool is the gateway's durable uplink queue: a bounded in-memory
+// FIFO mirrored by an append-only write-ahead log. Every admitted reading
+// is appended as a "put" record before it becomes eligible for uplink;
+// acknowledged (uploaded) and evicted readings append a "del" record. On
+// open the log is replayed, so readings that were spooled but never
+// acknowledged survive a process restart and upload then — no reading the
+// mesh delivered is lost to a crash or a long backend outage.
+//
+// The log also persists the dedup horizon: every trace ID that ever
+// entered the spool (uploaded, pending, or evicted) is remembered — up to
+// a bounded horizon — so a reading re-delivered by the mesh after a
+// restart is still recognized as a duplicate.
+//
+// Writes are flushed to the OS on every append (crash-of-process safe);
+// the spool does not fsync, so power-loss durability is the file system's
+// affair — the right trade for an edge bridge whose upstream retries
+// anyway.
+
+// walRecord is one WAL line.
+type walRecord struct {
+	// Op is "put" (reading admitted) or "del" (reading uploaded or
+	// evicted; only Trace is set).
+	Op      string   `json:"op"`
+	Reading *Reading `json:"r,omitempty"`
+	Trace   string   `json:"trace,omitempty"`
+}
+
+// spool is the bounded durable queue. It has no lock of its own: every
+// method runs under the owning Gateway's mutex.
+type spool struct {
+	path     string // "" = memory-only
+	capacity int
+	policy   DropPolicy
+	reg      *metrics.Registry
+
+	f *os.File
+	w *bufio.Writer
+
+	pending []Reading // FIFO; head is the oldest admitted reading
+	seen    map[trace.TraceID]struct{}
+	// seenOrder evicts the oldest remembered IDs once the horizon fills,
+	// bounding memory for long-running gateways.
+	seenOrder []trace.TraceID
+	seenCap   int
+
+	lines    int // WAL records written since last compaction (incl. replayed)
+	replayed int // pending readings recovered at open
+}
+
+// spoolAdd is the outcome of an admission attempt.
+type spoolAdd int
+
+const (
+	addOK spoolAdd = iota
+	addDuplicate
+	addRejected // DropNewest under a full queue
+)
+
+// openSpool opens (and replays) the WAL at path, or builds a memory-only
+// spool when path is empty.
+func openSpool(path string, capacity int, policy DropPolicy, seenCap int, reg *metrics.Registry) (*spool, error) {
+	s := &spool{
+		path:     path,
+		capacity: capacity,
+		policy:   policy,
+		reg:      reg,
+		seen:     make(map[trace.TraceID]struct{}),
+		seenCap:  seenCap,
+	}
+	if path == "" {
+		return s, nil
+	}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: spool: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replay rebuilds the pending queue and dedup horizon from the WAL. A
+// truncated final line (crash mid-append) is tolerated; any earlier
+// malformed line is an error, because silently skipping it could drop
+// data the log promised to keep.
+func (s *spool) replay() error {
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	defer f.Close()
+
+	type slot struct {
+		r    Reading
+		live bool
+	}
+	var order []trace.TraceID
+	slots := make(map[trace.TraceID]*slot)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lines := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn final record is the expected crash artifact.
+			if !sc.Scan() {
+				break
+			}
+			return fmt.Errorf("gateway: spool %s: malformed record at line %d", s.path, lines+1)
+		}
+		lines++
+		switch rec.Op {
+		case "put":
+			if rec.Reading == nil {
+				return fmt.Errorf("gateway: spool %s: put without reading at line %d", s.path, lines)
+			}
+			id := rec.Reading.Trace
+			if _, ok := slots[id]; !ok {
+				order = append(order, id)
+			}
+			slots[id] = &slot{r: *rec.Reading, live: true}
+			s.remember(id)
+		case "del":
+			id, err := trace.ParseTraceID(rec.Trace)
+			if err != nil {
+				return fmt.Errorf("gateway: spool %s: line %d: %w", s.path, lines, err)
+			}
+			if sl, ok := slots[id]; ok {
+				sl.live = false
+			}
+			s.remember(id)
+		default:
+			return fmt.Errorf("gateway: spool %s: unknown op %q at line %d", s.path, rec.Op, lines)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("gateway: spool %s: %w", s.path, err)
+	}
+	for _, id := range order {
+		if sl := slots[id]; sl.live {
+			s.pending = append(s.pending, sl.r)
+		}
+	}
+	// Respect the capacity bound even across a config change: evict per
+	// policy before the queue goes live.
+	for len(s.pending) > s.capacity {
+		if s.policy == DropNewest {
+			s.pending = s.pending[:len(s.pending)-1]
+		} else {
+			s.pending = s.pending[1:]
+		}
+	}
+	s.lines = lines
+	s.replayed = len(s.pending)
+	return nil
+}
+
+// remember adds id to the bounded dedup horizon.
+func (s *spool) remember(id trace.TraceID) {
+	if _, ok := s.seen[id]; ok {
+		return
+	}
+	s.seen[id] = struct{}{}
+	s.seenOrder = append(s.seenOrder, id)
+	for len(s.seenOrder) > s.seenCap {
+		delete(s.seen, s.seenOrder[0])
+		s.seenOrder = s.seenOrder[1:]
+	}
+}
+
+// append writes one WAL record and flushes it to the OS.
+func (s *spool) append(rec walRecord) error {
+	if s.w == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	s.lines++
+	return nil
+}
+
+// add admits a reading: dedup against the horizon, then enqueue, evicting
+// per policy when full. The evicted reading (DropOldest) is returned so
+// the caller can record it.
+func (s *spool) add(r Reading) (res spoolAdd, evicted *Reading, err error) {
+	if _, dup := s.seen[r.Trace]; dup {
+		return addDuplicate, nil, nil
+	}
+	if len(s.pending) >= s.capacity {
+		if s.policy == DropNewest {
+			// The newcomer is rejected and deliberately NOT remembered:
+			// if the mesh ever re-delivers it when there is room, it
+			// should be admitted.
+			return addRejected, nil, nil
+		}
+		old := s.pending[0]
+		s.pending = s.pending[1:]
+		evicted = &old
+		if err := s.append(walRecord{Op: "del", Trace: old.Trace.String()}); err != nil {
+			return addOK, evicted, err
+		}
+	}
+	s.remember(r.Trace)
+	if err := s.append(walRecord{Op: "put", Reading: &r}); err != nil {
+		return addOK, evicted, err
+	}
+	s.pending = append(s.pending, r)
+	return addOK, evicted, nil
+}
+
+// peek returns up to n readings from the head without removing them.
+func (s *spool) peek(n int) []Reading {
+	if n > len(s.pending) {
+		n = len(s.pending)
+	}
+	return append([]Reading(nil), s.pending[:n]...)
+}
+
+// ack removes the given readings (matched by trace ID, wherever they sit:
+// an eviction may have shifted the head while an upload was in flight)
+// and logs their deletion.
+func (s *spool) ack(rs []Reading) error {
+	ids := make(map[trace.TraceID]struct{}, len(rs))
+	for _, r := range rs {
+		ids[r.Trace] = struct{}{}
+	}
+	kept := s.pending[:0]
+	for _, p := range s.pending {
+		if _, ok := ids[p.Trace]; !ok {
+			kept = append(kept, p)
+		}
+	}
+	s.pending = kept
+	var firstErr error
+	for _, r := range rs {
+		if err := s.append(walRecord{Op: "del", Trace: r.Trace.String()}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return s.maybeCompact()
+}
+
+// maybeCompact rewrites the WAL with only the pending readings once dead
+// records dominate, bounding the file to O(capacity) instead of O(history).
+func (s *spool) maybeCompact() error {
+	if s.f == nil {
+		return nil
+	}
+	if s.lines < 1024 || s.lines < 4*(len(s.pending)+1) {
+		return nil
+	}
+	tmp := s.path + ".compact"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("gateway: spool compact: %w", err)
+	}
+	nw := bufio.NewWriter(nf)
+	enc := json.NewEncoder(nw)
+	written := 0
+	for i := range s.pending {
+		if err := enc.Encode(walRecord{Op: "put", Reading: &s.pending[i]}); err != nil {
+			nf.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("gateway: spool compact: %w", err)
+		}
+		written++
+	}
+	if err := nw.Flush(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("gateway: spool compact: %w", err)
+	}
+	if err := nf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("gateway: spool compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("gateway: spool compact: %w", err)
+	}
+	s.w.Flush()
+	s.f.Close()
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("gateway: spool compact: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.lines = written
+	// The dedup horizon intentionally survives compaction in memory only:
+	// after a restart the horizon shrinks to the IDs still in the log,
+	// trading perfect restart-dedup for a bounded file.
+	s.reg.Counter("gw.spool.compactions").Inc()
+	return nil
+}
+
+// len returns the number of pending readings.
+func (s *spool) len() int { return len(s.pending) }
+
+// close flushes and closes the WAL.
+func (s *spool) close() error {
+	if s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	s.f = nil
+	return nil
+}

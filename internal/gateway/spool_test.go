@@ -1,0 +1,209 @@
+package gateway
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func testReading(i int) Reading {
+	return Reading{
+		From:    0x0002,
+		To:      0x0001,
+		Trace:   trace.TraceID(0x1000 + i),
+		Payload: []byte{byte(i), byte(i >> 8)},
+		At:      time.Date(2022, 7, 1, 0, 0, i, 0, time.UTC),
+	}
+}
+
+func TestSpoolMemoryOnlyFIFO(t *testing.T) {
+	s, err := openSpool("", 4, DropOldest, 16, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res, _, err := s.add(testReading(i)); res != addOK || err != nil {
+			t.Fatalf("add %d: res=%v err=%v", i, res, err)
+		}
+	}
+	if got := s.peek(2); len(got) != 2 || got[0].Trace != testReading(0).Trace {
+		t.Fatalf("peek returned %v", got)
+	}
+	if err := s.ack(s.peek(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.len() != 1 || s.peek(1)[0].Trace != testReading(2).Trace {
+		t.Fatalf("after ack: len=%d", s.len())
+	}
+}
+
+func TestSpoolDedup(t *testing.T) {
+	s, err := openSpool("", 4, DropOldest, 16, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testReading(1)
+	if res, _, _ := s.add(r); res != addOK {
+		t.Fatalf("first add: %v", res)
+	}
+	if res, _, _ := s.add(r); res != addDuplicate {
+		t.Fatalf("second add: %v, want duplicate", res)
+	}
+	// Still a duplicate after upload: the horizon outlives the queue.
+	if err := s.ack([]Reading{r}); err != nil {
+		t.Fatal(err)
+	}
+	if res, _, _ := s.add(r); res != addDuplicate {
+		t.Fatalf("post-ack add: %v, want duplicate", res)
+	}
+}
+
+func TestSpoolDropPolicies(t *testing.T) {
+	// DropOldest evicts the head and admits the newcomer.
+	s, _ := openSpool("", 2, DropOldest, 16, metrics.NewRegistry())
+	s.add(testReading(0))
+	s.add(testReading(1))
+	res, evicted, _ := s.add(testReading(2))
+	if res != addOK || evicted == nil || evicted.Trace != testReading(0).Trace {
+		t.Fatalf("DropOldest: res=%v evicted=%v", res, evicted)
+	}
+	if s.len() != 2 || s.peek(1)[0].Trace != testReading(1).Trace {
+		t.Fatalf("DropOldest queue state wrong")
+	}
+
+	// DropNewest rejects the newcomer and forgets it, so it can return.
+	s, _ = openSpool("", 2, DropNewest, 16, metrics.NewRegistry())
+	s.add(testReading(0))
+	s.add(testReading(1))
+	if res, _, _ := s.add(testReading(2)); res != addRejected {
+		t.Fatalf("DropNewest: %v, want rejected", res)
+	}
+	s.ack(s.peek(1))
+	if res, _, _ := s.add(testReading(2)); res != addOK {
+		t.Fatalf("DropNewest re-offer after space freed: %v, want ok", res)
+	}
+}
+
+func TestSpoolReplayAfterRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.wal")
+	s, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if res, _, err := s.add(testReading(i)); res != addOK || err != nil {
+			t.Fatalf("add %d: res=%v err=%v", i, res, err)
+		}
+	}
+	// Upload the first two, then "crash".
+	if err := s.ack(s.peek(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.replayed != 3 || s2.len() != 3 {
+		t.Fatalf("replayed %d pending, want 3", s2.len())
+	}
+	got := s2.peek(3)
+	for i, r := range got {
+		want := testReading(i + 2)
+		if r.Trace != want.Trace || string(r.Payload) != string(want.Payload) || !r.At.Equal(want.At) {
+			t.Errorf("replayed[%d] = %+v, want %+v", i, r, want)
+		}
+	}
+	// Uploaded readings must still be recognized as duplicates.
+	if res, _, _ := s2.add(testReading(0)); res != addDuplicate {
+		t.Errorf("replayed horizon lost an uploaded ID")
+	}
+}
+
+func TestSpoolReplayToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.wal")
+	s, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.add(testReading(0))
+	s.add(testReading(1))
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, unterminated record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"put","r":{"from":2,"to"`)
+	f.Close()
+
+	s2, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatalf("torn tail must not poison the spool: %v", err)
+	}
+	if s2.len() != 2 {
+		t.Fatalf("replayed %d, want the 2 intact readings", s2.len())
+	}
+}
+
+func TestSpoolCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.wal")
+	reg := metrics.NewRegistry()
+	s, err := openSpool(path, 8, DropOldest, 4096, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push enough churn through to cross the compaction threshold.
+	for i := 0; i < 700; i++ {
+		if res, _, err := s.add(testReading(i)); res != addOK || err != nil {
+			t.Fatalf("add %d: res=%v err=%v", i, res, err)
+		}
+		if err := s.ack(s.peek(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.Counter("gw.spool.compactions").Value() == 0 {
+		t.Fatal("no compaction after 1400 WAL records")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 64*1024 {
+		t.Fatalf("WAL grew to %d bytes despite compaction", fi.Size())
+	}
+	// The compacted log must still replay correctly.
+	s.add(testReading(9000))
+	s.close()
+	s2, err := openSpool(path, 8, DropOldest, 4096, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.len() != 1 || s2.peek(1)[0].Trace != testReading(9000).Trace {
+		t.Fatalf("post-compaction replay: len=%d", s2.len())
+	}
+}
+
+func TestSpoolSeenHorizonBounded(t *testing.T) {
+	s, _ := openSpool("", 4, DropOldest, 8, metrics.NewRegistry())
+	for i := 0; i < 100; i++ {
+		s.add(testReading(i))
+		s.ack(s.peek(1))
+	}
+	if len(s.seen) > 8 || len(s.seenOrder) > 8 {
+		t.Fatalf("horizon grew to %d, cap 8", len(s.seen))
+	}
+	// An ID evicted from the horizon is admissible again.
+	if res, _, _ := s.add(testReading(0)); res != addOK {
+		t.Fatalf("evicted-horizon re-add: %v, want ok", res)
+	}
+}

@@ -81,6 +81,7 @@ type Handle struct {
 	mu      sync.Mutex
 	msgs    []core.AppMessage
 	events2 []core.StreamEvent
+	onMsg   func(core.AppMessage)
 	rng     *rand.Rand
 }
 
@@ -235,6 +236,20 @@ func (n *Net) handles() []*Handle {
 // Addr returns the handle's mesh address.
 func (h *Handle) Addr() packet.Address { return h.addr }
 
+// MeshAddress returns the handle's mesh address; it exists alongside Addr
+// so livenet.Handle and udpnet.Host satisfy the same attachment interface
+// (see internal/gateway.MeshHost).
+func (h *Handle) MeshAddress() packet.Address { return h.addr }
+
+// SetOnMessage installs an observer invoked for every application
+// delivery, after the message is recorded. The observer runs on the
+// node's event loop, so it must not block; pass nil to remove it.
+func (h *Handle) SetOnMessage(fn func(core.AppMessage)) {
+	h.mu.Lock()
+	h.onMsg = fn
+	h.mu.Unlock()
+}
+
 // loop serializes all engine interactions. It exits when the network
 // closes; the mailbox channel itself is never closed, because timer
 // goroutines may still attempt sends during shutdown (enqueue's select on
@@ -376,7 +391,11 @@ func (e *liveEnv) Deliver(msg core.AppMessage) {
 	h := e.handle()
 	h.mu.Lock()
 	h.msgs = append(h.msgs, msg)
+	fn := h.onMsg
 	h.mu.Unlock()
+	if fn != nil {
+		fn(msg)
+	}
 }
 
 // StreamDone implements core.Env.

@@ -34,6 +34,10 @@ const (
 	KindApp     Kind = "app"
 	KindStream  Kind = "stream"
 	KindFailure Kind = "failure"
+	// KindGateway marks mesh↔backend bridge events: spool admissions and
+	// drops, uplink batch outcomes, circuit-breaker transitions, and
+	// downlink injections.
+	KindGateway Kind = "gateway"
 )
 
 // TraceID identifies one datagram end to end. It is derived from the

@@ -63,6 +63,7 @@ type Host struct {
 	peers []*net.UDPAddr
 	msgs  []core.AppMessage
 	evs   []core.StreamEvent
+	onMsg func(core.AppMessage)
 	rng   *rand.Rand
 
 	events chan func()
@@ -178,6 +179,15 @@ func (h *Host) Addr() *net.UDPAddr {
 
 // MeshAddress returns the node's 16-bit mesh address.
 func (h *Host) MeshAddress() packet.Address { return h.cfg.Node.Address }
+
+// SetOnMessage installs an observer invoked for every application
+// delivery, after the message is recorded. The observer runs on the
+// host's event loop, so it must not block; pass nil to remove it.
+func (h *Host) SetOnMessage(fn func(core.AppMessage)) {
+	h.mu.Lock()
+	h.onMsg = fn
+	h.mu.Unlock()
+}
 
 // AddPeer adds a UDP destination this host's transmissions reach.
 func (h *Host) AddPeer(addr string) error {
@@ -361,7 +371,11 @@ func (e *hostEnv) Deliver(msg core.AppMessage) {
 	h := e.host()
 	h.mu.Lock()
 	h.msgs = append(h.msgs, msg)
+	fn := h.onMsg
 	h.mu.Unlock()
+	if fn != nil {
+		fn(msg)
+	}
 }
 
 // StreamDone implements core.Env.

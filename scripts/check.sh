@@ -1,10 +1,18 @@
 #!/bin/sh
-# check.sh — the local quality gate: vet, build, full tests, then a race
-# pass over the packages with real concurrency (live harness, metrics
-# instruments, tracer). CI and contributors run exactly this.
+# check.sh — the local quality gate: format, vet, build, full tests, then
+# a race pass over the packages with real concurrency (live harness,
+# metrics instruments, tracer, gateway bridge). CI and contributors run
+# exactly this.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "==> go vet"
 go vet ./...
 echo "==> go build"
@@ -12,5 +20,5 @@ go build ./...
 echo "==> go test"
 go test ./...
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/...
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./cmd/meshgw/...
 echo "OK"
