@@ -66,6 +66,14 @@ type AppMessage struct {
 	// identity and reassembled payload). It doubles as a dedup
 	// fingerprint: re-deliveries of the same reading carry the same ID,
 	// which is what the gateway's exactly-once uplink keys on.
+	//
+	// The ID is content-derived — hashed from the packet's invariant
+	// fields and payload, with no per-send nonce — so two *distinct*
+	// sends from the same source with byte-identical payloads share an
+	// ID and are indistinguishable from a mesh re-delivery. Applications
+	// whose deliveries feed a deduplicating consumer (the gateway's
+	// uplink spool) must make each payload unique per reading: embed a
+	// sequence number or timestamp, as netsim's traffic generator does.
 	Trace trace.TraceID
 	// At is the delivery time.
 	At time.Time

@@ -8,7 +8,8 @@
 //
 //   - every mesh delivery is deduplicated by its causal trace ID and
 //     appended to a file-backed WAL spool (see spool.go), so no reading is
-//     lost across a gateway restart;
+//     lost across a gateway restart; the trace ID is content-derived, so
+//     uplink payloads must be unique per reading (see Reading.Trace);
 //   - an uplinker drains the spool in size- or time-triggered batches over
 //     a plain net/http POST, with exponential backoff plus jitter on
 //     failure and a circuit breaker after consecutive failures;
@@ -66,7 +67,13 @@ type Reading struct {
 	From packet.Address
 	// To is the gateway node's address (or broadcast).
 	To packet.Address
-	// Trace is the reading's end-to-end causal ID — the dedup key.
+	// Trace is the reading's end-to-end causal ID — the dedup key. The
+	// mesh derives it from packet content with no per-send nonce, so two
+	// distinct readings from the same sensor with byte-identical payloads
+	// share an ID and the later one is suppressed as a duplicate within
+	// the dedup horizon. Uplinked payloads must therefore be unique per
+	// reading — embed a sequence number or timestamp (see
+	// core.AppMessage.Trace).
 	Trace trace.TraceID
 	// Payload is the application data.
 	Payload []byte
@@ -286,7 +293,7 @@ func New(cfg Config) (*Gateway, error) {
 func (g *Gateway) preRegisterInstruments() {
 	for _, c := range []string{
 		"gw.offered", "gw.accepted", "gw.drop.duplicate", "gw.drop.oldest",
-		"gw.drop.newest", "gw.drop.walerror",
+		"gw.drop.newest", "gw.wal.errors",
 		"gw.uplink.batches", "gw.uplink.readings", "gw.uplink.failures",
 		"gw.breaker.opened", "gw.spool.replayed", "gw.spool.compactions",
 		"gw.downlink.received", "gw.downlink.injected", "gw.downlink.errors",
@@ -371,7 +378,7 @@ func (g *Gateway) Offer(r Reading) bool {
 	if err != nil {
 		// The reading is queued in memory even when the WAL write
 		// failed; durability degrades, delivery does not.
-		g.reg.Counter("gw.drop.walerror").Inc()
+		g.reg.Counter("gw.wal.errors").Inc()
 		g.emit("WAL append failed: %v", err)
 	}
 	g.reg.Gauge("gw.spool.depth").Set(float64(depth))
@@ -497,6 +504,7 @@ func (g *Gateway) flushOnce(now time.Time) bool {
 
 	// Success: acknowledge the batch in the WAL, reset failure state.
 	if wErr := g.sp.ack(batch); wErr != nil {
+		g.reg.Counter("gw.wal.errors").Inc()
 		g.emit("WAL ack failed: %v", wErr)
 	}
 	if halfOpen || g.breakerOpen {

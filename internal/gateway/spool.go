@@ -2,8 +2,10 @@ package gateway
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/metrics"
@@ -57,6 +59,17 @@ type spool struct {
 
 	lines    int // WAL records written since last compaction (incl. replayed)
 	replayed int // pending readings recovered at open
+
+	// validLen is the byte offset just past the last intact,
+	// newline-terminated record seen during replay. A torn tail (crash
+	// mid-append) is truncated back to this offset before the file is
+	// reopened for append, so the next record never concatenates onto a
+	// partial line.
+	validLen int64
+	// tail holds a final record that parsed completely but lost its
+	// trailing newline to a crash; it is truncated away with the torn
+	// bytes and re-appended once the writer is open.
+	tail *walRecord
 }
 
 // spoolAdd is the outcome of an admission attempt.
@@ -82,8 +95,17 @@ func openSpool(path string, capacity int, policy DropPolicy, seenCap int, reg *m
 	if path == "" {
 		return s, nil
 	}
-	if err := s.replay(); err != nil {
+	torn, err := s.replay()
+	if err != nil {
 		return nil, err
+	}
+	if torn {
+		// Cut the torn tail off now, while nothing is appending: leaving
+		// it would glue the next record onto the partial line and poison
+		// the replay after the *next* restart.
+		if err := os.Truncate(path, s.validLen); err != nil {
+			return nil, fmt.Errorf("gateway: spool: truncate torn tail: %w", err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -91,20 +113,48 @@ func openSpool(path string, capacity int, policy DropPolicy, seenCap int, reg *m
 	}
 	s.f = f
 	s.w = bufio.NewWriter(f)
+	if s.tail != nil {
+		// The final record was complete but unterminated; it was truncated
+		// with the torn bytes, so write it back properly framed.
+		if err := s.append(*s.tail); err != nil {
+			return nil, err
+		}
+		s.tail = nil
+	}
+	// Respect the capacity bound even across a config change: evict per
+	// policy — with del records and counted drops, so the evictees neither
+	// resurrect on the next replay nor vanish silently.
+	for len(s.pending) > s.capacity {
+		var ev Reading
+		if s.policy == DropNewest {
+			ev = s.pending[len(s.pending)-1]
+			s.pending = s.pending[:len(s.pending)-1]
+			s.reg.Counter("gw.drop.newest").Inc()
+		} else {
+			ev = s.pending[0]
+			s.pending = s.pending[1:]
+			s.reg.Counter("gw.drop.oldest").Inc()
+		}
+		if err := s.append(walRecord{Op: "del", Trace: ev.Trace.String()}); err != nil {
+			return nil, err
+		}
+	}
+	s.replayed = len(s.pending)
 	return s, nil
 }
 
 // replay rebuilds the pending queue and dedup horizon from the WAL. A
-// truncated final line (crash mid-append) is tolerated; any earlier
-// malformed line is an error, because silently skipping it could drop
-// data the log promised to keep.
-func (s *spool) replay() error {
+// truncated final line (crash mid-append) is tolerated — torn reports it
+// so openSpool truncates the file back to the last intact record before
+// appending resumes. Any earlier malformed line is an error, because
+// silently skipping it could drop data the log promised to keep.
+func (s *spool) replay() (torn bool, err error) {
 	f, err := os.Open(s.path)
 	if os.IsNotExist(err) {
-		return nil
+		return false, nil
 	}
 	if err != nil {
-		return fmt.Errorf("gateway: spool: %w", err)
+		return false, fmt.Errorf("gateway: spool: %w", err)
 	}
 	defer f.Close()
 
@@ -114,27 +164,11 @@ func (s *spool) replay() error {
 	}
 	var order []trace.TraceID
 	slots := make(map[trace.TraceID]*slot)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	lines := 0
-	for sc.Scan() {
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
-		var rec walRecord
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			// A torn final record is the expected crash artifact.
-			if !sc.Scan() {
-				break
-			}
-			return fmt.Errorf("gateway: spool %s: malformed record at line %d", s.path, lines+1)
-		}
-		lines++
+	apply := func(rec walRecord, line int) error {
 		switch rec.Op {
 		case "put":
 			if rec.Reading == nil {
-				return fmt.Errorf("gateway: spool %s: put without reading at line %d", s.path, lines)
+				return fmt.Errorf("gateway: spool %s: put without reading at line %d", s.path, line)
 			}
 			id := rec.Reading.Trace
 			if _, ok := slots[id]; !ok {
@@ -145,36 +179,66 @@ func (s *spool) replay() error {
 		case "del":
 			id, err := trace.ParseTraceID(rec.Trace)
 			if err != nil {
-				return fmt.Errorf("gateway: spool %s: line %d: %w", s.path, lines, err)
+				return fmt.Errorf("gateway: spool %s: line %d: %w", s.path, line, err)
 			}
 			if sl, ok := slots[id]; ok {
 				sl.live = false
 			}
 			s.remember(id)
 		default:
-			return fmt.Errorf("gateway: spool %s: unknown op %q at line %d", s.path, rec.Op, lines)
+			return fmt.Errorf("gateway: spool %s: unknown op %q at line %d", s.path, rec.Op, line)
 		}
+		return nil
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("gateway: spool %s: %w", s.path, err)
+
+	br := bufio.NewReaderSize(f, 64*1024)
+	lines := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return false, fmt.Errorf("gateway: spool %s: %w", s.path, rerr)
+		}
+		terminated := rerr == nil
+		raw := bytes.TrimSuffix(line, []byte{'\n'})
+		if len(raw) > 0 {
+			var rec walRecord
+			if jerr := json.Unmarshal(raw, &rec); jerr != nil {
+				if terminated {
+					// A framed record that does not parse is corruption,
+					// not a crash artifact.
+					return false, fmt.Errorf("gateway: spool %s: malformed record at line %d", s.path, lines+1)
+				}
+				// Torn final record: the expected crash artifact. Drop the
+				// partial bytes (the reading was never fully durable).
+				torn = true
+				break
+			}
+			if aerr := apply(rec, lines+1); aerr != nil {
+				return false, aerr
+			}
+			lines++
+			if !terminated {
+				// Complete record, missing only its newline: keep it, but
+				// have openSpool rewrite it properly framed (append will
+				// re-count it, so it is not counted here).
+				s.tail = &rec
+				lines--
+				torn = true
+				break
+			}
+		}
+		s.validLen += int64(len(line))
+		if rerr == io.EOF {
+			break
+		}
 	}
 	for _, id := range order {
 		if sl := slots[id]; sl.live {
 			s.pending = append(s.pending, sl.r)
 		}
 	}
-	// Respect the capacity bound even across a config change: evict per
-	// policy before the queue goes live.
-	for len(s.pending) > s.capacity {
-		if s.policy == DropNewest {
-			s.pending = s.pending[:len(s.pending)-1]
-		} else {
-			s.pending = s.pending[1:]
-		}
-	}
 	s.lines = lines
-	s.replayed = len(s.pending)
-	return nil
+	return torn, nil
 }
 
 // remember adds id to the bounded dedup horizon.
@@ -212,7 +276,9 @@ func (s *spool) append(rec walRecord) error {
 
 // add admits a reading: dedup against the horizon, then enqueue, evicting
 // per policy when full. The evicted reading (DropOldest) is returned so
-// the caller can record it.
+// the caller can record it. The in-memory queue is updated before the WAL
+// is written: a failed append degrades durability (reported via err), but
+// the admitted reading still uplinks from memory.
 func (s *spool) add(r Reading) (res spoolAdd, evicted *Reading, err error) {
 	if _, dup := s.seen[r.Trace]; dup {
 		return addDuplicate, nil, nil
@@ -227,16 +293,19 @@ func (s *spool) add(r Reading) (res spoolAdd, evicted *Reading, err error) {
 		old := s.pending[0]
 		s.pending = s.pending[1:]
 		evicted = &old
-		if err := s.append(walRecord{Op: "del", Trace: old.Trace.String()}); err != nil {
-			return addOK, evicted, err
-		}
 	}
 	s.remember(r.Trace)
-	if err := s.append(walRecord{Op: "put", Reading: &r}); err != nil {
-		return addOK, evicted, err
-	}
 	s.pending = append(s.pending, r)
-	return addOK, evicted, nil
+	var firstErr error
+	if evicted != nil {
+		if werr := s.append(walRecord{Op: "del", Trace: evicted.Trace.String()}); werr != nil {
+			firstErr = werr
+		}
+	}
+	if werr := s.append(walRecord{Op: "put", Reading: &r}); werr != nil && firstErr == nil {
+		firstErr = werr
+	}
+	return addOK, evicted, firstErr
 }
 
 // peek returns up to n readings from the head without removing them.

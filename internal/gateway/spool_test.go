@@ -155,6 +155,155 @@ func TestSpoolReplayToleratesTornTail(t *testing.T) {
 	}
 }
 
+func TestSpoolTornTailTruncatedBeforeAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.wal")
+	s, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.add(testReading(0))
+	s.add(testReading(1))
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"put","r":{"from":2,"to"`)
+	f.Close()
+
+	// First restart tolerates the torn tail and must truncate it, so the
+	// next append starts on a fresh line.
+	s2, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.len() != 2 {
+		t.Fatalf("replayed %d, want 2", s2.len())
+	}
+	if res, _, err := s2.add(testReading(2)); res != addOK || err != nil {
+		t.Fatalf("post-torn add: res=%v err=%v", res, err)
+	}
+	if err := s2.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: without truncation the new record would have been
+	// glued onto the partial line — replay would fail or drop it.
+	s3, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatalf("second replay after torn tail: %v", err)
+	}
+	if s3.len() != 3 {
+		t.Fatalf("second replay recovered %d readings, want 3", s3.len())
+	}
+	if got := s3.peek(3)[2].Trace; got != testReading(2).Trace {
+		t.Fatalf("post-torn record lost: tail trace %v", got)
+	}
+}
+
+func TestSpoolUnterminatedFinalRecordKept(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.wal")
+	s, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.add(testReading(0))
+	s.add(testReading(1))
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash exactly between the record bytes and the newline: the final
+	// record is complete JSON but unframed.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.len() != 2 {
+		t.Fatalf("replayed %d, want both readings (unterminated final record dropped?)", s2.len())
+	}
+	if err := s2.close(); err != nil {
+		t.Fatal(err)
+	}
+	// The record must have been rewritten properly framed.
+	s3, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.len() != 2 {
+		t.Fatalf("re-replay recovered %d readings, want 2", s3.len())
+	}
+}
+
+func TestSpoolReplayTrimWritesDels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.wal")
+	s, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.add(testReading(i))
+	}
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen under a shrunk capacity: the trim must count its drops and
+	// log del records so the evictees stay dead.
+	reg := metrics.NewRegistry()
+	s2, err := openSpool(path, 2, DropOldest, 64, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.len() != 2 || s2.replayed != 2 {
+		t.Fatalf("trimmed replay: len=%d replayed=%d, want 2", s2.len(), s2.replayed)
+	}
+	if got := reg.Counter("gw.drop.oldest").Value(); got != 3 {
+		t.Fatalf("trim dropped 3 readings but counted %d", got)
+	}
+	if err := s2.close(); err != nil {
+		t.Fatal(err)
+	}
+	// A later restart with the original capacity must not resurrect them.
+	s3, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.len() != 2 {
+		t.Fatalf("trimmed readings resurrected: len=%d, want 2", s3.len())
+	}
+}
+
+func TestSpoolAddKeepsReadingOnWALError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.wal")
+	s, err := openSpool(path, 16, DropOldest, 64, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the WAL: every flush now fails.
+	s.f.Close()
+	res, _, err := s.add(testReading(0))
+	if res != addOK {
+		t.Fatalf("add under WAL failure: res=%v, want ok", res)
+	}
+	if err == nil {
+		t.Fatal("add under WAL failure reported no error")
+	}
+	// Durability degraded; delivery must not: the reading is queued.
+	if s.len() != 1 || s.peek(1)[0].Trace != testReading(0).Trace {
+		t.Fatalf("reading lost on WAL failure: len=%d", s.len())
+	}
+}
+
 func TestSpoolCompaction(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "spool.wal")
 	reg := metrics.NewRegistry()
