@@ -10,6 +10,7 @@
 //	meshsim -trace 50                         # show the last 50 events
 //	meshsim -trace-out events.jsonl           # stream every event as JSONL
 //	meshsim -trace-packet 9c4f...a1           # reconstruct one packet's journey
+//	meshsim -faults plan.json -seed 7         # inject faults; same seed = same run
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -49,6 +51,10 @@ type options struct {
 	// tracePacket, a 16-hex-digit trace ID, prints that packet's
 	// reconstructed hop-by-hop journey after the run.
 	tracePacket string
+	// faultsFile loads a fault-injection plan (JSON) applied once the
+	// mesh has converged. Runs are deterministic in (plan, -seed): rerun
+	// with the same pair to replay a failure exactly.
+	faultsFile string
 }
 
 func main() {
@@ -68,6 +74,7 @@ func main() {
 	flag.StringVar(&o.saveTopo, "save-topo", "", "save the generated topology to a JSON file and continue")
 	flag.StringVar(&o.traceOut, "trace-out", "", "stream all trace events to this file as JSONL (\"-\" for stdout)")
 	flag.StringVar(&o.tracePacket, "trace-packet", "", "print the hop-by-hop journey of the packet with this trace ID")
+	flag.StringVar(&o.faultsFile, "faults", "", "apply a fault-injection plan from this JSON file (deterministic in -seed)")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
@@ -172,6 +179,18 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "mesh converged in %v\n\n", conv.Round(time.Second))
 	}
 
+	if o.faultsFile != "" {
+		plan, err := faults.LoadFile(o.faultsFile)
+		if err != nil {
+			return err
+		}
+		if err := sim.ApplyFaultPlan(plan); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fault plan %q armed (seed %d; event times relative to now)\n\n",
+			plan.Name, o.seed)
+	}
+
 	var stats []*netsim.TrafficStats
 	switch o.traffic {
 	case "none":
@@ -230,6 +249,20 @@ func run(w io.Writer, o options) error {
 	ms := sim.Medium.Stats()
 	fmt.Fprintf(w, "\nchannel: %d frames sent, %d receptions, %d lost to collisions, %d below sensitivity\n",
 		ms.FramesSent, ms.FramesDelivered, ms.LostCollision, ms.LostBelowSensitivity)
+
+	if o.faultsFile != "" {
+		fs := sim.FaultStats()
+		fmt.Fprintf(w, "fault layer: ")
+		if len(fs) == 0 {
+			fmt.Fprintln(w, "no frames affected")
+		} else {
+			parts := make([]string, 0, len(fs))
+			for _, reason := range faults.Reasons(fs) {
+				parts = append(parts, fmt.Sprintf("%s=%d", reason, fs[reason]))
+			}
+			fmt.Fprintln(w, strings.Join(parts, "  "))
+		}
+	}
 
 	if o.traceN > 0 && sim.Tracer != nil {
 		fmt.Fprintf(w, "\nlast %d events:\n", o.traceN)

@@ -156,3 +156,37 @@ func TestRunTracePacketPrintsJourney(t *testing.T) {
 		t.Error("malformed trace ID: want error")
 	}
 }
+
+func TestRunFaultPlanFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	plan := `{
+		"name": "cli-test",
+		"links": [{"from": 0, "to": 1, "symmetric": true, "kind": "bernoulli", "p": 0.3}],
+		"corrupt": {"rate": 0.1}
+	}`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := opts()
+	o.faultsFile = path
+	o.duration = 3600e9
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, `fault plan "cli-test" armed`) {
+		t.Error("report missing fault plan banner")
+	}
+	if !strings.Contains(report, "fault layer:") || !strings.Contains(report, "loss=") {
+		t.Errorf("report missing fault-layer drop summary:\n%s", report)
+	}
+
+	// A broken plan file must fail loudly, not inject nothing.
+	if err := os.WriteFile(path, []byte(`{"links": [{"from": 0, "to": 9, "kind": "block"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&out, o); err == nil {
+		t.Error("plan referencing a missing node: want error")
+	}
+}

@@ -151,12 +151,14 @@ func (n *Node) HandleFrame(frame []byte, _ core.RxInfo) {
 	if n.stopped {
 		return
 	}
+	// rx.frames counts every frame the radio handed us — parse failures
+	// included — so delivered and received frame counts reconcile.
+	n.reg.Counter("rx.frames").Inc()
 	p, err := packet.Unmarshal(frame)
 	if err != nil {
 		n.reg.Counter("rx.corrupt").Inc()
 		return
 	}
-	n.reg.Counter("rx.frames").Inc()
 	if p.Type != packet.TypeData || len(p.Payload) < floodHeaderLen {
 		n.reg.Counter("rx.corrupt").Inc()
 		return

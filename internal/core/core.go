@@ -151,6 +151,15 @@ type Config struct {
 	// StreamRetry is the retransmission timeout for unacknowledged
 	// stream chunks. Zero means 12 s (several multi-hop frame times).
 	StreamRetry time.Duration
+	// StreamBackoff grows the retransmission timeout each consecutive
+	// round without acknowledged progress (capped at StreamRetryCap,
+	// jittered ±10%), so a congested or healing path is not hammered at
+	// a fixed cadence. Zero means 2 (doubling); 1 restores the
+	// prototype's fixed timeout.
+	StreamBackoff float64
+	// StreamRetryCap bounds the backed-off retransmission timeout.
+	// Zero means 8× StreamRetry.
+	StreamRetryCap time.Duration
 	// StreamPacing spaces consecutive window chunk transmissions so a
 	// windowed transfer does not self-collide on a half-duplex
 	// multi-hop path. Zero (the prototype) sends the window as fast as
@@ -165,6 +174,17 @@ type Config struct {
 	// remembered to break transient routing loops (the wire format has
 	// no TTL field). Zero means 1500 ms; negative disables.
 	DedupHorizon time.Duration
+	// TriggeredUpdates withdraws routes the moment a next hop is known
+	// dead — when a direct neighbor's entry expires, or when a reliable
+	// stream exhausts its retries toward one — poisoning every route
+	// through it (routing.Table.RemoveNeighbor) and broadcasting an
+	// immediate, rate-limited HELLO so neighbors learn within one frame
+	// time instead of one EntryTTL. Off by default (the prototype waits
+	// out timeouts); chaos scenarios enable it.
+	TriggeredUpdates bool
+	// TriggeredHelloGap rate-limits triggered HELLOs. Zero means
+	// HelloPeriod/10, clamped to at least one second.
+	TriggeredHelloGap time.Duration
 	// Tracer, when set, receives per-packet causal events — origin,
 	// per-hop tx/rx, forwarding decisions, delivery, and every drop with
 	// its reason — keyed by the packet's trace ID, plus host-agnostic
@@ -206,6 +226,18 @@ func (c Config) withDefaults() Config {
 	if c.StreamRetry <= 0 {
 		c.StreamRetry = 12 * time.Second
 	}
+	if c.StreamBackoff == 0 {
+		c.StreamBackoff = 2
+	}
+	if c.StreamRetryCap <= 0 {
+		c.StreamRetryCap = 8 * c.StreamRetry
+	}
+	if c.TriggeredHelloGap <= 0 {
+		c.TriggeredHelloGap = c.HelloPeriod / 10
+		if c.TriggeredHelloGap < time.Second {
+			c.TriggeredHelloGap = time.Second
+		}
+	}
 	if c.StreamMaxRetries <= 0 {
 		c.StreamMaxRetries = 6
 	}
@@ -224,6 +256,12 @@ func (c Config) EffectivePhy() loraphy.Params {
 	return c.withDefaults().Phy
 }
 
+// EffectiveHelloPeriod returns the HELLO period after defaulting. Hosts
+// use it to reason about convergence windows and clock-skew scaling.
+func (c Config) EffectiveHelloPeriod() time.Duration {
+	return c.withDefaults().HelloPeriod
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	cc := c.withDefaults()
@@ -238,6 +276,9 @@ func (c Config) Validate() error {
 	}
 	if cc.HelloJitter > 0.9 {
 		return fmt.Errorf("core: hello jitter %v too large (max 0.9)", cc.HelloJitter)
+	}
+	if cc.StreamBackoff < 1 {
+		return fmt.Errorf("core: stream backoff %v must be >= 1", cc.StreamBackoff)
 	}
 	return nil
 }
@@ -263,6 +304,8 @@ type Node struct {
 	// Beaconing and route maintenance.
 	helloCancel  func()
 	expiryCancel func()
+	// lastTriggered rate-limits triggered route-withdrawal HELLOs.
+	lastTriggered time.Time
 
 	// Reliable transport.
 	nextSeqID  uint8
@@ -344,6 +387,10 @@ func (n *Node) preRegisterInstruments() {
 	n.reg.Gauge("dutycycle.utilization")
 	n.reg.Histogram("tx.airtime_ms")
 	n.reg.Histogram("queue.wait_ms")
+	// stream.retx.rounds observes, per finished stream, the longest run
+	// of consecutive retransmission rounds without acknowledged
+	// progress — the bounded-retry evidence chaos runs assert on.
+	n.reg.Histogram("stream.retx.rounds")
 }
 
 // tracePacket emits a causal event about p, stamped with p's trace ID.

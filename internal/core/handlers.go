@@ -18,12 +18,15 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 	if n.stopped {
 		return
 	}
+	// rx.frames counts every frame the radio handed us — including ones
+	// that fail to parse — so medium-delivered and engine-received frame
+	// counts reconcile exactly (netsim's invariant audit depends on it).
+	n.reg.Counter("rx.frames").Inc()
 	p, err := packet.Unmarshal(frame)
 	if err != nil {
 		n.reg.Counter("rx.corrupt").Inc()
 		return
 	}
-	n.reg.Counter("rx.frames").Inc()
 	n.reg.Counter("rx.type." + p.Type.String()).Inc()
 	if p.Src == n.cfg.Address {
 		// Our own packet echoed back through a loop; never process.
@@ -72,6 +75,12 @@ func (n *Node) handleHello(p *packet.Packet, info RxInfo) {
 		if e.Addr == p.Src {
 			role = e.Role
 		}
+	}
+	if n.table.IsSuppressed(n.env.Now(), p.Src) {
+		// Quarantined flapper (see routing.Config.SuppressAfter): its
+		// beacons are ignored until the hold expires.
+		n.reg.Counter("hello.suppressed").Inc()
+		return
 	}
 	if n.table.ApplyHello(n.env.Now(), p.Src, role, info.SNRDB, entries) {
 		n.reg.Counter("routes.updated").Inc()

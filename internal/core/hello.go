@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 // helloTick broadcasts the routing table and schedules the next beacon.
@@ -58,7 +59,11 @@ func (n *Node) sendHello() {
 	}
 }
 
-// expiryTick drops stale routes and reschedules itself.
+// expiryTick drops stale routes and reschedules itself. With
+// TriggeredUpdates, an expired destination is treated as a dead next
+// hop: every route through it is withdrawn immediately and a triggered
+// HELLO propagates the poisons, instead of each neighbor waiting out
+// its own EntryTTL.
 func (n *Node) expiryTick() {
 	if n.stopped {
 		return
@@ -66,7 +71,59 @@ func (n *Node) expiryTick() {
 	dead := n.table.ExpireStale(n.env.Now())
 	if len(dead) > 0 {
 		n.reg.Counter("routes.expired").Add(uint64(len(dead)))
+		if n.cfg.TriggeredUpdates {
+			for _, d := range dead {
+				if n.cfg.Tracer != nil {
+					n.cfg.Tracer.Emit(n.env.Now(), n.cfg.Address.String(), trace.KindRoute,
+						"route.withdrawn dst=%v reason=expired", d)
+				}
+				n.withdrawNeighbor(d, "routes via expired neighbor")
+			}
+			n.triggeredHello()
+		}
 	}
 	n.reg.Gauge("routes.count").Set(float64(n.table.Len()))
 	n.expiryCancel = n.env.Schedule(n.routeCheckPeriod(), n.expiryTick)
+}
+
+// withdrawNextHop withdraws every route through dst's current next hop
+// (triggered updates). A destination with no usable route is a no-op.
+func (n *Node) withdrawNextHop(dst packet.Address, reason string) {
+	e, ok := n.table.Lookup(dst)
+	if !ok || e.Poisoned() {
+		return
+	}
+	n.withdrawNeighbor(e.Via, reason)
+	n.triggeredHello()
+}
+
+// withdrawNeighbor poisons (or removes) every route via the given
+// neighbor, emitting a route.withdrawn event per destination.
+func (n *Node) withdrawNeighbor(via packet.Address, reason string) {
+	dead := n.table.RemoveNeighbor(n.env.Now(), via)
+	if len(dead) == 0 {
+		return
+	}
+	n.reg.Counter("routes.withdrawn").Add(uint64(len(dead)))
+	if n.cfg.Tracer != nil {
+		for _, d := range dead {
+			n.cfg.Tracer.Emit(n.env.Now(), n.cfg.Address.String(), trace.KindRoute,
+				"route.withdrawn dst=%v via=%v reason=%s", d, via, reason)
+		}
+	}
+	n.reg.Gauge("routes.count").Set(float64(n.table.Len()))
+}
+
+// triggeredHello broadcasts the table out of cycle so withdrawals reach
+// neighbors within a frame time. Rate-limited by TriggeredHelloGap: a
+// burst of withdrawals costs one beacon, and a flapping link cannot turn
+// the node into a beacon firehose.
+func (n *Node) triggeredHello() {
+	now := n.env.Now()
+	if !n.lastTriggered.IsZero() && now.Sub(n.lastTriggered) < n.cfg.TriggeredHelloGap {
+		return
+	}
+	n.lastTriggered = now
+	n.reg.Counter("hello.triggered").Inc()
+	n.sendHello()
 }

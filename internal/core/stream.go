@@ -43,12 +43,13 @@ type outStream struct {
 	chunks [][]byte // 1-based: chunk k is chunks[k-1]
 	total  int      // total payload bytes
 
-	synced  bool // SYNC acknowledged (modeStream)
-	base    int  // lowest unacknowledged chunk (1-based)
-	next    int  // next chunk index to transmit
-	maxSent int  // highest chunk index ever transmitted
-	rounds  int  // consecutive timeout rounds
-	retrans int  // total chunk retransmissions
+	synced    bool // SYNC acknowledged (modeStream)
+	base      int  // lowest unacknowledged chunk (1-based)
+	next      int  // next chunk index to transmit
+	maxSent   int  // highest chunk index ever transmitted
+	rounds    int  // consecutive timeout rounds
+	maxRounds int  // worst consecutive-timeout run over the stream's life
+	retrans   int  // total chunk retransmissions
 
 	startedAt   time.Time
 	retryCancel func()
@@ -226,12 +227,51 @@ func (n *Node) fillStep(s *outStream) {
 	}
 }
 
-// armRetry (re)schedules the stream's retransmission timer.
+// retryDelay returns the retransmission timeout for the given number of
+// consecutive unacknowledged rounds: StreamRetry grown by StreamBackoff
+// per round, capped at StreamRetryCap. With backoff enabled the delay is
+// jittered ±10% so retransmissions from nodes that lost the same frame
+// do not stay synchronized.
+func (n *Node) retryDelay(rounds int) time.Duration {
+	d := n.cfg.StreamRetry
+	if n.cfg.StreamBackoff <= 1 {
+		return d // the prototype's fixed timeout
+	}
+	for i := 0; i < rounds && d < n.cfg.StreamRetryCap; i++ {
+		d = time.Duration(float64(d) * n.cfg.StreamBackoff)
+	}
+	if d > n.cfg.StreamRetryCap {
+		d = n.cfg.StreamRetryCap
+	}
+	return time.Duration(float64(d) * (0.9 + 0.2*n.env.Rand()))
+}
+
+// retryBudget is the un-jittered time a stream can spend in timeouts
+// before failing: the sum of every round's backed-off delay.
+func (n *Node) retryBudget() time.Duration {
+	var sum time.Duration
+	for r := 0; r <= n.cfg.StreamMaxRetries; r++ {
+		d := n.cfg.StreamRetry
+		if n.cfg.StreamBackoff > 1 {
+			for i := 0; i < r && d < n.cfg.StreamRetryCap; i++ {
+				d = time.Duration(float64(d) * n.cfg.StreamBackoff)
+			}
+			if d > n.cfg.StreamRetryCap {
+				d = n.cfg.StreamRetryCap
+			}
+		}
+		sum += d
+	}
+	return sum
+}
+
+// armRetry (re)schedules the stream's retransmission timer with the
+// current round's backed-off delay.
 func (n *Node) armRetry(s *outStream) {
 	if s.retryCancel != nil {
 		s.retryCancel()
 	}
-	s.retryCancel = n.env.Schedule(n.cfg.StreamRetry, func() { n.retryTick(s) })
+	s.retryCancel = n.env.Schedule(n.retryDelay(s.rounds), func() { n.retryTick(s) })
 }
 
 // retryTick fires when the stream made no acknowledged progress for a full
@@ -241,6 +281,9 @@ func (n *Node) retryTick(s *outStream) {
 		return
 	}
 	s.rounds++
+	if s.rounds > s.maxRounds {
+		s.maxRounds = s.rounds
+	}
 	if s.rounds > n.cfg.StreamMaxRetries {
 		n.finishStream(s, fmt.Errorf("%w: %d rounds to %v", ErrStreamFailed, s.rounds-1, s.dst))
 		return
@@ -269,8 +312,15 @@ func (n *Node) finishStream(s *outStream, err error) {
 		s.fillCancel = nil
 	}
 	delete(n.outStreams, s.id)
+	n.reg.Histogram("stream.retx.rounds").Observe(float64(s.maxRounds))
 	if err != nil {
 		n.reg.Counter("stream.failed").Inc()
+		if n.cfg.TriggeredUpdates {
+			// Retry exhaustion is link-layer evidence the next hop is
+			// dead; withdraw every route through it now rather than
+			// waiting out EntryTTL.
+			n.withdrawNextHop(s.dst, "stream retries exhausted")
+		}
 	} else {
 		n.reg.Counter("stream.completed").Inc()
 	}
@@ -466,7 +516,9 @@ func (n *Node) armStreamGC(key inKey, s *inStream) {
 	if s.gcCancel != nil {
 		s.gcCancel()
 	}
-	grace := n.cfg.StreamRetry * time.Duration(n.cfg.StreamMaxRetries+2)
+	// The budget covers every backed-off round; the extra quarter
+	// absorbs jitter plus one final duplicate's flight time.
+	grace := n.retryBudget() + n.retryBudget()/4
 	s.gcCancel = n.env.Schedule(grace, func() {
 		if n.inStreams[key] == s {
 			delete(n.inStreams, key)

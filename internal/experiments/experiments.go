@@ -103,6 +103,7 @@ func All() []Spec {
 		{"E9", "Scalability with node density", E9Density},
 		{"E10", "Route repair after router failure", E10Repair},
 		{"E11", "Gateway uplink under backend outage and partition", E11GatewayUplink},
+		{"E12", "Chaos matrix: delivery under injected faults", E12ChaosMatrix},
 		{"A1", "Ablation: route poisoning vs expiry-only", A1Poisoning},
 		{"A2", "Ablation: HELLO period trade-off", A2HelloPeriod},
 		{"A3", "Ablation: ARQ window (stop-and-wait vs go-back-N)", A3ARQWindow},

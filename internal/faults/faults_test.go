@@ -1,0 +1,288 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	in := `{
+		"name": "flaky",
+		"links": [
+			{"from":0,"to":1,"symmetric":true,"kind":"gilbert",
+			 "p_good_to_bad":0.1,"p_bad_to_good":0.3,"loss_good":0.01,"loss_bad":0.9},
+			{"from":2,"to":1,"kind":"block"}
+		],
+		"flaps": [{"a":1,"b":2,"start":"60s","period":"30s","down":"10s","count":5}],
+		"crashes": [{"node":3,"at":"2m","downtime":"60s"}],
+		"corrupt": {"rate":0.02,"max_bits":4},
+		"clock_skews": [{"node":2,"factor":1.25}]
+	}`
+	p, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.Flaps[0].Start.D() != time.Minute || p.Crashes[0].At.D() != 2*time.Minute {
+		t.Fatalf("duration strings misparsed: %+v", p)
+	}
+	// Round trip: marshal then reload yields the same plan.
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	p2, err := Load(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	b2, _ := json.Marshal(p2)
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("round trip diverged:\n%s\n%s", b, b2)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"linkz": []}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"node out of range", Plan{Crashes: []Crash{{Node: 9}}}},
+		{"self link", Plan{Links: []LinkFault{{From: 1, To: 1, Kind: KindBlock}}}},
+		{"unknown kind", Plan{Links: []LinkFault{{From: 0, To: 1, Kind: "weird"}}}},
+		{"probability > 1", Plan{Links: []LinkFault{{From: 0, To: 1, Kind: KindBernoulli, P: 1.5}}}},
+		{"flap down > period", Plan{Flaps: []Flap{{A: 0, B: 1, Period: Duration(time.Second), Down: Duration(2 * time.Second)}}}},
+		{"flap zero down", Plan{Flaps: []Flap{{A: 0, B: 1, Period: Duration(time.Second)}}}},
+		{"skew factor zero", Plan{ClockSkews: []ClockSkew{{Node: 0}}}},
+		{"corrupt rate", Plan{Corrupt: &Corrupt{Rate: -0.1}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(4); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestFlapWindows(t *testing.T) {
+	f := Flap{A: 0, B: 1, Start: Duration(60 * time.Second),
+		Period: Duration(30 * time.Second), Down: Duration(10 * time.Second), Count: 3}
+	cases := []struct {
+		at   time.Duration
+		down bool
+	}{
+		{0, false},
+		{59 * time.Second, false},
+		{60 * time.Second, true},
+		{69 * time.Second, true},
+		{70 * time.Second, false},
+		{90 * time.Second, true},
+		{100 * time.Second, false},
+		{120 * time.Second, true},
+		{130 * time.Second, false},
+		{150 * time.Second, false}, // Count exhausted
+	}
+	for _, c := range cases {
+		if got := f.active(c.at); got != c.down {
+			t.Errorf("at %v: down=%v, want %v", c.at, got, c.down)
+		}
+	}
+	p := Plan{Flaps: []Flap{f}}
+	if !p.FlapDown(65*time.Second, 1, 0) {
+		t.Error("FlapDown not symmetric in endpoints")
+	}
+	end, ok := p.LastFlapEnd()
+	if !ok || end != 130*time.Second {
+		t.Errorf("LastFlapEnd = %v,%v, want 130s,true", end, ok)
+	}
+	// An endless flap has no end.
+	p2 := Plan{Flaps: []Flap{{A: 0, B: 1, Period: Duration(time.Minute), Down: Duration(time.Second)}}}
+	if _, ok := p2.LastFlapEnd(); ok {
+		t.Error("endless flap reported an end")
+	}
+}
+
+// epoch is an arbitrary wall-clock origin for injector tests.
+var epoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestInjectorDeterministicReplay(t *testing.T) {
+	plan := &Plan{
+		Links: []LinkFault{
+			{From: 0, To: 1, Symmetric: true, Kind: KindGilbert,
+				PGoodToBad: 0.2, PBadToGood: 0.3, LossGood: 0.05, LossBad: 0.8},
+			{From: 1, To: 2, Kind: KindBernoulli, P: 0.3},
+		},
+		Corrupt: &Corrupt{Rate: 0.1, MaxBits: 4},
+	}
+	run := func() []Outcome {
+		inj := NewInjector(plan, 42, epoch)
+		var out []Outcome
+		frame := []byte("the quick brown fox jumps over")
+		for i := 0; i < 500; i++ {
+			now := epoch.Add(time.Duration(i) * time.Second)
+			out = append(out, inj.OnDelivery(now, i%3, (i+1)%3, frame))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].Drop != b[i].Drop || a[i].Reason != b[i].Reason ||
+			a[i].Corrupted != b[i].Corrupted || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("outcome %d diverged between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different sequence.
+	inj := NewInjector(plan, 43, epoch)
+	diff := false
+	frame := []byte("the quick brown fox jumps over")
+	for i := 0; i < 500; i++ {
+		now := epoch.Add(time.Duration(i) * time.Second)
+		o := inj.OnDelivery(now, i%3, (i+1)%3, frame)
+		if o.Drop != a[i].Drop {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("seed 42 and 43 produced identical drop sequences")
+	}
+}
+
+func TestInjectorBernoulliRate(t *testing.T) {
+	plan := &Plan{Links: []LinkFault{{From: 0, To: 1, Kind: KindBernoulli, P: 0.25}}}
+	inj := NewInjector(plan, 7, epoch)
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if inj.OnDelivery(epoch, 0, 1, []byte{1}).Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Errorf("bernoulli(0.25) dropped at rate %.3f", rate)
+	}
+	// The unmodelled reverse direction loses nothing.
+	if inj.OnDelivery(epoch, 1, 0, []byte{1}).Drop {
+		t.Error("reverse direction dropped without a model")
+	}
+}
+
+func TestInjectorGilbertBursts(t *testing.T) {
+	// Sticky bad state with heavy loss: drops must arrive in runs, and
+	// the overall rate must sit between LossGood and LossBad.
+	plan := &Plan{Links: []LinkFault{{From: 0, To: 1, Kind: KindGilbert,
+		PGoodToBad: 0.02, PBadToGood: 0.1, LossGood: 0.0, LossBad: 1.0}}}
+	inj := NewInjector(plan, 3, epoch)
+	const n = 50000
+	drops, runs, inRun := 0, 0, false
+	for i := 0; i < n; i++ {
+		if inj.OnDelivery(epoch, 0, 1, []byte{1}).Drop {
+			drops++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if drops == 0 || runs == 0 {
+		t.Fatal("gilbert model never dropped")
+	}
+	meanRun := float64(drops) / float64(runs)
+	if meanRun < 3 {
+		t.Errorf("mean loss burst %.1f frames; want bursty (>= 3)", meanRun)
+	}
+	// Stationary loss ≈ pi_bad = g2b/(g2b+b2g) = 1/6 with LossBad=1.
+	rate := float64(drops) / n
+	if rate < 0.10 || rate > 0.24 {
+		t.Errorf("gilbert loss rate %.3f outside expected band", rate)
+	}
+}
+
+func TestInjectorAsymmetricBlock(t *testing.T) {
+	plan := &Plan{Links: []LinkFault{{From: 0, To: 1, Kind: KindBlock}}}
+	inj := NewInjector(plan, 1, epoch)
+	if o := inj.OnDelivery(epoch, 0, 1, []byte{1}); !o.Drop || o.Reason != ReasonLink {
+		t.Fatalf("blocked direction delivered: %+v", o)
+	}
+	if o := inj.OnDelivery(epoch, 1, 0, []byte{1}); o.Drop {
+		t.Fatalf("open direction dropped: %+v", o)
+	}
+}
+
+func TestInjectorCorruptionCaughtByCRC(t *testing.T) {
+	plan := &Plan{Corrupt: &Corrupt{Rate: 1.0, MaxBits: 3}}
+	inj := NewInjector(plan, 11, epoch)
+	frame := make([]byte, 40)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	detected, passed := 0, 0
+	for i := 0; i < 1000; i++ {
+		o := inj.OnDelivery(epoch, 0, 1, frame)
+		switch {
+		case o.Drop && o.Reason == ReasonCorrupt:
+			detected++
+		case o.Corrupted:
+			passed++
+			if bytes.Equal(o.Data, frame) {
+				t.Fatal("corrupted outcome carries unmutated frame")
+			}
+		case !o.Drop:
+			t.Fatal("rate-1.0 corruption left a frame untouched")
+		}
+	}
+	if detected < 990 {
+		// 1..3 bit flips are always within CRC-16's guaranteed detection
+		// (burst < 16 would be, but scattered flips can in principle
+		// collide; in practice essentially never at these counts).
+		t.Errorf("only %d/1000 corruptions caught by CRC", detected)
+	}
+	st := inj.Stats()
+	if st[ReasonCorrupt] != uint64(detected) || st["corrupt.undetected"] != uint64(passed) {
+		t.Errorf("stats %v disagree with observed %d/%d", st, detected, passed)
+	}
+}
+
+func TestFlapConsumesNoRandomness(t *testing.T) {
+	// Drops during a flap window must not advance the link PRNG:
+	// outcomes after the window are identical whether or not frames
+	// crossed during it.
+	plan := &Plan{
+		Links: []LinkFault{{From: 0, To: 1, Kind: KindBernoulli, P: 0.5}},
+		Flaps: []Flap{{A: 0, B: 1, Start: 0, Down: Duration(10 * time.Second)}},
+	}
+	after := func(duringFlap int) []bool {
+		inj := NewInjector(plan, 5, epoch)
+		for i := 0; i < duringFlap; i++ {
+			if o := inj.OnDelivery(epoch.Add(time.Second), 0, 1, []byte{1}); !o.Drop || o.Reason != ReasonFlap {
+				t.Fatalf("frame crossed a down link: %+v", o)
+			}
+		}
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, inj.OnDelivery(epoch.Add(time.Minute), 0, 1, []byte{1}).Drop)
+		}
+		return out
+	}
+	a, b := after(0), after(17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("flap-window traffic perturbed the loss PRNG")
+		}
+	}
+}

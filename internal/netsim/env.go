@@ -78,17 +78,40 @@ func (e *nodeEnv) Rand() float64 { return e.rng.Float64() }
 
 // OnFrame implements airmedium.Receiver.
 func (e *nodeEnv) OnFrame(d airmedium.Delivery) {
+	if e.h.killed || e.h.down {
+		// A frame already in flight when the node crashed: the radio is
+		// off, so the bits land nowhere. Counted so delivery accounting
+		// stays exact.
+		e.sim.faultDrop(d.At, e.h, "down", d.Data)
+		return
+	}
+	data := d.Data
+	if inj := e.sim.injector; inj != nil {
+		if from, ok := e.sim.stationIdx[d.From]; ok {
+			out := inj.OnDelivery(d.At, from, e.h.Index, data)
+			if out.Drop {
+				e.sim.faultDrop(d.At, e.h, out.Reason, data)
+				return
+			}
+			if out.Corrupted {
+				// Bit errors that slid past the 16-bit CRC: the engine
+				// sees the mangled frame, as real hardware would.
+				e.sim.reg.Counter("fault.corrupt.undetected").Inc()
+				data = out.Data
+			}
+		}
+	}
 	if e.sim.Tracer.Enabled() {
 		// Decode just enough to tag the medium-level event with the
 		// packet's trace ID; HandleFrame re-parses on its own.
 		var id trace.TraceID
-		if p, err := packet.Unmarshal(d.Data); err == nil {
+		if p, err := packet.Unmarshal(data); err == nil {
 			id = trace.TraceID(p.TraceID())
 		}
 		e.sim.Tracer.EmitPacket(d.At, e.h.Addr.String(), trace.KindRx, id,
-			"%d bytes rssi=%.1f snr=%.1f", len(d.Data), d.RSSIDBm, d.SNRDB)
+			"%d bytes rssi=%.1f snr=%.1f", len(data), d.RSSIDBm, d.SNRDB)
 	}
-	e.h.Proto.HandleFrame(d.Data, core.RxInfo{RSSIDBm: d.RSSIDBm, SNRDB: d.SNRDB})
+	e.h.Proto.HandleFrame(data, core.RxInfo{RSSIDBm: d.RSSIDBm, SNRDB: d.SNRDB})
 }
 
 // OnTxDone implements airmedium.TxObserver.

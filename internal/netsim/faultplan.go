@@ -1,0 +1,228 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/packet"
+	"repro/internal/reactive"
+	"repro/internal/trace"
+)
+
+// buildEngine constructs (or reconstructs, on crash/restart) node h's
+// protocol engine from the simulation config. A rebuilt engine starts
+// with an empty routing table and fresh metrics — exactly what a
+// microcontroller reboot loses — so callers must retire the old engine's
+// metrics first (Handle.retire) to keep network totals intact.
+func (s *Sim) buildEngine(h *Handle) error {
+	addr := h.Addr
+	switch s.Cfg.Protocol {
+	case KindMesher:
+		nc := s.Cfg.Node
+		nc.Address = addr
+		nc.Tracer = s.Tracer
+		if s.Cfg.NodeOverride != nil {
+			nc = s.Cfg.NodeOverride(h.Index, nc)
+			nc.Address = addr // the override must not break addressing
+		}
+		if h.helloScale > 0 && h.helloScale != 1 {
+			// Clock skew: this node's crystal runs fast or slow, so its
+			// HELLO cadence drifts from what neighbors expect.
+			base := nc.HelloPeriod
+			if base <= 0 {
+				base = core.Config{}.EffectiveHelloPeriod()
+			}
+			nc.HelloPeriod = time.Duration(h.helloScale * float64(base))
+		}
+		n, err := core.NewNode(nc, h.env)
+		if err != nil {
+			return fmt.Errorf("netsim: node %d: %w", h.Index, err)
+		}
+		h.Proto = n
+		h.Mesher = n
+		h.env.phy = n.Config().Phy
+	case KindFlooding:
+		fc := s.Cfg.Flood
+		fc.Address = addr
+		n, err := baseline.NewNode(fc, h.env)
+		if err != nil {
+			return fmt.Errorf("netsim: node %d: %w", h.Index, err)
+		}
+		h.Proto = n
+		h.Mesher = nil
+		h.env.phy = s.Cfg.Node.EffectivePhy()
+	case KindReactive:
+		rc := s.Cfg.Reactive
+		rc.Address = addr
+		n, err := reactive.NewNode(rc, h.env)
+		if err != nil {
+			return fmt.Errorf("netsim: node %d: %w", h.Index, err)
+		}
+		h.Proto = n
+		h.Mesher = nil
+		h.env.phy = s.Cfg.Node.EffectivePhy()
+	default:
+		return fmt.Errorf("netsim: unknown protocol %d", s.Cfg.Protocol)
+	}
+	return nil
+}
+
+// ApplyFaultPlan validates plan and arms it against this simulation:
+// link loss models and corruption interpose on every subsequent medium
+// delivery, flap and crash events are scheduled on the virtual clock
+// (times relative to now), and clock skews rebuild the affected engines
+// with scaled HELLO timers. Every injected event is virtual-time stamped
+// and derived deterministically from (plan, Cfg.Seed), so a run is
+// byte-for-byte replayable. One plan per simulation.
+func (s *Sim) ApplyFaultPlan(plan *faults.Plan) error {
+	if plan == nil {
+		return fmt.Errorf("netsim: nil fault plan")
+	}
+	if s.injector != nil {
+		return fmt.Errorf("netsim: a fault plan is already applied")
+	}
+	if err := plan.Validate(s.N()); err != nil {
+		return err
+	}
+	now := s.Sched.Now()
+
+	// Clock skews: rebuild the affected engines with the scaled HELLO
+	// period. Applied at plan time, the rebuild also costs the node its
+	// routing table — apply plans before meaningful state accrues, or
+	// treat the loss as part of the scenario.
+	for _, sk := range plan.ClockSkews {
+		h := s.handles[sk.Node]
+		h.helloScale = sk.Factor
+		if h.killed || h.down {
+			continue // the restart path rebuilds with the skew
+		}
+		h.retire()
+		h.Proto.Stop()
+		if err := s.buildEngine(h); err != nil {
+			return err
+		}
+		if err := h.Proto.Start(); err != nil {
+			return fmt.Errorf("netsim: skewed node %d: %w", sk.Node, err)
+		}
+		s.Tracer.Emit(now, h.Addr.String(), trace.KindFailure,
+			"clock skew %.2fx applied to HELLO timer", sk.Factor)
+	}
+
+	// Crashes: scheduled relative to now (the injector epoch).
+	for _, c := range plan.Crashes {
+		c := c
+		s.Sched.MustAfter(c.At.D(), func() { s.crashNode(c.Node, c.Downtime.D()) })
+	}
+
+	// Flap boundaries: emit trace events at every down/up edge so the
+	// JSONL record shows the topology timeline. The windows themselves
+	// are evaluated functionally by the injector; these events are
+	// observational only.
+	for _, f := range plan.Flaps {
+		f := f
+		downAt := func(i int) time.Duration { return f.Start.D() + time.Duration(i)*f.Period.D() }
+		var arm func(i int)
+		arm = func(i int) {
+			if f.Count > 0 && i >= f.Count {
+				return
+			}
+			s.Sched.MustAfter(now.Add(downAt(i)).Sub(s.Sched.Now()), func() {
+				s.Tracer.Emit(s.Sched.Now(), "sim", trace.KindFailure,
+					"link %d-%d down (flap %d)", f.A, f.B, i)
+				s.Sched.MustAfter(f.Down.D(), func() {
+					s.Tracer.Emit(s.Sched.Now(), "sim", trace.KindFailure,
+						"link %d-%d up (flap %d)", f.A, f.B, i)
+					if f.Period.D() > 0 {
+						arm(i + 1)
+					}
+				})
+			})
+		}
+		arm(0)
+	}
+
+	s.injector = faults.NewInjector(plan, s.Cfg.Seed, now)
+	s.Tracer.Emit(now, "sim", trace.KindFailure,
+		"fault plan %q applied (seed %d)", plan.Name, s.Cfg.Seed)
+	return nil
+}
+
+// FaultPlan returns the applied plan, or nil.
+func (s *Sim) FaultPlan() *faults.Plan {
+	if s.injector == nil {
+		return nil
+	}
+	return s.injector.Plan()
+}
+
+// FaultStats returns the injector's per-reason counts (empty without a
+// plan).
+func (s *Sim) FaultStats() map[string]uint64 {
+	if s.injector == nil {
+		return map[string]uint64{}
+	}
+	return s.injector.Stats()
+}
+
+// crashNode takes node i down per the fault plan: the engine stops (all
+// state, including the routing table, is lost) and the radio goes deaf.
+// With downtime > 0 the node restarts cold after that long.
+func (s *Sim) crashNode(i int, downtime time.Duration) {
+	h := s.handles[i]
+	if h.killed || h.down {
+		return
+	}
+	h.down = true
+	h.retire()
+	h.Proto.Stop()
+	_ = s.Medium.SetListening(h.Station, false)
+	s.reg.Counter("fault.crash").Inc()
+	s.Tracer.Emit(s.Sched.Now(), h.Addr.String(), trace.KindFailure,
+		"node crashed (fault plan); routing table lost")
+	if downtime > 0 {
+		s.Sched.MustAfter(downtime, func() { s.restartNode(i) })
+	}
+}
+
+// restartNode boots a crashed node cold: fresh engine, empty routing
+// table, zeroed duty accounting — the prior engine's metrics live on in
+// Handle.retired.
+func (s *Sim) restartNode(i int) {
+	h := s.handles[i]
+	if h.killed || !h.down {
+		return
+	}
+	if err := s.buildEngine(h); err != nil {
+		s.Tracer.Emit(s.Sched.Now(), h.Addr.String(), trace.KindFailure,
+			"restart failed: %v", err)
+		return
+	}
+	h.down = false
+	_ = s.Medium.SetListening(h.Station, true)
+	if err := h.Proto.Start(); err != nil {
+		s.Tracer.Emit(s.Sched.Now(), h.Addr.String(), trace.KindFailure,
+			"restart failed: %v", err)
+		return
+	}
+	s.reg.Counter("fault.restart").Inc()
+	s.Tracer.Emit(s.Sched.Now(), h.Addr.String(), trace.KindFailure,
+		"node restarted cold (empty routing table)")
+}
+
+// faultDrop records one injector-dropped delivery: a sim-level
+// drop.fault.<reason> counter plus a trace event carrying the packet's
+// trace ID when it still parses.
+func (s *Sim) faultDrop(at time.Time, h *Handle, reason string, frame []byte) {
+	s.reg.Counter("drop.fault." + reason).Inc()
+	if s.Tracer.Enabled() {
+		var id trace.TraceID
+		if p, err := packet.Unmarshal(frame); err == nil {
+			id = trace.TraceID(p.TraceID())
+		}
+		s.Tracer.EmitPacket(at, h.Addr.String(), trace.KindDrop, id,
+			"drop.fault.%s %d bytes", reason, len(frame))
+	}
+}

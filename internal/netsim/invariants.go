@@ -3,14 +3,15 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 )
 
 // CheckInvariants audits cross-layer accounting after (or during) a run
 // and returns every violated invariant joined into one error, or nil. The
 // checks catch bookkeeping drift between the protocol engines, the duty
-// regulators, and the medium — the kind of bug that silently skews
-// experiment results rather than failing tests.
+// regulators, the fault-injection layer, and the medium — the kind of bug
+// that silently skews experiment results rather than failing tests.
 func (s *Sim) CheckInvariants() error {
 	var errs []error
 	snap := s.AggregateMetrics().Snapshot()
@@ -22,18 +23,28 @@ func (s *Sim) CheckInvariants() error {
 	}
 
 	// Medium outcome counters partition (frames x receivers): every
-	// delivered frame was counted exactly once somewhere.
+	// frame the medium delivered was either received by an engine or
+	// eaten — and accounted — by the fault-injection layer between the
+	// medium and the engine.
 	outcomes := ms.FramesDelivered + ms.LostBelowSensitivity + ms.LostCollision +
 		ms.LostHalfDuplex + ms.LostRandom + ms.LostNotListening
 	received := uint64(snap["total.rx.frames"])
-	if ms.FramesDelivered != received {
-		errs = append(errs, fmt.Errorf("medium delivered %d frames, engines received %d",
-			ms.FramesDelivered, received))
+	var faultDrops uint64
+	for name, v := range snap {
+		if strings.HasPrefix(name, "sim.drop.fault.") {
+			faultDrops += uint64(v)
+		}
+	}
+	if ms.FramesDelivered != received+faultDrops {
+		errs = append(errs, fmt.Errorf(
+			"medium delivered %d frames, engines received %d + fault layer dropped %d",
+			ms.FramesDelivered, received, faultDrops))
 	}
 	_ = outcomes // partition total varies with receiver count; per-outcome checks above suffice
 
 	// Per-node: the engine's duty accounting matches the medium's
-	// airtime for that station.
+	// airtime for that station. Engines discarded by crash/restart
+	// contributed airtimeRetired; the station's meter spans them all.
 	for _, h := range s.handles {
 		if h.Mesher == nil {
 			continue
@@ -43,7 +54,7 @@ func (s *Sim) CheckInvariants() error {
 			errs = append(errs, err)
 			continue
 		}
-		nodeAir := h.Mesher.AirtimeUsed()
+		nodeAir := h.Mesher.AirtimeUsed() + h.airtimeRetired
 		if diff := nodeAir - stationAir; diff < -time.Millisecond || diff > time.Millisecond {
 			errs = append(errs, fmt.Errorf("node %v duty accounting %v != medium airtime %v",
 				h.Addr, nodeAir, stationAir))
@@ -60,6 +71,57 @@ func (s *Sim) CheckInvariants() error {
 	// events for the elapsed time.
 	if s.Sched.Now().Before(s.Cfg.Start) {
 		errs = append(errs, fmt.Errorf("clock ran backwards: %v < %v", s.Sched.Now(), s.Cfg.Start))
+	}
+	return errors.Join(errs...)
+}
+
+// CheckRoutingLoops asserts the no-loop and no-blackhole properties of
+// the current routing state: for every live (source, destination) pair,
+// following next hops either reaches the destination or runs out of
+// routes — it never revisits a node (loop) and never hands a packet to a
+// crashed or killed next hop (blackhole). Routing is only expected to
+// satisfy this once it has stabilized after a topology change; chaos
+// scenarios call it after their convergence window, not mid-churn.
+func (s *Sim) CheckRoutingLoops() error {
+	if s.Cfg.Protocol != KindMesher {
+		return nil
+	}
+	var errs []error
+	for _, src := range s.handles {
+		if src.killed || src.down {
+			continue
+		}
+		for _, dst := range s.handles {
+			if dst == src || dst.killed || dst.down {
+				continue
+			}
+			visited := make(map[int]bool)
+			cur := src
+			for cur != dst {
+				if visited[cur.Index] {
+					errs = append(errs, fmt.Errorf(
+						"routing loop: %v -> %v revisits node %v", src.Addr, dst.Addr, cur.Addr))
+					break
+				}
+				visited[cur.Index] = true
+				via, ok := cur.Mesher.Table().NextHop(dst.Addr)
+				if !ok {
+					break // no route: not a loop (coverage is Converged's job)
+				}
+				next := s.ByAddr(via)
+				if next == nil {
+					errs = append(errs, fmt.Errorf(
+						"blackhole: %v routes %v via unknown address %v", cur.Addr, dst.Addr, via))
+					break
+				}
+				if next.killed || next.down {
+					errs = append(errs, fmt.Errorf(
+						"blackhole: %v routes %v via dead node %v", cur.Addr, dst.Addr, via))
+					break
+				}
+				cur = next
+			}
+		}
 	}
 	return errors.Join(errs...)
 }

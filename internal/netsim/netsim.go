@@ -14,6 +14,7 @@ import (
 	"repro/internal/airmedium"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -107,11 +108,38 @@ type Handle struct {
 	OnStreamDone func(core.StreamEvent)
 
 	killed bool
-	env    *nodeEnv
+	// down marks a fault-plan crash: the engine is stopped and the radio
+	// off, but — unlike killed — the node may restart cold later.
+	down bool
+	env  *nodeEnv
+	// helloScale is the fault plan's clock-skew factor for this node's
+	// HELLO timer (0 or 1 = nominal).
+	helloScale float64
+	// retired accumulates the metrics of engines discarded by
+	// crash/restart cycles, so network totals survive restarts.
+	retired *metrics.Registry
+	// airtimeRetired is the airtime those discarded engines consumed;
+	// the medium's station airtime keeps counting across restarts.
+	airtimeRetired time.Duration
 	// sleepAccum totals time spent with the receiver off (sleep cycles),
 	// feeding the energy report.
 	sleepAccum time.Duration
 	sleeping   bool
+}
+
+// Down reports whether the node is currently crashed by the fault plan.
+func (h *Handle) Down() bool { return h.down }
+
+// retire folds the current engine's metrics and airtime into the
+// handle's retired accumulators before the engine is discarded.
+func (h *Handle) retire() {
+	if h.retired == nil {
+		h.retired = metrics.NewRegistry()
+	}
+	h.retired.Merge("", h.Proto.Metrics())
+	if h.Mesher != nil {
+		h.airtimeRetired += h.Mesher.AirtimeUsed()
+	}
 }
 
 // Sim is a running simulation.
@@ -127,6 +155,11 @@ type Sim struct {
 	// compute, e.g. end-to-end delivery latency (send-to-deliver in
 	// virtual time, observed by StartFlow).
 	reg *metrics.Registry
+	// stationIdx maps medium stations back to node indices for the
+	// fault injector's per-link evaluation.
+	stationIdx map[airmedium.StationID]int
+	// injector evaluates the applied fault plan; nil without one.
+	injector *faults.Injector
 }
 
 // New builds and starts a simulation: all nodes are placed, started, and
@@ -158,11 +191,12 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("netsim: %w", err)
 	}
 	s := &Sim{
-		Cfg:    cfg,
-		Sched:  sched,
-		Medium: medium,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		reg:    metrics.NewRegistry(),
+		Cfg:        cfg,
+		Sched:      sched,
+		Medium:     medium,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		reg:        metrics.NewRegistry(),
+		stationIdx: make(map[airmedium.StationID]int),
 	}
 	if cfg.TraceCapacity > 0 {
 		s.Tracer = trace.New(cfg.TraceCapacity)
@@ -174,42 +208,8 @@ func New(cfg Config) (*Sim, error) {
 		env := &nodeEnv{sim: s, h: h, rng: rand.New(rand.NewSource(cfg.Seed ^ int64(i+1)*0x9e3779b9))}
 		h.env = env
 
-		switch cfg.Protocol {
-		case KindMesher:
-			nc := cfg.Node
-			nc.Address = addr
-			nc.Tracer = s.Tracer
-			if cfg.NodeOverride != nil {
-				nc = cfg.NodeOverride(i, nc)
-				nc.Address = addr // the override must not break addressing
-			}
-			n, err := core.NewNode(nc, env)
-			if err != nil {
-				return nil, fmt.Errorf("netsim: node %d: %w", i, err)
-			}
-			h.Proto = n
-			h.Mesher = n
-			env.phy = n.Config().Phy
-		case KindFlooding:
-			fc := cfg.Flood
-			fc.Address = addr
-			n, err := baseline.NewNode(fc, env)
-			if err != nil {
-				return nil, fmt.Errorf("netsim: node %d: %w", i, err)
-			}
-			h.Proto = n
-			env.phy = cfg.Node.EffectivePhy()
-		case KindReactive:
-			rc := cfg.Reactive
-			rc.Address = addr
-			n, err := reactive.NewNode(rc, env)
-			if err != nil {
-				return nil, fmt.Errorf("netsim: node %d: %w", i, err)
-			}
-			h.Proto = n
-			env.phy = cfg.Node.EffectivePhy()
-		default:
-			return nil, fmt.Errorf("netsim: unknown protocol %d", cfg.Protocol)
+		if err := s.buildEngine(h); err != nil {
+			return nil, err
 		}
 
 		station, err := medium.AddStation(pos, env)
@@ -217,6 +217,7 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("netsim: node %d: %w", i, err)
 		}
 		h.Station = station
+		s.stationIdx[station] = i
 		s.handles = append(s.handles, h)
 	}
 	// Start engines only after every station exists, so first beacons
@@ -305,11 +306,11 @@ func (s *Sim) Converged() bool {
 		return true
 	}
 	for _, a := range s.handles {
-		if a.killed {
+		if a.killed || a.down {
 			continue
 		}
 		for _, b := range s.handles {
-			if b.killed || a == b {
+			if b.killed || b.down || a == b {
 				continue
 			}
 			if _, ok := a.Mesher.Table().NextHop(b.Addr); !ok {
@@ -339,6 +340,12 @@ func (s *Sim) AggregateMetrics() *metrics.Registry {
 	for _, h := range s.handles {
 		agg.Merge(fmt.Sprintf("node.%v.", h.Addr), h.Proto.Metrics())
 		agg.Merge("total.", h.Proto.Metrics())
+		if h.retired != nil {
+			// Engines discarded by crash/restart (or clock-skew rebuild)
+			// still count toward the node's and the network's totals.
+			agg.Merge(fmt.Sprintf("node.%v.", h.Addr), h.retired)
+			agg.Merge("total.", h.retired)
+		}
 	}
 	agg.Merge("sim.", s.reg)
 	return agg

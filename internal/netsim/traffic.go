@@ -109,6 +109,12 @@ func (s *Sim) StartFlow(f Flow) (*TrafficStats, error) {
 		if src.killed {
 			return
 		}
+		if src.down {
+			// Crashed by the fault plan: skip this send but keep the
+			// generator armed — the node may restart.
+			arm()
+			return
+		}
 		payload := make([]byte, f.Payload)
 		tag := seq
 		seq++

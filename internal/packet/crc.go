@@ -1,0 +1,30 @@
+package packet
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum (polynomial 0x1021,
+// initial value 0xFFFF, no reflection, no final XOR) over data. This is
+// the CRC the SX127x family computes over the PHY payload when the
+// hardware CRC is enabled, which is how LoRaMesher deployments detect
+// corrupted frames: the radio silently discards a frame whose payload
+// CRC does not match, so the MAC layer never sees it.
+//
+// The simulator mirrors that split. Frames on the virtual air carry no
+// explicit checksum bytes (the wire format in this package is the MAC
+// payload, exactly as on hardware); instead the fault-injection layer
+// records CRC16(frame) before mutating bits and drops the delivery when
+// the post-mutation CRC differs — the virtual PHY catching the error.
+// Mutations that collide (CRC16 unchanged) are passed through corrupted,
+// modelling the residual undetected-error rate of a 16-bit CRC.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

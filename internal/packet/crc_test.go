@@ -1,0 +1,59 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCRC16KnownVectors(t *testing.T) {
+	// CRC-16/CCITT-FALSE reference vectors.
+	cases := []struct {
+		in   string
+		want uint16
+	}{
+		{"", 0xFFFF},
+		{"123456789", 0x29B1},
+		{"A", 0xB915},
+	}
+	for _, c := range cases {
+		if got := CRC16([]byte(c.in)); got != c.want {
+			t.Errorf("CRC16(%q) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCRC16DetectsSingleBitFlips(t *testing.T) {
+	// Any single-bit error must be detected: the CRC polynomial has
+	// nonzero terms, so x^k alone can never be a multiple of it.
+	rng := rand.New(rand.NewSource(1))
+	frame := make([]byte, 48)
+	rng.Read(frame)
+	orig := CRC16(frame)
+	for byteIdx := range frame {
+		for bit := 0; bit < 8; bit++ {
+			frame[byteIdx] ^= 1 << bit
+			if CRC16(frame) == orig {
+				t.Fatalf("single-bit flip at byte %d bit %d undetected", byteIdx, bit)
+			}
+			frame[byteIdx] ^= 1 << bit
+		}
+	}
+}
+
+func TestCRC16DetectsTypicalBurstErrors(t *testing.T) {
+	// CRC-16 detects all burst errors up to 16 bits long.
+	rng := rand.New(rand.NewSource(2))
+	frame := make([]byte, 32)
+	rng.Read(frame)
+	orig := CRC16(frame)
+	for burst := 1; burst <= 16; burst++ {
+		mutated := append([]byte(nil), frame...)
+		start := rng.Intn(len(frame)*8 - burst)
+		for b := start; b < start+burst; b++ {
+			mutated[b/8] ^= 1 << (b % 8)
+		}
+		if CRC16(mutated) == orig {
+			t.Fatalf("burst of %d flipped bits undetected", burst)
+		}
+	}
+}

@@ -52,6 +52,21 @@ type Config struct {
 	// PoisonHold is how long a poisoned entry is retained. Zero means
 	// half of EntryTTL.
 	PoisonHold time.Duration
+	// SuppressAfter enables the bounded dead-neighbor suppression list:
+	// a neighbor withdrawn (RemoveNeighbor) this many times within
+	// SuppressWindow is quarantined for SuppressHold — its HELLOs are
+	// ignored, so a flapping link stops thrashing the Bellman-Ford
+	// table on every up-cycle. Zero disables suppression.
+	SuppressAfter int
+	// SuppressWindow is the strike-counting window. Zero means EntryTTL.
+	SuppressWindow time.Duration
+	// SuppressHold is the quarantine duration once SuppressAfter strikes
+	// accumulate. Zero means half of EntryTTL.
+	SuppressHold time.Duration
+	// SuppressMax bounds the suppression list (memory on a
+	// microcontroller); the entry closest to release is evicted to make
+	// room. Zero means 16.
+	SuppressMax int
 }
 
 // DefaultConfig returns the prototype's values: 10-minute TTL, 32-hop cap,
@@ -72,6 +87,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SNRMarginDB <= 0 {
 		c.SNRMarginDB = 3
+	}
+	if c.SuppressWindow <= 0 {
+		c.SuppressWindow = c.EntryTTL
+	}
+	if c.SuppressHold <= 0 {
+		c.SuppressHold = c.EntryTTL / 2
+	}
+	if c.SuppressMax <= 0 {
+		c.SuppressMax = 16
 	}
 	return c
 }
@@ -109,14 +133,25 @@ type Table struct {
 	entries map[packet.Address]*Entry
 	// changes counts table mutations, a cheap convergence probe.
 	changes uint64
+	// suppressed quarantines repeatedly-withdrawn neighbors (see
+	// Config.SuppressAfter). Bounded by SuppressMax.
+	suppressed map[packet.Address]*suppression
+}
+
+// suppression tracks one neighbor's withdrawal strikes.
+type suppression struct {
+	strikes     int
+	windowStart time.Time
+	until       time.Time // zero until quarantined
 }
 
 // NewTable returns an empty table for the node self.
 func NewTable(self packet.Address, cfg Config) *Table {
 	return &Table{
-		self:    self,
-		cfg:     cfg.withDefaults(),
-		entries: make(map[packet.Address]*Entry),
+		self:       self,
+		cfg:        cfg.withDefaults(),
+		entries:    make(map[packet.Address]*Entry),
+		suppressed: make(map[packet.Address]*suppression),
 	}
 }
 
@@ -144,6 +179,11 @@ func (t *Table) Changes() uint64 { return t.changes }
 // whether the table changed.
 func (t *Table) ApplyHello(now time.Time, from packet.Address, role packet.Role, snr float64, advertised []packet.HelloEntry) bool {
 	if from == t.self || from == packet.Broadcast {
+		return false
+	}
+	if t.IsSuppressed(now, from) {
+		// Quarantined flapper: ignoring its beacons keeps the table from
+		// oscillating every time the link blips back up.
 		return false
 	}
 	changed := t.update(now, Entry{Addr: from, Via: from, Metric: 1, Role: role, SNR: snr})
@@ -267,6 +307,13 @@ func (t *Table) ExpireStale(now time.Time) []packet.Address {
 			dead = append(dead, addr)
 		}
 	}
+	for via, s := range t.suppressed {
+		if s.until.IsZero() && now.Sub(s.windowStart) > t.cfg.SuppressWindow {
+			delete(t.suppressed, via)
+		} else if !s.until.IsZero() && now.After(s.until) {
+			delete(t.suppressed, via)
+		}
+	}
 	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
 	return dead
 }
@@ -343,5 +390,70 @@ func (t *Table) RemoveNeighbor(now time.Time, via packet.Address) []packet.Addre
 		}
 	}
 	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	if len(dead) > 0 {
+		t.strike(now, via)
+	}
 	return dead
+}
+
+// strike records one withdrawal against a neighbor and quarantines it
+// once it accumulates SuppressAfter strikes within SuppressWindow.
+func (t *Table) strike(now time.Time, via packet.Address) {
+	if t.cfg.SuppressAfter <= 0 {
+		return
+	}
+	s := t.suppressed[via]
+	if s == nil {
+		if len(t.suppressed) >= t.cfg.SuppressMax {
+			// Bounded list: evict the entry closest to release (an
+			// inactive, unquarantined one first).
+			var victim packet.Address
+			var victimUntil time.Time
+			first := true
+			for a, e := range t.suppressed {
+				if first || e.until.Before(victimUntil) {
+					victim, victimUntil, first = a, e.until, false
+				}
+			}
+			delete(t.suppressed, victim)
+		}
+		s = &suppression{windowStart: now}
+		t.suppressed[via] = s
+	}
+	if now.Sub(s.windowStart) > t.cfg.SuppressWindow {
+		s.strikes = 0
+		s.windowStart = now
+	}
+	s.strikes++
+	if s.strikes >= t.cfg.SuppressAfter {
+		s.until = now.Add(t.cfg.SuppressHold)
+		s.strikes = 0
+		s.windowStart = now
+	}
+}
+
+// IsSuppressed reports whether the neighbor is currently quarantined.
+func (t *Table) IsSuppressed(now time.Time, via packet.Address) bool {
+	s, ok := t.suppressed[via]
+	if !ok || s.until.IsZero() {
+		return false
+	}
+	if now.After(s.until) {
+		delete(t.suppressed, via)
+		return false
+	}
+	return true
+}
+
+// SuppressedNeighbors returns the currently quarantined neighbors,
+// sorted, for diagnostics and tests.
+func (t *Table) SuppressedNeighbors(now time.Time) []packet.Address {
+	var out []packet.Address
+	for a, s := range t.suppressed {
+		if !s.until.IsZero() && !now.After(s.until) {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -1,8 +1,12 @@
 #!/bin/sh
-# check.sh — the local quality gate: format, vet, build, full tests, then
-# a race pass over the packages with real concurrency (live harness,
-# metrics instruments, tracer, gateway bridge). CI and contributors run
-# exactly this.
+# check.sh — the local quality gate: format, vet, (optionally) staticcheck,
+# build, full tests, a race pass over the packages with real concurrency
+# (live harness, metrics instruments, tracer, gateway bridge), and the
+# coverage ratchet. CI and contributors run exactly this.
+#
+# staticcheck runs when the binary is on PATH (CI installs it; locally
+# `go install honnef.co/go/tools/cmd/staticcheck@latest`); it is skipped,
+# loudly, when absent so the gate works in minimal containers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,10 +19,31 @@ if [ -n "$unformatted" ]; then
 fi
 echo "==> go vet"
 go vet ./...
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck"
+    staticcheck ./...
+else
+    echo "==> staticcheck (skipped: not installed)"
+fi
 echo "==> go build"
 go build ./...
 echo "==> go test"
-go test ./...
+go test -coverprofile=coverage.out ./...
 echo "==> go test -race (concurrent packages)"
 go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./cmd/meshgw/...
+echo "==> coverage ratchet"
+# The ratchet: total statement coverage may not drop more than 1 point
+# below scripts/coverage_floor.txt. Raise the floor when coverage grows.
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+floor=$(cat scripts/coverage_floor.txt)
+echo "    total ${total}% (floor ${floor}%, tolerance 1.0)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f - 1.0) }'; then
+    echo "coverage ${total}% fell more than 1 point below the ${floor}% floor" >&2
+    echo "fix the regression, or lower scripts/coverage_floor.txt with justification" >&2
+    exit 1
+fi
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t > f + 1.0) }'; then
+    echo "    coverage grew; consider raising scripts/coverage_floor.txt to ${total}"
+fi
+rm -f coverage.out
 echo "OK"
