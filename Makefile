@@ -7,4 +7,4 @@ test:
 	go test ./...
 
 bench:
-	go test -bench=. -benchmem ./...
+	./scripts/bench.sh snapshot

@@ -1,0 +1,289 @@
+// benchjson turns `go test -bench` output into a committed, diffable
+// JSON snapshot and compares two snapshots for regressions. It is the
+// evidence layer behind scripts/bench.sh: the repo commits a
+// BENCH_baseline.json, every optimization PR commits its post-change
+// snapshot next to it, and CI re-runs the comparison so a speedup (or a
+// regression) is recorded in-tree rather than asserted in a PR body.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson parse -label opt -out BENCH_opt.json
+//	benchjson compare -baseline BENCH_baseline.json -current BENCH_opt.json
+//
+// parse reads benchmark lines ("BenchmarkE3Convergence-8  4  1379235 ns/op
+// 448208 B/op  4472 allocs/op") from stdin or -in and emits one JSON
+// document with per-benchmark ns/op, B/op, allocs/op plus host metadata.
+//
+// compare loads two snapshots and fails (exit 1) when any benchmark
+// present in both regressed by more than -threshold (default 0.15, i.e.
+// 15%) on ns/op or allocs/op. Benchmarks present on only one side are
+// reported but never fail the run, so adding or retiring a benchmark
+// does not require regenerating the baseline in the same commit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's measured cost.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the whole BENCH_<label>.json document.
+type Snapshot struct {
+	Label      string      `json:"label"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = runParse(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchjson parse   -label <name> [-in bench.txt] [-out BENCH_<label>.json]
+  benchjson compare -baseline BENCH_a.json -current BENCH_b.json [-threshold 0.15]`)
+}
+
+func runParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	label := fs.String("label", "snapshot", "snapshot label (BENCH_<label>.json)")
+	in := fs.String("in", "", "benchmark output to read (default stdin)")
+	out := fs.String("out", "", "file to write (default BENCH_<label>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := ParseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	snap := Snapshot{
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: benches,
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", path, len(benches))
+	return nil
+}
+
+// ParseBench extracts benchmark result lines from `go test -bench` output.
+// The trailing -<procs> suffix is stripped from names so snapshots taken
+// at different GOMAXPROCS still compare benchmark-to-benchmark.
+func ParseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-N  iters  X ns/op  [Y B/op  Z allocs/op]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: name, Iterations: iters}
+		if b.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "baseline snapshot (required)")
+	curPath := fs.String("current", "", "current snapshot (required)")
+	threshold := fs.Float64("threshold", 0.15, "max allowed fractional regression on ns/op or allocs/op")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *curPath == "" {
+		return fmt.Errorf("compare needs -baseline and -current")
+	}
+	base, err := loadSnapshot(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadSnapshot(*curPath)
+	if err != nil {
+		return err
+	}
+	report, failures := Compare(base, cur, *threshold)
+	fmt.Print(report)
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", failures, *threshold*100)
+	}
+	return nil
+}
+
+// Compare renders a per-benchmark delta table and counts benchmarks whose
+// ns/op or allocs/op regressed beyond the threshold. Totals across the
+// shared benchmark set come last, so the suite-level speedup the
+// acceptance criteria track is part of the committed evidence.
+func Compare(base, cur *Snapshot, threshold float64) (string, int) {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "comparing %q (base) vs %q (current), threshold %.0f%%\n",
+		base.Label, cur.Label, threshold*100)
+	fmt.Fprintf(&sb, "%-28s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "cur ns/op", "Δns", "Δallocs")
+
+	failures := 0
+	var baseNs, curNs, baseAllocs, curAllocs float64
+	seen := make(map[string]bool)
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-28s %14s %14.0f   (new benchmark, not compared)\n", c.Name, "-", c.NsPerOp)
+			continue
+		}
+		seen[c.Name] = true
+		baseNs += b.NsPerOp
+		curNs += c.NsPerOp
+		baseAllocs += b.AllocsPerOp
+		curAllocs += c.AllocsPerOp
+		dNs := frac(b.NsPerOp, c.NsPerOp)
+		dAllocs := frac(b.AllocsPerOp, c.AllocsPerOp)
+		mark := ""
+		if dNs > threshold || dAllocs > threshold {
+			mark = "  REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(&sb, "%-28s %14.0f %14.0f %7.1f%% %9.1f%%%s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, dNs*100, dAllocs*100, mark)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(&sb, "%-28s %14.0f %14s   (missing from current, not compared)\n", b.Name, b.NsPerOp, "-")
+		}
+	}
+	if baseNs > 0 {
+		fmt.Fprintf(&sb, "total (shared set): ns/op %.0f -> %.0f (%.2fx)", baseNs, curNs, safeRatio(baseNs, curNs))
+		if baseAllocs > 0 {
+			fmt.Fprintf(&sb, ", allocs/op %.0f -> %.0f (%.2fx)", baseAllocs, curAllocs, safeRatio(baseAllocs, curAllocs))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), failures
+}
+
+// frac is the fractional regression of cur vs base (positive = slower).
+func frac(base, cur float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (cur - base) / base
+}
+
+func safeRatio(base, cur float64) float64 {
+	if cur <= 0 {
+		return 0
+	}
+	return base / cur
+}

@@ -9,6 +9,8 @@
 //	meshbench -exp E5,E7   # run selected experiments
 //	meshbench -quick       # reduced sweeps (CI-sized)
 //	meshbench -seed 7      # different random seed
+//	meshbench -parallel 4  # sweep-point workers (0 = GOMAXPROCS)
+//	meshbench -cpuprofile meshbench.prof
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,11 +27,13 @@ import (
 
 // options collects everything a run needs; flags map onto it 1:1.
 type options struct {
-	exp    string
-	quick  bool
-	seed   int64
-	list   bool
-	format string
+	exp        string
+	quick      bool
+	seed       int64
+	list       bool
+	format     string
+	parallel   int
+	cpuprofile string
 }
 
 func main() {
@@ -38,8 +43,27 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.BoolVar(&o.list, "list", false, "list experiment ids and exit")
 	flag.StringVar(&o.format, "format", "table", "table | csv | json")
+	flag.IntVar(&o.parallel, "parallel", 0,
+		"worker goroutines per sweep (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
-	if err := run(os.Stdout, os.Stderr, o); err != nil {
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	err := run(os.Stdout, os.Stderr, o)
+	if o.cpuprofile != "" {
+		// Flushed explicitly: os.Exit below would skip a deferred stop.
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "meshbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -66,7 +90,7 @@ func run(w, ew io.Writer, o options) error {
 		}
 	}
 
-	opt := experiments.Options{Seed: o.seed, Quick: o.quick}
+	opt := experiments.Options{Seed: o.seed, Quick: o.quick, Parallel: o.parallel}
 	failed := 0
 	for _, s := range specs {
 		start := time.Now()

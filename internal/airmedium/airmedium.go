@@ -38,6 +38,12 @@ type Delivery struct {
 
 // Receiver consumes frames delivered to a station. Implementations are
 // invoked from scheduler events; they must not block.
+//
+// The Delivery's Data slice is shared: every receiver of the same
+// transmission sees the same backing array (the medium's own copy of the
+// frame, which also feeds the collision history). Implementations must
+// treat Data as read-only and must not retain it past the OnFrame call —
+// copy first if the bytes outlive the callback.
 type Receiver interface {
 	OnFrame(d Delivery)
 }
@@ -103,10 +109,24 @@ type station struct {
 	rx        Receiver
 	listening bool
 	removed   bool
+	// gen counts link-relevant changes to this station (moves, removal,
+	// link blocking); cached link budgets tagged with an older generation
+	// are stale. See pathLoss.
+	gen uint64
 	// txUntil is the end of this station's most recent transmission,
 	// for half-duplex checks and double-transmit detection.
 	txUntil time.Time
 	airtime time.Duration
+}
+
+// linkLoss is one cached link-budget entry for an ordered station pair.
+// The entry is valid only while both stations' generations match and the
+// carrier frequency is unchanged.
+type linkLoss struct {
+	genFrom, genTo uint64
+	freqHz         float64
+	lossDB         float64
+	valid          bool
 }
 
 // transmission is one in-flight or recently ended frame.
@@ -145,7 +165,15 @@ type Medium struct {
 	// blocked marks severed links (partition injection); keys are
 	// ordered (lo, hi) station pairs.
 	blocked map[[2]StationID]bool
-	stats   Stats
+	// lossCache memoizes pathLoss per ordered (from, to) pair: the
+	// shadowed link budget is deterministic in (pair, positions, freq),
+	// and reception is evaluated at every station per frame, so the
+	// log-distance/shadowing math dominates dense-network runs without
+	// it. Entries self-invalidate via station generations (bumped on
+	// SetPosition, Remove, and SetLinkBlocked) rather than being cleared
+	// eagerly.
+	lossCache [][]linkLoss
+	stats     Stats
 }
 
 // New creates a medium on the given scheduler.
@@ -182,6 +210,11 @@ func (m *Medium) AddStation(pos geo.Point, rx Receiver) (StationID, error) {
 	}
 	id := StationID(len(m.stations))
 	m.stations = append(m.stations, &station{id: id, pos: pos, rx: rx, listening: true})
+	// Grow the loss matrix; fresh entries are zero-valued, i.e. invalid.
+	for i := range m.lossCache {
+		m.lossCache[i] = append(m.lossCache[i], linkLoss{})
+	}
+	m.lossCache = append(m.lossCache, make([]linkLoss, len(m.stations)))
 	return id, nil
 }
 
@@ -204,6 +237,7 @@ func (m *Medium) SetPosition(id StationID, pos geo.Point) error {
 		return err
 	}
 	s.pos = pos
+	s.gen++ // invalidate cached link budgets involving this station
 	return nil
 }
 
@@ -236,6 +270,7 @@ func (m *Medium) Remove(id StationID) error {
 	}
 	s.removed = true
 	s.listening = false
+	s.gen++ // invalidate cached link budgets involving this station
 	return nil
 }
 
@@ -340,9 +375,12 @@ func (m *Medium) evaluate(tx *transmission, s *station) {
 		return
 	}
 	m.stats.FramesDelivered++
+	// Data aliases the medium's own copy of the frame (made in Transmit);
+	// Receiver's contract makes it read-only and non-retained, so one
+	// copy serves every receiver of the transmission.
 	s.rx.OnFrame(Delivery{
 		From:    tx.from,
-		Data:    append([]byte(nil), tx.data...),
+		Data:    tx.data,
 		RSSIDBm: rec.RSSIDBm,
 		SNRDB:   rec.SNRDB,
 		At:      m.sched.Now(),
@@ -405,15 +443,24 @@ func (m *Medium) survivesInterference(tx *transmission, s *station, signalDBm fl
 
 // pathLoss resolves the attenuation between two stations: the measured
 // override when one is configured and covers the pair, the geometric
-// (optionally shadowed) model otherwise.
+// (optionally shadowed) model otherwise. Geometric results are memoized
+// per ordered pair; a cached entry is reused only while both stations'
+// generations and the carrier frequency match, so moving, removing, or
+// (un)blocking a station lazily invalidates every link it is part of.
 func (m *Medium) pathLoss(from, to StationID, freqHz float64) float64 {
 	if m.cfg.PathLossOverride != nil {
 		if loss, ok := m.cfg.PathLossOverride(from, to); ok {
 			return loss
 		}
 	}
-	return m.shadow.LinkPathLossDB(uint64(from), uint64(to),
-		m.stations[int(from)].pos.Distance(m.stations[int(to)].pos), freqHz)
+	sf, st := m.stations[int(from)], m.stations[int(to)]
+	e := &m.lossCache[int(from)][int(to)]
+	if e.valid && e.genFrom == sf.gen && e.genTo == st.gen && e.freqHz == freqHz {
+		return e.lossDB
+	}
+	loss := m.shadow.LinkPathLossDB(uint64(from), uint64(to), sf.pos.Distance(st.pos), freqHz)
+	*e = linkLoss{genFrom: sf.gen, genTo: st.gen, freqHz: freqHz, lossDB: loss, valid: true}
+	return loss
 }
 
 // lostInSoftRegion samples the near-sensitivity PER curve: the loss
@@ -480,6 +527,11 @@ func (m *Medium) SetLinkBlocked(a, b StationID, blocked bool) error {
 	} else {
 		delete(m.blocked, linkKey(a, b))
 	}
+	// Blocking is decided outside the loss cache, but bump both
+	// generations anyway so no stale link budget involving the pair can
+	// outlive a topology change.
+	m.stations[int(a)].gen++
+	m.stations[int(b)].gen++
 	return nil
 }
 

@@ -1,0 +1,147 @@
+package airmedium
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/loraphy"
+)
+
+// Transmit copies the caller's buffer, so a sender reusing its scratch
+// buffer after Transmit returns must not corrupt the in-flight frame.
+func TestTransmitDoesNotRetainCallerBuffer(t *testing.T) {
+	f := newFixture(t, Config{}, []geo.Point{{X: 0}, {X: 200}})
+	buf := []byte("original")
+	f.transmit(t, 0, buf)
+	copy(buf, "CLOBBER!")
+	f.sched.Run(0)
+	if len(f.rx[1].frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(f.rx[1].frames))
+	}
+	if got := string(f.rx[1].frames[0].Data); got != "original" {
+		t.Fatalf("delivered %q after caller mutated buffer, want %q", got, "original")
+	}
+}
+
+// One shared copy serves every receiver of a broadcast; all of them must
+// observe identical bytes.
+func TestBroadcastReceiversSeeIdenticalData(t *testing.T) {
+	f := newFixture(t, Config{}, []geo.Point{{X: 0}, {X: 100}, {X: 200}, {Y: 150}})
+	f.transmit(t, 0, []byte("hello-mesh"))
+	f.sched.Run(0)
+	for i := 1; i < len(f.rx); i++ {
+		if len(f.rx[i].frames) != 1 {
+			t.Fatalf("station %d got %d frames, want 1", i, len(f.rx[i].frames))
+		}
+		if got := string(f.rx[i].frames[0].Data); got != "hello-mesh" {
+			t.Fatalf("station %d saw %q", i, got)
+		}
+	}
+}
+
+// The link-budget cache must invalidate when a station moves: a receiver
+// that starts out of range and moves into range (and vice versa) must see
+// the post-move link budget, not the cached one.
+func TestLossCacheInvalidatedBySetPosition(t *testing.T) {
+	f := newFixture(t, Config{}, []geo.Point{{X: 0}, {X: 100e3}})
+	f.transmit(t, 0, []byte("a"))
+	f.sched.Run(0)
+	if len(f.rx[1].frames) != 0 {
+		t.Fatal("frame delivered at 100 km")
+	}
+	// Prime both directions of the cache, then move the receiver close.
+	if err := f.medium.SetPosition(f.ids[1], geo.Point{X: 200}); err != nil {
+		t.Fatal(err)
+	}
+	f.transmit(t, 0, []byte("b"))
+	f.sched.Run(0)
+	if len(f.rx[1].frames) != 1 {
+		t.Fatal("frame not delivered after receiver moved into range: stale cached loss")
+	}
+	// And back out again.
+	if err := f.medium.SetPosition(f.ids[1], geo.Point{X: 100e3}); err != nil {
+		t.Fatal(err)
+	}
+	f.transmit(t, 0, []byte("c"))
+	f.sched.Run(0)
+	if len(f.rx[1].frames) != 1 {
+		t.Fatal("frame delivered after receiver moved out of range: stale cached loss")
+	}
+}
+
+// Moving the *sender* must invalidate cached budgets too (the cache is
+// keyed per ordered pair and checks both endpoints' generations).
+func TestLossCacheInvalidatedBySenderMove(t *testing.T) {
+	f := newFixture(t, Config{}, []geo.Point{{X: 0}, {X: 200}})
+	f.transmit(t, 0, []byte("a"))
+	f.sched.Run(0)
+	if len(f.rx[1].frames) != 1 {
+		t.Fatal("in-range frame not delivered")
+	}
+	if err := f.medium.SetPosition(f.ids[0], geo.Point{X: 100e3}); err != nil {
+		t.Fatal(err)
+	}
+	f.transmit(t, 0, []byte("b"))
+	f.sched.Run(0)
+	if len(f.rx[1].frames) != 1 {
+		t.Fatal("frame delivered after sender moved out of range: stale cached loss")
+	}
+}
+
+// The cache is keyed on carrier frequency: retuning must recompute the
+// budget, not reuse a value computed for another frequency.
+func TestLossCacheKeyedOnFrequency(t *testing.T) {
+	f := newFixture(t, Config{}, []geo.Point{{X: 0}, {X: 200}})
+	p := loraphy.DefaultParams()
+	if _, err := f.medium.Transmit(f.ids[0], []byte("a"), p); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.Run(0)
+	p2 := p
+	p2.FrequencyHz = 869525000
+	if _, err := f.medium.Transmit(f.ids[0], []byte("b"), p2); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.Run(0)
+	if len(f.rx[1].frames) != 2 {
+		t.Fatalf("got %d frames across two frequencies, want 2", len(f.rx[1].frames))
+	}
+	// White-box: both (pair, freq) budgets were computed, and the cached
+	// entry now reflects the most recent frequency.
+	e := f.medium.lossCache[int(f.ids[0])][int(f.ids[1])]
+	if !e.valid || e.freqHz != p2.FrequencyHz {
+		t.Fatalf("cache entry = %+v, want valid at freq %v", e, p2.FrequencyHz)
+	}
+}
+
+// Two identical runs with interleaved moves must produce identical
+// delivery outcomes: cache hits and misses may differ in timing but must
+// never differ in value (the cache is an optimization, not a model change).
+func TestLossCacheDeterministicUnderMoves(t *testing.T) {
+	run := func() []int {
+		f := newFixture(t, Config{ShadowSigmaDB: 6, Seed: 42},
+			[]geo.Point{{X: 0}, {X: 4000}, {X: 8000}, {X: 12000}})
+		var counts []int
+		for round := 0; round < 6; round++ {
+			for i := range f.ids {
+				f.transmit(t, i, []byte{byte(round), byte(i)})
+				f.sched.Run(0)
+			}
+			// Shuffle geometry deterministically between rounds.
+			if err := f.medium.SetPosition(f.ids[round%4],
+				geo.Point{X: float64(round) * 3000, Y: float64(round) * 500}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, c := range f.rx {
+			counts = append(counts, len(c.frames))
+		}
+		return counts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery counts diverged between identical runs: %v vs %v", a, b)
+		}
+	}
+}

@@ -36,7 +36,10 @@ type Env interface {
 	// pending fn from running; cancelling after the fact is a no-op.
 	Schedule(d time.Duration, fn func()) (cancel func())
 	// Transmit puts an encoded frame on the air and returns its airtime.
-	// The host signals completion by calling Node.HandleTxDone.
+	// The host signals completion by calling Node.HandleTxDone. The frame
+	// buffer is valid only for the duration of the call — the node reuses
+	// it for subsequent frames — so implementations that need the bytes
+	// after returning must copy them.
 	Transmit(frame []byte) (time.Duration, error)
 	// ChannelBusy reports whether channel-activity detection senses an
 	// ongoing transmission (listen-before-talk).
@@ -48,6 +51,58 @@ type Env interface {
 	// Rand returns a uniform float64 in [0,1) from the host's seeded
 	// source, used for protocol jitter.
 	Rand() float64
+}
+
+// Timer is a reusable single-shot timer bound at creation to one
+// callback. Reset (re)arms it, replacing any pending deadline; Stop
+// disarms it, and stopping a disarmed timer is a no-op. Like Schedule,
+// the callback runs in the host's execution context.
+type Timer interface {
+	Reset(d time.Duration)
+	Stop()
+}
+
+// TimerEnv is optionally implemented by Envs that can hand out reusable
+// timers more cheaply than Schedule. The node re-arms its recurring
+// timers (queue pump, HELLO beacon, route expiry) on every cycle, and
+// Schedule's per-call cancel closure is a measurable share of dense
+// simulation allocation; a Timer amortizes that to one allocation per
+// node. Envs without it get a Schedule-backed adapter.
+type TimerEnv interface {
+	NewTimer(fn func()) Timer
+}
+
+// newTimer builds a reusable timer from env, native when available.
+func newTimer(env Env, fn func()) Timer {
+	if te, ok := env.(TimerEnv); ok {
+		return te.NewTimer(fn)
+	}
+	return &schedTimer{env: env, fn: fn}
+}
+
+// schedTimer adapts Env.Schedule to the Timer shape for hosts without
+// native timers.
+type schedTimer struct {
+	env    Env
+	fn     func()
+	cancel func()
+}
+
+func (t *schedTimer) Reset(d time.Duration) {
+	if t.cancel != nil {
+		t.cancel()
+	}
+	t.cancel = t.env.Schedule(d, func() {
+		t.cancel = nil
+		t.fn()
+	})
+}
+
+func (t *schedTimer) Stop() {
+	if t.cancel != nil {
+		t.cancel()
+		t.cancel = nil
+	}
 }
 
 // AppMessage is a payload delivered to the application.
@@ -290,6 +345,14 @@ type Node struct {
 	env   Env
 	table *routing.Table
 	reg   *metrics.Registry
+	// ins caches instrument pointers for the per-frame paths; Registry
+	// lookups hash a name and take a mutex, which dominates dense
+	// simulations when paid per frame.
+	ins hotInstruments
+	// traceOn mirrors cfg.Tracer != nil so hot call sites can skip
+	// building tracePacket's variadic arguments (the []any boxing
+	// allocates even when the tracer is nil).
+	traceOn bool
 
 	started bool
 	stopped bool
@@ -297,13 +360,17 @@ type Node struct {
 	// Transmit path.
 	queue        *txQueue
 	transmitting bool
-	pumpCancel   func()
+	pumpTimer    Timer
+	pumpArmed    bool
 	cadTries     int
 	duty         dutyRegulator
+	// txBuf is the reusable frame-encode buffer behind transmitHead; the
+	// Env.Transmit contract (no retention after return) makes reuse safe.
+	txBuf []byte
 
 	// Beaconing and route maintenance.
-	helloCancel  func()
-	expiryCancel func()
+	helloTimer  Timer
+	expiryTimer Timer
 	// lastTriggered rate-limits triggered route-withdrawal HELLOs.
 	lastTriggered time.Time
 
@@ -364,8 +431,69 @@ func NewNode(cfg Config, env Env) (*Node, error) {
 		return nil, err
 	}
 	n.duty = duty
+	n.traceOn = cfg.Tracer != nil
+	n.pumpTimer = newTimer(env, func() {
+		n.pumpArmed = false
+		n.pump(0)
+	})
+	n.helloTimer = newTimer(env, n.helloTick)
+	n.expiryTimer = newTimer(env, n.expiryTick)
 	n.preRegisterInstruments()
+	n.cacheInstruments()
 	return n, nil
+}
+
+// hotInstruments holds instrument pointers resolved once at construction
+// for the counters, gauges, and histograms the per-frame paths touch.
+// Per-packet-type counters (tx.type.*, rx.type.*) are filled lazily, one
+// slot per wire type byte.
+type hotInstruments struct {
+	txFrames, txBytes, rxFrames       *metrics.Counter
+	fwdFrames, appSent, appDelivered  *metrics.Counter
+	rxCorrupt, rxOwnEcho, rxOverheard *metrics.Counter
+	helloReceived, routesUpdated      *metrics.Counter
+	queueDepth, routesCount, dutyUtil *metrics.Gauge
+	txAirtimeMs, queueWaitMs          *metrics.Histogram
+	txType, rxType                    [256]*metrics.Counter
+}
+
+func (n *Node) cacheInstruments() {
+	n.ins.txFrames = n.reg.Counter("tx.frames")
+	n.ins.txBytes = n.reg.Counter("tx.bytes")
+	n.ins.rxFrames = n.reg.Counter("rx.frames")
+	n.ins.fwdFrames = n.reg.Counter("fwd.frames")
+	n.ins.appSent = n.reg.Counter("app.sent")
+	n.ins.appDelivered = n.reg.Counter("app.delivered")
+	n.ins.rxCorrupt = n.reg.Counter("rx.corrupt")
+	n.ins.rxOwnEcho = n.reg.Counter("rx.own_echo")
+	n.ins.rxOverheard = n.reg.Counter("rx.overheard")
+	n.ins.helloReceived = n.reg.Counter("hello.received")
+	n.ins.routesUpdated = n.reg.Counter("routes.updated")
+	n.ins.queueDepth = n.reg.Gauge("queue.depth")
+	n.ins.routesCount = n.reg.Gauge("routes.count")
+	n.ins.dutyUtil = n.reg.Gauge("dutycycle.utilization")
+	n.ins.txAirtimeMs = n.reg.Histogram("tx.airtime_ms")
+	n.ins.queueWaitMs = n.reg.Histogram("queue.wait_ms")
+}
+
+// txTypeCounter returns the cached "tx.type.<T>" counter for t.
+func (n *Node) txTypeCounter(t packet.Type) *metrics.Counter {
+	c := n.ins.txType[t]
+	if c == nil {
+		c = n.reg.Counter("tx.type." + t.String())
+		n.ins.txType[t] = c
+	}
+	return c
+}
+
+// rxTypeCounter returns the cached "rx.type.<T>" counter for t.
+func (n *Node) rxTypeCounter(t packet.Type) *metrics.Counter {
+	c := n.ins.rxType[t]
+	if c == nil {
+		c = n.reg.Counter("rx.type." + t.String())
+		n.ins.rxType[t] = c
+	}
+	return c
 }
 
 // preRegisterInstruments creates the node's core instrument set up front,
@@ -431,8 +559,8 @@ func (n *Node) Start() error {
 	}
 	n.started = true
 	first := time.Duration(n.env.Rand() * float64(n.cfg.HelloPeriod))
-	n.helloCancel = n.env.Schedule(first, n.helloTick)
-	n.expiryCancel = n.env.Schedule(n.routeCheckPeriod(), n.expiryTick)
+	n.helloTimer.Reset(first)
+	n.expiryTimer.Reset(n.routeCheckPeriod())
 	return nil
 }
 
@@ -442,10 +570,8 @@ func (n *Node) Stop() {
 		return
 	}
 	n.stopped = true
-	for _, cancel := range []func(){n.helloCancel, n.expiryCancel, n.pumpCancel} {
-		if cancel != nil {
-			cancel()
-		}
+	for _, t := range []Timer{n.helloTimer, n.expiryTimer, n.pumpTimer} {
+		t.Stop()
 	}
 	for _, s := range n.outStreams {
 		if s.retryCancel != nil {

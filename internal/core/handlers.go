@@ -21,16 +21,16 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 	// rx.frames counts every frame the radio handed us — including ones
 	// that fail to parse — so medium-delivered and engine-received frame
 	// counts reconcile exactly (netsim's invariant audit depends on it).
-	n.reg.Counter("rx.frames").Inc()
+	n.ins.rxFrames.Inc()
 	p, err := packet.Unmarshal(frame)
 	if err != nil {
-		n.reg.Counter("rx.corrupt").Inc()
+		n.ins.rxCorrupt.Inc()
 		return
 	}
-	n.reg.Counter("rx.type." + p.Type.String()).Inc()
+	n.rxTypeCounter(p.Type).Inc()
 	if p.Src == n.cfg.Address {
 		// Our own packet echoed back through a loop; never process.
-		n.reg.Counter("rx.own_echo").Inc()
+		n.ins.rxOwnEcho.Inc()
 		return
 	}
 
@@ -42,10 +42,12 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 	// Routed packet: only the addressed next hop handles it; everyone
 	// else merely overhears.
 	if p.Via != n.cfg.Address && p.Via != packet.Broadcast {
-		n.reg.Counter("rx.overheard").Inc()
+		n.ins.rxOverheard.Inc()
 		return
 	}
-	n.tracePacket(trace.KindRx, p, "rx %v %v->%v snr=%.1f", p.Type, p.Src, p.Dst, info.SNRDB)
+	if n.traceOn {
+		n.tracePacket(trace.KindRx, p, "rx %v %v->%v snr=%.1f", p.Type, p.Src, p.Dst, info.SNRDB)
+	}
 	if p.Dst == n.cfg.Address {
 		n.consume(p)
 		return
@@ -65,7 +67,7 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 func (n *Node) handleHello(p *packet.Packet, info RxInfo) {
 	entries, err := packet.UnmarshalHello(p.Payload)
 	if err != nil {
-		n.reg.Counter("rx.corrupt").Inc()
+		n.ins.rxCorrupt.Inc()
 		return
 	}
 	// The sender's own role rides on its metric-0 self entry when
@@ -83,10 +85,10 @@ func (n *Node) handleHello(p *packet.Packet, info RxInfo) {
 		return
 	}
 	if n.table.ApplyHello(n.env.Now(), p.Src, role, info.SNRDB, entries) {
-		n.reg.Counter("routes.updated").Inc()
+		n.ins.routesUpdated.Inc()
 	}
-	n.reg.Gauge("routes.count").Set(float64(n.table.Len()))
-	n.reg.Counter("hello.received").Inc()
+	n.ins.routesCount.Set(float64(n.table.Len()))
+	n.ins.helloReceived.Inc()
 }
 
 // consume handles a routed packet addressed to this node.
@@ -111,8 +113,10 @@ func (n *Node) consume(p *packet.Packet) {
 
 // deliverData hands a datagram payload to the application.
 func (n *Node) deliverData(p *packet.Packet) {
-	n.reg.Counter("app.delivered").Inc()
-	n.tracePacket(trace.KindApp, p, "delivered %d bytes from %v", len(p.Payload), p.Src)
+	n.ins.appDelivered.Inc()
+	if n.traceOn {
+		n.tracePacket(trace.KindApp, p, "delivered %d bytes from %v", len(p.Payload), p.Src)
+	}
 	n.env.Deliver(AppMessage{
 		From:    p.Src,
 		To:      p.Dst,
@@ -142,8 +146,10 @@ func (n *Node) forward(p *packet.Packet) {
 		// enqueue.
 		return
 	}
-	n.reg.Counter("fwd.frames").Inc()
-	n.tracePacket(trace.KindRoute, fwd, "forward %v->%v via %v", fwd.Src, fwd.Dst, next)
+	n.ins.fwdFrames.Inc()
+	if n.traceOn {
+		n.tracePacket(trace.KindRoute, fwd, "forward %v->%v via %v", fwd.Src, fwd.Dst, next)
+	}
 }
 
 // isDuplicate remembers routed-packet fingerprints for DedupHorizon and
@@ -229,10 +235,12 @@ func (n *Node) Send(dst packet.Address, payload []byte) error {
 		Type:    packet.TypeData,
 		Payload: append([]byte(nil), payload...),
 	}
-	n.tracePacket(trace.KindApp, p, "origin %d bytes -> %v", len(payload), dst)
+	if n.traceOn {
+		n.tracePacket(trace.KindApp, p, "origin %d bytes -> %v", len(payload), dst)
+	}
 	if err := n.route(p); err != nil {
 		return err
 	}
-	n.reg.Counter("app.sent").Inc()
+	n.ins.appSent.Inc()
 	return nil
 }

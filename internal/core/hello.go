@@ -18,7 +18,7 @@ func (n *Node) helloTick() {
 		// Uniform in [1-j, 1+j] times the period.
 		period = time.Duration((1 - j + 2*j*n.env.Rand()) * float64(period))
 	}
-	n.helloCancel = n.env.Schedule(period, n.helloTick)
+	n.helloTimer.Reset(period)
 }
 
 // sendHello enqueues the node's routing table as one or more HELLO
@@ -83,7 +83,7 @@ func (n *Node) expiryTick() {
 		}
 	}
 	n.reg.Gauge("routes.count").Set(float64(n.table.Len()))
-	n.expiryCancel = n.env.Schedule(n.routeCheckPeriod(), n.expiryTick)
+	n.expiryTimer.Reset(n.routeCheckPeriod())
 }
 
 // withdrawNextHop withdraws every route through dst's current next hop

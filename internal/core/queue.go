@@ -122,7 +122,7 @@ func (n *Node) enqueue(p *packet.Packet) error {
 		}
 		return err
 	}
-	n.reg.Gauge("queue.depth").Set(float64(n.queue.len()))
+	n.ins.queueDepth.Set(float64(n.queue.len()))
 	n.pump(0)
 	return nil
 }
@@ -134,19 +134,17 @@ func (n *Node) pump(delay time.Duration) {
 	if n.stopped || n.transmitting {
 		return
 	}
-	if n.pumpCancel != nil {
+	if n.pumpArmed {
 		if delay > 0 {
 			// An earlier pump is already scheduled; it will run first.
 			return
 		}
-		n.pumpCancel()
-		n.pumpCancel = nil
+		n.pumpTimer.Stop()
+		n.pumpArmed = false
 	}
 	if delay > 0 {
-		n.pumpCancel = n.env.Schedule(delay, func() {
-			n.pumpCancel = nil
-			n.pump(0)
-		})
+		n.pumpArmed = true
+		n.pumpTimer.Reset(delay)
 		return
 	}
 	n.transmitHead()
@@ -159,7 +157,13 @@ func (n *Node) transmitHead() {
 	if !ok {
 		return
 	}
-	frame, err := packet.Marshal(head)
+	// Encode into the node's reusable buffer: Env.Transmit must not
+	// retain the frame past the call, so one buffer serves every
+	// transmission this node ever makes.
+	frame, err := packet.AppendMarshal(n.txBuf[:0], head)
+	if err == nil {
+		n.txBuf = frame
+	}
 	if err != nil {
 		// The packet was validated at enqueue; treat as a bug signal,
 		// drop it, and keep the queue moving.
@@ -190,7 +194,7 @@ func (n *Node) transmitHead() {
 			return
 		}
 		n.reg.Counter("dutycycle.deferrals").Inc()
-		n.reg.Gauge("dutycycle.utilization").Set(n.duty.Utilization(now))
+		n.ins.dutyUtil.Set(n.duty.Utilization(now))
 		n.pump(at.Sub(now) + time.Millisecond)
 		return
 	}
@@ -206,7 +210,7 @@ func (n *Node) transmitHead() {
 		n.cadTries = 0
 	}
 	_, enqueuedAt, _ := n.queue.pop()
-	n.reg.Gauge("queue.depth").Set(float64(n.queue.len()))
+	n.ins.queueDepth.Set(float64(n.queue.len()))
 	if _, err := n.env.Transmit(frame); err != nil {
 		n.reg.Counter("drop.txerror").Inc()
 		n.tracePacket(trace.KindDrop, head, "drop: radio transmit error: %v", err)
@@ -215,15 +219,15 @@ func (n *Node) transmitHead() {
 	}
 	n.duty.Record(now, airtime)
 	n.transmitting = true
-	n.reg.Counter("tx.frames").Inc()
-	n.reg.Counter("tx.type." + head.Type.String()).Inc()
-	n.reg.Counter("tx.bytes").Add(uint64(len(frame)))
-	n.reg.Histogram("tx.airtime_ms").ObserveDuration(airtime)
+	n.ins.txFrames.Inc()
+	n.txTypeCounter(head.Type).Inc()
+	n.ins.txBytes.Add(uint64(len(frame)))
+	n.ins.txAirtimeMs.ObserveDuration(airtime)
 	if !enqueuedAt.IsZero() {
-		n.reg.Histogram("queue.wait_ms").ObserveDuration(now.Sub(enqueuedAt))
+		n.ins.queueWaitMs.ObserveDuration(now.Sub(enqueuedAt))
 	}
-	n.reg.Gauge("dutycycle.utilization").Set(n.duty.Utilization(now))
-	if head.Type != packet.TypeHello {
+	n.ins.dutyUtil.Set(n.duty.Utilization(now))
+	if n.traceOn && head.Type != packet.TypeHello {
 		n.tracePacket(trace.KindTx, head, "tx %v %v->%v via %v, %d bytes, airtime %v",
 			head.Type, head.Src, head.Dst, head.Via, len(frame), airtime)
 	}

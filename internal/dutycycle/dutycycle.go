@@ -38,10 +38,12 @@ func LimitForFrequency(freqHz float64) (float64, error) {
 	}
 }
 
-// record is one past transmission.
+// record is one past transmission, in integer nanoseconds since the Unix
+// epoch. The regulator sits on the per-frame hot path (every queue pump
+// consults it, and NextAllowed binary-searches through CanTransmit), so
+// interval math runs on int64 rather than time.Time.
 type record struct {
-	start time.Time
-	dur   time.Duration
+	start, end int64
 }
 
 // Regulator tracks transmissions over a rolling window and answers whether
@@ -49,8 +51,13 @@ type record struct {
 // concurrent use; each node owns one regulator per sub-band.
 type Regulator struct {
 	limit   float64
-	window  time.Duration
+	window  int64 // ns
+	budget  int64 // ns per window, precomputed from limit*window
 	history []record
+	// histSum is the total duration of every record still in history
+	// (pruned or not); it upper-bounds the usage of any window and feeds
+	// CanTransmit's O(1) under-budget fast path.
+	histSum int64
 	// total airtime ever recorded, for compliance reporting.
 	lifetime time.Duration
 }
@@ -65,76 +72,83 @@ func NewRegulator(limit float64, window time.Duration) (*Regulator, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("dutycycle: window %v must be positive", window)
 	}
-	return &Regulator{limit: limit, window: window}, nil
+	return &Regulator{
+		limit:  limit,
+		window: int64(window),
+		budget: int64(float64(window) * limit),
+	}, nil
 }
 
 // Budget returns the airtime allowed per window.
 func (r *Regulator) Budget() time.Duration {
-	return time.Duration(float64(r.window) * r.limit)
+	return time.Duration(r.budget)
 }
 
 // usedAt returns the airtime counted against the window ending at t,
 // assuming no transmissions after the recorded history.
 func (r *Regulator) usedAt(t time.Time) time.Duration {
-	from := t.Add(-r.window)
-	var used time.Duration
+	tn := t.UnixNano()
+	from := tn - r.window
+	var used int64
 	for _, rec := range r.history {
-		end := rec.start.Add(rec.dur)
-		lo := rec.start
-		if lo.Before(from) {
+		lo, hi := rec.start, rec.end
+		if lo < from {
 			lo = from
 		}
-		hi := end
-		if hi.After(t) {
-			hi = t
+		if hi > tn {
+			hi = tn
 		}
-		if hi.After(lo) {
-			used += hi.Sub(lo)
+		if hi > lo {
+			used += hi - lo
 		}
 	}
-	return used
+	return time.Duration(used)
 }
 
 // prune drops records that can no longer affect any window at or after now.
 // It must only be called with the actual clock (from Record), never with a
 // speculative future instant: NextAllowed probes future times, and pruning
 // against a probe would discard records still counted at the present.
-func (r *Regulator) prune(now time.Time) {
-	from := now.Add(-r.window)
+func (r *Regulator) prune(now int64) {
+	from := now - r.window
 	kept := r.history[:0]
+	var sum int64
 	for _, rec := range r.history {
-		if rec.start.Add(rec.dur).After(from) {
+		if rec.end > from {
 			kept = append(kept, rec)
+			sum += rec.end - rec.start
 		}
 	}
 	r.history = kept
+	r.histSum = sum
 }
 
 // usedWithCandidate returns the airtime counted against the window ending
-// at t, including a candidate transmission [candStart, candStart+candDur]
-// that has not been recorded yet. Unlike usedAt, recorded intervals are
-// clipped only by the window — their scheduled future portions count too,
-// so admission control sees in-flight transmissions in full.
-func (r *Regulator) usedWithCandidate(t time.Time, candStart time.Time, candDur time.Duration) time.Duration {
-	from := t.Add(-r.window)
-	overlap := func(s time.Time, d time.Duration) time.Duration {
-		lo, hi := s, s.Add(d)
-		if lo.Before(from) {
-			lo = from
-		}
-		if hi.After(t) {
-			hi = t
-		}
-		if hi.After(lo) {
-			return hi.Sub(lo)
-		}
-		return 0
-	}
-	used := overlap(candStart, candDur)
+// at t, including a candidate transmission [candStart, candEnd] that has
+// not been recorded yet. Unlike usedAt, recorded intervals are clipped
+// only by the window — their scheduled future portions count too, so
+// admission control sees in-flight transmissions in full.
+func (r *Regulator) usedWithCandidate(t, candStart, candEnd int64) int64 {
+	from := t - r.window
+	used := overlapNs(candStart, candEnd, from, t)
 	for _, rec := range r.history {
-		used += overlap(rec.start, rec.dur)
+		used += overlapNs(rec.start, rec.end, from, t)
 	}
 	return used
+}
+
+// overlapNs returns the length of [s,e] ∩ [from,t].
+func overlapNs(s, e, from, t int64) int64 {
+	if s < from {
+		s = from
+	}
+	if e > t {
+		e = t
+	}
+	if e > s {
+		return e - s
+	}
+	return 0
 }
 
 // CanTransmit reports whether a transmission of the given airtime starting
@@ -143,16 +157,25 @@ func (r *Regulator) usedWithCandidate(t time.Time, candStart time.Time, candDur 
 // check the candidate's own end and the ends of recorded transmissions
 // that finish after it starts.
 func (r *Regulator) CanTransmit(now time.Time, airtime time.Duration) bool {
-	if airtime > r.Budget() {
+	a := int64(airtime)
+	if a > r.budget {
 		return false
 	}
-	end := now.Add(airtime)
-	if r.usedWithCandidate(end, now, airtime) > r.Budget() {
+	// Fast path: every window's usage is bounded by the total duration of
+	// the records still in history plus the candidate, however the
+	// intervals fall. An under-utilized node (the common case away from
+	// the regulatory limit) admits in O(1).
+	if r.histSum+a <= r.budget {
+		return true
+	}
+	n := now.UnixNano()
+	end := n + a
+	if r.usedWithCandidate(end, n, end) > r.budget {
 		return false
 	}
 	for _, rec := range r.history {
-		if e := rec.start.Add(rec.dur); e.After(end) {
-			if r.usedWithCandidate(e, now, airtime) > r.Budget() {
+		if rec.end > end {
+			if r.usedWithCandidate(rec.end, n, end) > r.budget {
 				return false
 			}
 		}
@@ -168,8 +191,10 @@ func (r *Regulator) Record(now time.Time, airtime time.Duration) {
 	if airtime <= 0 {
 		return
 	}
-	r.prune(now)
-	r.history = append(r.history, record{start: now, dur: airtime})
+	n := now.UnixNano()
+	r.prune(n)
+	r.history = append(r.history, record{start: n, end: n + int64(airtime)})
+	r.histSum += int64(airtime)
 	r.lifetime += airtime
 }
 
@@ -192,14 +217,14 @@ func (r *Regulator) NextAllowed(now time.Time, airtime time.Duration) (time.Time
 	// anyway.) Every record has left the window after lastEnd+window.
 	lo := now
 	for _, rec := range r.history {
-		if e := rec.start.Add(rec.dur); e.After(lo) {
+		if e := time.Unix(0, rec.end); e.After(lo) {
 			lo = e
 		}
 	}
 	if r.CanTransmit(lo, airtime) {
 		return lo, nil
 	}
-	hi := lo.Add(r.window)
+	hi := lo.Add(time.Duration(r.window))
 	for i := 0; i < 64 && hi.Sub(lo) > time.Microsecond; i++ {
 		mid := lo.Add(hi.Sub(lo) / 2)
 		if r.CanTransmit(mid, airtime) {

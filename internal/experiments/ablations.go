@@ -28,7 +28,9 @@ func A1Poisoning(opt Options) (*Result, error) {
 	if opt.Quick {
 		ttl = 2 * time.Minute
 	}
-	for _, poisoning := range []bool{false, true} {
+	modes := []bool{false, true}
+	rows, err := forEachPoint(opt, len(modes), func(p int) ([]string, error) {
+		poisoning := modes[p]
 		topo, err := geo.Line(n, chainSpacing)
 		if err != nil {
 			return nil, err
@@ -75,8 +77,14 @@ func A1Poisoning(opt Options) (*Result, error) {
 		if ok {
 			life = fmtDur(lifetime)
 		}
-		res.AddRow(mode, life, fmt.Sprintf("%d", maxMetric),
-			fmt.Sprintf("%d", stats.Accepted))
+		return []string{mode, life, fmt.Sprintf("%d", maxMetric),
+			fmt.Sprintf("%d", stats.Accepted)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"expiry-only suffers count-to-infinity: neighbors mutually refresh the dead route at climbing metrics until the hop cap, multiplying the phantom lifetime; poisoning kills it within ~TTL + a few HELLO periods")
@@ -102,7 +110,8 @@ func A2HelloPeriod(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, period := range periods {
+	rows, err := forEachPoint(opt, len(periods), func(i int) ([]string, error) {
+		period := periods[i]
 		cfg := expNode()
 		cfg.HelloPeriod = period
 		sim, err := netsim.New(netsim.Config{Topology: topo, Node: cfg, Seed: opt.Seed})
@@ -111,16 +120,21 @@ func A2HelloPeriod(opt Options) (*Result, error) {
 		}
 		conv, ok := sim.TimeToConvergence(5*time.Second, 6*time.Hour)
 		if !ok {
-			res.AddRow(fmtDur(period), ">6h", "-", "-")
-			continue
+			return []string{fmtDur(period), ">6h", "-", "-"}, nil
 		}
 		// Measure steady-state overhead for a further hour.
 		before := sim.TotalAirtime()
 		sim.Run(time.Hour)
 		perNodeH := (sim.TotalAirtime() - before) / time.Duration(n)
 		budget := 36 * time.Second
-		res.AddRow(fmtDur(period), fmtDur(conv), fmtDur(perNodeH),
-			fmtPct(float64(perNodeH)/float64(budget)))
+		return []string{fmtDur(period), fmtDur(conv), fmtDur(perNodeH),
+			fmtPct(float64(perNodeH) / float64(budget))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"convergence scales with the period (diameter x period), overhead scales inversely — the knee sits near the prototype's 2 min")
@@ -148,7 +162,8 @@ func A3ARQWindow(opt Options) (*Result, error) {
 		Title:  fmt.Sprintf("ARQ window sweep: %d B over %d hops", size, hops),
 		Header: []string{"window", "pacing", "time", "goodput B/s", "retransmissions"},
 	}
-	for _, v := range variants {
+	rows, err := forEachPoint(opt, len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		w := v.window
 		topo, err := geo.Line(hops+1, chainSpacing)
 		if err != nil {
@@ -178,17 +193,21 @@ func A3ARQWindow(opt Options) (*Result, error) {
 			sim.Run(10 * time.Second)
 		}
 		if len(src.StreamEvents) == 0 {
-			res.AddRow(fmt.Sprintf("%d", w), pacingStr, ">2h", "-", "-")
-			continue
+			return []string{fmt.Sprintf("%d", w), pacingStr, ">2h", "-", "-"}, nil
 		}
 		ev := src.StreamEvents[0]
 		if ev.Err != nil {
-			res.AddRow(fmt.Sprintf("%d", w), pacingStr, "failed", "-", fmt.Sprintf("%d", ev.Retransmissions))
-			continue
+			return []string{fmt.Sprintf("%d", w), pacingStr, "failed", "-", fmt.Sprintf("%d", ev.Retransmissions)}, nil
 		}
-		res.AddRow(fmt.Sprintf("%d", w), pacingStr, fmtDur(ev.Elapsed),
+		return []string{fmt.Sprintf("%d", w), pacingStr, fmtDur(ev.Elapsed),
 			fmtF(float64(size)/ev.Elapsed.Seconds(), 1),
-			fmt.Sprintf("%d", ev.Retransmissions))
+			fmt.Sprintf("%d", ev.Retransmissions)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"windowing cannot win on a half-duplex single-channel chain: unpaced windows collide with their own forwarding (retransmissions explode, transfers can fail), and pacing wide enough to be safe degenerates to stop-and-wait timing — validating the prototype's stop-and-wait design")
@@ -214,7 +233,8 @@ func A4SpreadingFactor(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, sf := range sfs {
+	rows, err := forEachPoint(opt, len(sfs), func(p int) ([]string, error) {
+		sf := sfs[p]
 		phy := loraphy.DefaultParams()
 		phy.SpreadingFactor = sf
 		rng, err := loraphy.MaxRangeMeters(phy, loraphy.DefaultLinkBudget(), loraphy.DefaultLogDistance(), 1e6)
@@ -249,8 +269,14 @@ func A4SpreadingFactor(opt Options) (*Result, error) {
 			pdrStr = fmtPct(total.DeliveryRatio())
 			airStr = fmtDur((sim.TotalAirtime() - before) / time.Duration(n))
 		}
-		res.AddRow(sf.String(), fmt.Sprintf("%.0fkm", rng/1000),
-			fmt.Sprintf("%v", connected), convStr, pdrStr, airStr)
+		return []string{sf.String(), fmt.Sprintf("%.0fkm", rng/1000),
+			fmt.Sprintf("%v", connected), convStr, pdrStr, airStr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"the crossover: the lowest SF whose range connects the field wins — higher SFs only multiply airtime (x2 per step) against the same duty budget")
@@ -276,7 +302,9 @@ func A5CAD(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, cad := range []bool{false, true} {
+	cads := []bool{false, true}
+	rows, err := forEachPoint(opt, len(cads), func(i int) ([]string, error) {
+		cad := cads[i]
 		cfg := expNode()
 		cfg.CAD = cad
 		sim, err := netsim.New(netsim.Config{Topology: topo, Node: cfg, Seed: opt.Seed})
@@ -294,10 +322,16 @@ func A5CAD(opt Options) (*Result, error) {
 		total := netsim.MergeStats(stats)
 		ms := sim.Medium.Stats()
 		snap := sim.AggregateMetrics().Snapshot()
-		res.AddRow(fmt.Sprintf("%v", cad), fmtPct(total.DeliveryRatio()),
+		return []string{fmt.Sprintf("%v", cad), fmtPct(total.DeliveryRatio()),
 			fmtDur(total.MeanLatency()),
 			fmt.Sprintf("%d", ms.LostCollision),
-			fmtF(snap["total.cad.deferrals"], 0))
+			fmtF(snap["total.cad.deferrals"], 0)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"CAD converts collision losses into short deferrals: delivery rises, latency pays milliseconds")

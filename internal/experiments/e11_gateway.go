@@ -33,18 +33,18 @@ func E11GatewayUplink(opt Options) (*Result, error) {
 			"spool max", "breaker opens", "mean age", "p95 age"},
 	}
 
-	for _, outage := range outages {
+	rows, err := forEachPoint(opt, len(outages), func(p int) ([]string, error) {
+		outage := outages[p]
 		backend := gateway.NewBackend()
 		srv := httptest.NewServer(backend)
+		defer srv.Close()
 
 		topo, err := geo.Line(n, chainSpacing)
 		if err != nil {
-			srv.Close()
 			return nil, err
 		}
 		sim, err := netsim.New(netsim.Config{Topology: topo, Node: expNode(), Seed: opt.Seed})
 		if err != nil {
-			srv.Close()
 			return nil, err
 		}
 		g, err := gateway.New(gateway.Config{
@@ -57,19 +57,16 @@ func E11GatewayUplink(opt Options) (*Result, error) {
 			BreakerCooldown:  time.Minute,
 		})
 		if err != nil {
-			srv.Close()
 			return nil, err
 		}
+		defer g.Close()
 		if _, err := gateway.AttachSim(sim, 0, g); err != nil {
-			srv.Close()
 			return nil, err
 		}
 		if _, ok := sim.TimeToConvergence(30*time.Second, 2*time.Hour); !ok {
-			srv.Close()
 			return nil, fmt.Errorf("E11: mesh never converged")
 		}
 		if _, err := sim.StartManyToOne(0, 16, time.Minute, true); err != nil {
-			srv.Close()
 			return nil, err
 		}
 
@@ -100,12 +97,10 @@ func E11GatewayUplink(opt Options) (*Result, error) {
 			backend.SetFailing(true)
 			sample(2 * time.Minute)
 			if err := sim.Partition([]int{0}, rest); err != nil {
-				srv.Close()
 				return nil, err
 			}
 			sample(outage)
 			if err := sim.Heal([]int{0}, rest); err != nil {
-				srv.Close()
 				return nil, err
 			}
 			backend.SetFailing(false)
@@ -117,7 +112,6 @@ func E11GatewayUplink(opt Options) (*Result, error) {
 		}
 		if _, ok := sim.RunUntil(func() bool { return g.Pending() == 0 },
 			30*time.Second, time.Hour); !ok {
-			srv.Close()
 			return nil, fmt.Errorf("E11: spool never drained after outage %v", outage)
 		}
 
@@ -129,18 +123,21 @@ func E11GatewayUplink(opt Options) (*Result, error) {
 			ratio = float64(uplinked) / float64(atSink)
 		}
 		age := reg.Histogram("gw.uplink.age_ms")
-		res.AddRow(fmtDur(outage),
+		return []string{fmtDur(outage),
 			fmt.Sprintf("%d", atSink),
 			fmt.Sprintf("%d", uplinked),
-			fmtF(100*ratio, 1)+"%",
+			fmtF(100*ratio, 1) + "%",
 			fmt.Sprintf("%d", backend.Duplicates()),
 			fmt.Sprintf("%d", spoolMax),
 			fmt.Sprintf("%d", reg.Counter("gw.breaker.opened").Value()),
-			fmtDur(time.Duration(age.Mean())*time.Millisecond),
-			fmtDur(time.Duration(age.Quantile(0.95))*time.Millisecond))
-
-		g.Close()
-		srv.Close()
+			fmtDur(time.Duration(age.Mean()) * time.Millisecond),
+			fmtDur(time.Duration(age.Quantile(0.95)) * time.Millisecond)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"ratio is uplinked/at-sink: the spool makes the backend outage invisible (100% with zero duplicates) while the partition only suppresses arrivals",

@@ -80,7 +80,8 @@ func E12ChaosMatrix(opt Options) (*Result, error) {
 			"fault drops", "expired", "trig HELLOs"},
 	}
 
-	for _, sc := range scenarios {
+	rows, err := forEachPoint(opt, len(scenarios), func(i int) ([]string, error) {
+		sc := scenarios[i]
 		topo, err := geo.Line(n, chainSpacing)
 		if err != nil {
 			return nil, err
@@ -114,7 +115,7 @@ func E12ChaosMatrix(opt Options) (*Result, error) {
 				drops += v
 			}
 		}
-		res.AddRow(sc.name,
+		return []string{sc.name,
 			fmt.Sprintf("%d", total.Offered),
 			fmt.Sprintf("%d", total.Delivered),
 			fmtPct(total.DeliveryRatio()),
@@ -122,7 +123,13 @@ func E12ChaosMatrix(opt Options) (*Result, error) {
 			fmt.Sprintf("%.0f", drops),
 			fmt.Sprintf("%.0f", snap["total.routes.expired"]),
 			fmt.Sprintf("%.0f", snap["total.hello.triggered"]),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 
 	res.Notes = []string{

@@ -121,7 +121,8 @@ func E3Convergence(opt Options) (*Result, error) {
 		Title:  "time to full routing convergence (HELLO period 2 min)",
 		Header: []string{"nodes", "chain", "chain diam", "random", "random diam"},
 	}
-	for _, n := range sizes {
+	rows, err := forEachPoint(opt, len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		chain, err := geo.Line(n, chainSpacing)
 		if err != nil {
 			return nil, err
@@ -141,9 +142,15 @@ func E3Convergence(opt Options) (*Result, error) {
 		}
 		cd := geo.Diameter(chain, 13000)
 		rd := geo.Diameter(random, 13000)
-		res.AddRow(fmt.Sprintf("%d", n),
+		return []string{fmt.Sprintf("%d", n),
 			okDur(chainT, chainOK), fmt.Sprintf("%d", cd),
-			okDur(randT, randOK), fmt.Sprintf("%d", rd))
+			okDur(randT, randOK), fmt.Sprintf("%d", rd)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"convergence grows with network diameter: each extra hop costs about one HELLO period",
@@ -184,7 +191,8 @@ func E4ControlOverhead(opt Options) (*Result, error) {
 		Title:  "routing control overhead (idle mesh, HELLO period 2 min)",
 		Header: []string{"nodes", "hello frames/node/h", "hello airtime/node/h", "% of 1% budget", "hello bytes/frame"},
 	}
-	for _, n := range sizes {
+	rows, err := forEachPoint(opt, len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		side := 12000.0 * math.Sqrt(float64(n)/4)
 		topo, err := geo.ConnectedRandomGeometric(n, side, side, 12000, opt.Seed, 1000)
 		if err != nil {
@@ -206,10 +214,16 @@ func E4ControlOverhead(opt Options) (*Result, error) {
 		if txFrames > 0 {
 			avgFrame = txBytes / txFrames
 		}
-		res.AddRow(fmt.Sprintf("%d", n),
+		return []string{fmt.Sprintf("%d", n),
 			fmtF(helloFrames, 1), fmtDur(airPerNodeH),
-			fmtPct(float64(airPerNodeH)/float64(budget)),
-			fmtF(avgFrame, 1))
+			fmtPct(float64(airPerNodeH) / float64(budget)),
+			fmtF(avgFrame, 1)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"HELLO frames grow with table size (larger meshes advertise more rows), but stay well inside the duty budget at the 2-min period")
@@ -232,14 +246,24 @@ func E5Delivery(opt Options) (*Result, error) {
 		Title:  "delivery ratio vs hops (40 datagrams / 15 reliable msgs per cell)",
 		Header: []string{"hops", "link loss", "datagram PDR", "reliable PDR", "reliable retrans"},
 	}
+	type cell struct {
+		hops int
+		loss float64
+	}
+	var cells []cell
 	for _, h := range hops {
 		for _, loss := range losses {
-			row, err := deliveryCell(opt.Seed, h, loss, count)
-			if err != nil {
-				return nil, err
-			}
-			res.AddRow(row...)
+			cells = append(cells, cell{h, loss})
 		}
+	}
+	rows, err := forEachPoint(opt, len(cells), func(i int) ([]string, error) {
+		return deliveryCell(opt.Seed, cells[i].hops, cells[i].loss, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"datagram PDR decays roughly as (1-loss)^hops; the reliable transport holds ≈100% through moderate hop-loss products by paying retransmissions, and degrades only where the end-to-end round trip itself is unlikely (7 hops at 20% per-link loss)",

@@ -25,34 +25,46 @@ func E6LargePayload(opt Options) (*Result, error) {
 		Title:  "reliable large-payload transfer (stop-and-wait, clean channel)",
 		Header: []string{"size B", "hops", "chunks", "time", "goodput B/s"},
 	}
+	type cell struct{ size, hops int }
+	var cells []cell
 	for _, size := range sizes {
 		for _, h := range hops {
-			topo, err := geo.Line(h+1, chainSpacing)
-			if err != nil {
-				return nil, err
-			}
-			sim, err := netsim.New(netsim.Config{Topology: topo, Node: expNode(), Seed: opt.Seed})
-			if err != nil {
-				return nil, err
-			}
-			if _, ok := sim.TimeToConvergence(10*time.Second, 4*time.Hour); !ok {
-				return nil, fmt.Errorf("E6: no convergence")
-			}
-			src := sim.Handle(0)
-			if _, err := src.Mesher.SendReliable(sim.Handle(h).Addr, make([]byte, size)); err != nil {
-				return nil, err
-			}
-			for tries := 0; len(src.StreamEvents) == 0 && tries < 720; tries++ {
-				sim.Run(10 * time.Second)
-			}
-			if len(src.StreamEvents) == 0 || src.StreamEvents[0].Err != nil {
-				return nil, fmt.Errorf("E6: transfer %dB/%dhops failed", size, h)
-			}
-			ev := src.StreamEvents[0]
-			res.AddRow(fmt.Sprintf("%d", size), fmt.Sprintf("%d", h),
-				fmt.Sprintf("%d", ev.Chunks), fmtDur(ev.Elapsed),
-				fmtF(float64(size)/ev.Elapsed.Seconds(), 1))
+			cells = append(cells, cell{size, h})
 		}
+	}
+	rows, err := forEachPoint(opt, len(cells), func(i int) ([]string, error) {
+		size, h := cells[i].size, cells[i].hops
+		topo, err := geo.Line(h+1, chainSpacing)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := netsim.New(netsim.Config{Topology: topo, Node: expNode(), Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := sim.TimeToConvergence(10*time.Second, 4*time.Hour); !ok {
+			return nil, fmt.Errorf("E6: no convergence")
+		}
+		src := sim.Handle(0)
+		if _, err := src.Mesher.SendReliable(sim.Handle(h).Addr, make([]byte, size)); err != nil {
+			return nil, err
+		}
+		for tries := 0; len(src.StreamEvents) == 0 && tries < 720; tries++ {
+			sim.Run(10 * time.Second)
+		}
+		if len(src.StreamEvents) == 0 || src.StreamEvents[0].Err != nil {
+			return nil, fmt.Errorf("E6: transfer %dB/%dhops failed", size, h)
+		}
+		ev := src.StreamEvents[0]
+		return []string{fmt.Sprintf("%d", size), fmt.Sprintf("%d", h),
+			fmt.Sprintf("%d", ev.Chunks), fmtDur(ev.Elapsed),
+			fmtF(float64(size)/ev.Elapsed.Seconds(), 1)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"transfer time scales linearly in chunks and in hops (stop-and-wait pays one mesh round-trip per chunk)")
@@ -134,13 +146,30 @@ func E7Baseline(opt Options) (*Result, error) {
 			airtime:  sim.TotalAirtime(),
 		}, nil
 	}
-	mean := func(kind netsim.ProtocolKind) (*outcome, error) {
-		var agg outcome
+	// Every (protocol, seed) replicate is independent; fan them all out
+	// at once and fold the means afterwards in fixed index order, so the
+	// float sums associate identically however the runs were scheduled.
+	kinds := []netsim.ProtocolKind{netsim.KindMesher, netsim.KindFlooding}
+	type point struct {
+		kind netsim.ProtocolKind
+		seed int64
+	}
+	var points []point
+	for _, kind := range kinds {
 		for _, seed := range seeds {
-			o, err := run(kind, seed)
-			if err != nil {
-				return nil, err
-			}
+			points = append(points, point{kind, seed})
+		}
+	}
+	outcomes, err := forEachPoint(opt, len(points), func(i int) (*outcome, error) {
+		return run(points[i].kind, points[i].seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	mean := func(kindIdx int) *outcome {
+		var agg outcome
+		for s := range seeds {
+			o := outcomes[kindIdx*len(seeds)+s]
 			agg.pdr += o.pdr
 			agg.latency += o.latency
 			agg.txFrames += o.txFrames
@@ -153,16 +182,10 @@ func E7Baseline(opt Options) (*Result, error) {
 		agg.txFrames /= k
 		agg.perDel /= k
 		agg.airtime /= time.Duration(len(seeds))
-		return &agg, nil
+		return &agg
 	}
-	mesher, err := mean(netsim.KindMesher)
-	if err != nil {
-		return nil, err
-	}
-	flood, err := mean(netsim.KindFlooding)
-	if err != nil {
-		return nil, err
-	}
+	mesher := mean(0)
+	flood := mean(1)
 	for _, row := range []struct {
 		name string
 		o    *outcome
@@ -258,7 +281,8 @@ func E9Density(opt Options) (*Result, error) {
 		Title:  "density sweep: fixed 30x30 km field, Poisson unicast",
 		Header: []string{"nodes", "mean degree", "PDR", "mean latency", "collision losses", "tx frames"},
 	}
-	for _, n := range sizes {
+	rows, err := forEachPoint(opt, len(sizes), func(p int) ([]string, error) {
+		n := sizes[p]
 		topo, err := geo.ConnectedRandomGeometric(n, 30000, 30000, 12000, opt.Seed, 2000)
 		if err != nil {
 			return nil, err
@@ -268,8 +292,7 @@ func E9Density(opt Options) (*Result, error) {
 			return nil, err
 		}
 		if _, ok := sim.TimeToConvergence(10*time.Second, 6*time.Hour); !ok {
-			res.AddRow(fmt.Sprintf("%d", n), "-", "no convergence", "-", "-", "-")
-			continue
+			return []string{fmt.Sprintf("%d", n), "-", "no convergence", "-", "-", "-"}, nil
 		}
 		var all []*netsim.TrafficStats
 		for i := 0; i < n; i++ {
@@ -286,12 +309,18 @@ func E9Density(opt Options) (*Result, error) {
 		total := netsim.MergeStats(all)
 		ms := sim.Medium.Stats()
 		snap := sim.AggregateMetrics().Snapshot()
-		res.AddRow(fmt.Sprintf("%d", n),
+		return []string{fmt.Sprintf("%d", n),
 			fmtF(geo.MeanDegree(topo, 13000), 1),
 			fmtPct(total.DeliveryRatio()),
 			fmtDur(total.MeanLatency()),
 			fmt.Sprintf("%d", ms.LostCollision),
-			fmtF(snap["total.tx.frames"], 0))
+			fmtF(snap["total.tx.frames"], 0)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"collision losses grow superlinearly with density while PDR degrades gracefully — capture lets the strongest frame survive")
@@ -311,11 +340,13 @@ func E10Repair(opt Options) (*Result, error) {
 		Title:  "route repair after router death (diamond topology, redundant path)",
 		Header: []string{"entry TTL", "repair time", "lost in outage", "delivered after"},
 	}
-	for _, ttl := range ttls {
-		row, err := repairCell(opt.Seed, ttl, false)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := forEachPoint(opt, len(ttls), func(i int) ([]string, error) {
+		return repairCell(opt.Seed, ttls[i], false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,

@@ -22,6 +22,11 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and durations for CI and benchmarks.
 	Quick bool
+	// Parallel caps the worker goroutines evaluating independent sweep
+	// points: 0 means GOMAXPROCS, 1 forces serial evaluation. Tables
+	// come out byte-identical at any setting — workers only compute
+	// cells, and rows are assembled in sweep order afterwards.
+	Parallel int
 }
 
 // Result is one regenerated table/figure as rows of text cells.

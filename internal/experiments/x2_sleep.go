@@ -40,7 +40,8 @@ func X2Sleep(opt Options) (*Result, error) {
 	if opt.Quick {
 		variants = []variant{{-1, 0, "nobody"}, {2, 0.9, "leaf"}, {1, 0.9, "router"}}
 	}
-	for _, v := range variants {
+	rows, err := forEachPoint(opt, len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		// Chain: 0 = sink, 1 = router, 2 = leaf.
 		topo, err := geo.Line(3, chainSpacing)
 		if err != nil {
@@ -85,8 +86,14 @@ func X2Sleep(opt Options) (*Result, error) {
 			idx = 2
 		}
 		ne := report[idx]
-		res.AddRow(v.label, fmtPct(v.duty), fmtPct(stats.DeliveryRatio()),
-			fmtF(ne.MeanCurrentMA, 2), fmtDur(ne.BatteryLife))
+		return []string{v.label, fmtPct(v.duty), fmtPct(stats.DeliveryRatio()),
+			fmtF(ne.MeanCurrentMA, 2), fmtDur(ne.BatteryLife)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"paired with a long routing TTL, a sleeping leaf keeps near-full delivery (transmissions wake the radio; routes refresh during awake windows) while battery life multiplies ~10-20x; a sleeping router black-holes the frames it should forward — only edge devices may sleep")

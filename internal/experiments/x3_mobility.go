@@ -25,7 +25,8 @@ func X3Mobility(opt Options) (*Result, error) {
 		Title:  fmt.Sprintf("extension: random-waypoint mobility, %d nodes, Poisson unicast", n),
 		Header: []string{"speed m/s", "PDR", "mean latency", "no-route drops", "routes expired"},
 	}
-	for _, speed := range speeds {
+	rows, err := forEachPoint(opt, len(speeds), func(p int) ([]string, error) {
+		speed := speeds[p]
 		side := 12000.0 * 1.6 // keep the roaming field comfortably connected
 		topo, err := geo.ConnectedRandomGeometric(n, side, side, 12000, opt.Seed, 2000)
 		if err != nil {
@@ -65,10 +66,16 @@ func X3Mobility(opt Options) (*Result, error) {
 		sim.Run(dur)
 		total := netsim.MergeStats(all)
 		snap := sim.AggregateMetrics().Snapshot()
-		res.AddRow(fmtF(speed, 0), fmtPct(total.DeliveryRatio()),
+		return []string{fmtF(speed, 0), fmtPct(total.DeliveryRatio()),
 			fmtDur(total.MeanLatency()),
 			fmtF(snap["total.drop.noroute"], 0),
-			fmtF(snap["total.routes.expired"], 0))
+			fmtF(snap["total.routes.expired"], 0)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"pedestrian speeds are nearly free (links outlive the hello period); vehicular speeds outrun the 2-min beacons — stale next hops and no-route drops climb, the proactive protocol's known mobility wall")

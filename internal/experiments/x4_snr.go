@@ -31,51 +31,65 @@ func X4SNRRouting(opt Options) (*Result, error) {
 		Title:  fmt.Sprintf("extension: hop-count vs SNR-tiebreak routing, %d nodes, 8 dB shadowing", n),
 		Header: []string{"metric", "seed", "PDR", "mean latency", "marginal-link drops"},
 	}
+	type cell struct {
+		seed int64
+		snr  bool
+	}
+	var cells []cell
 	for _, seed := range seeds {
 		for _, snr := range []bool{false, true} {
-			// Dense enough that equal-hop alternatives exist; shadowing
-			// makes their quality diverge.
-			side := 12000.0 * 1.9
-			topo, err := geo.ConnectedRandomGeometric(n, side, side, 9000, seed, 2000)
-			if err != nil {
-				return nil, err
-			}
-			cfg := expNode()
-			cfg.Routing.SNRTiebreak = snr
-			sim, err := netsim.New(netsim.Config{
-				Topology: topo,
-				Node:     cfg,
-				Seed:     seed,
-				// Shadowing spreads link qualities; soft decoding makes
-				// marginal links lossy instead of binary, which is what
-				// a quality metric can route around.
-				Medium: airmedium.Config{ShadowSigmaDB: 8, SoftDecodingWidthDB: 3, Seed: seed},
+			cells = append(cells, cell{seed, snr})
+		}
+	}
+	rows, err := forEachPoint(opt, len(cells), func(p int) ([]string, error) {
+		seed, snr := cells[p].seed, cells[p].snr
+		// Dense enough that equal-hop alternatives exist; shadowing
+		// makes their quality diverge.
+		side := 12000.0 * 1.9
+		topo, err := geo.ConnectedRandomGeometric(n, side, side, 9000, seed, 2000)
+		if err != nil {
+			return nil, err
+		}
+		cfg := expNode()
+		cfg.Routing.SNRTiebreak = snr
+		sim, err := netsim.New(netsim.Config{
+			Topology: topo,
+			Node:     cfg,
+			Seed:     seed,
+			// Shadowing spreads link qualities; soft decoding makes
+			// marginal links lossy instead of binary, which is what
+			// a quality metric can route around.
+			Medium: airmedium.Config{ShadowSigmaDB: 8, SoftDecodingWidthDB: 3, Seed: seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := sim.TimeToConvergence(10*time.Second, 6*time.Hour); !ok {
+			return []string{metricName(snr), fmt.Sprintf("%d", seed), "no convergence", "-", "-"}, nil
+		}
+		var all []*netsim.TrafficStats
+		for i := 0; i < n; i++ {
+			st, err := sim.StartFlow(netsim.Flow{
+				From: i, To: (i + n/2) % n, Payload: 24,
+				Interval: 3 * time.Minute, Poisson: true,
 			})
 			if err != nil {
 				return nil, err
 			}
-			if _, ok := sim.TimeToConvergence(10*time.Second, 6*time.Hour); !ok {
-				res.AddRow(metricName(snr), fmt.Sprintf("%d", seed), "no convergence", "-", "-")
-				continue
-			}
-			var all []*netsim.TrafficStats
-			for i := 0; i < n; i++ {
-				st, err := sim.StartFlow(netsim.Flow{
-					From: i, To: (i + n/2) % n, Payload: 24,
-					Interval: 3 * time.Minute, Poisson: true,
-				})
-				if err != nil {
-					return nil, err
-				}
-				all = append(all, st)
-			}
-			sim.Run(dur)
-			total := netsim.MergeStats(all)
-			ms := sim.Medium.Stats()
-			res.AddRow(metricName(snr), fmt.Sprintf("%d", seed),
-				fmtPct(total.DeliveryRatio()), fmtDur(total.MeanLatency()),
-				fmt.Sprintf("%d", ms.LostBelowSensitivity))
+			all = append(all, st)
 		}
+		sim.Run(dur)
+		total := netsim.MergeStats(all)
+		ms := sim.Medium.Stats()
+		return []string{metricName(snr), fmt.Sprintf("%d", seed),
+			fmtPct(total.DeliveryRatio()), fmtDur(total.MeanLatency()),
+			fmt.Sprintf("%d", ms.LostBelowSensitivity)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"NEGATIVE RESULT: the first-link-greedy SNR tiebreak consistently lowers PDR — it pulls routes toward strong nearby neighbors whose onward links are weaker. Link-quality routing needs an end-to-end metric (ETX-style) carried in the advertisement, which the prototype's 4-byte HELLO row cannot express; hop count with implicit survivor bias (weak neighbors' HELLOs rarely arrive) is the better default")

@@ -41,11 +41,13 @@ func X6Reactive(opt Options) (*Result, error) {
 		kind netsim.ProtocolKind
 		name string
 	}
-	for _, pr := range []proto{
+	protos := []proto{
 		{netsim.KindMesher, "LoRaMesher (proactive)"},
 		{netsim.KindReactive, "AODV-lite (reactive)"},
 		{netsim.KindFlooding, "flooding"},
-	} {
+	}
+	rows, err := forEachPoint(opt, len(protos), func(p int) ([]string, error) {
+		pr := protos[p]
 		cfg := netsim.Config{
 			Topology: topo,
 			Protocol: pr.kind,
@@ -93,9 +95,15 @@ func X6Reactive(opt Options) (*Result, error) {
 		if len(firsts) > 0 {
 			first = fmtDur(median(firsts))
 		}
-		res.AddRow(pr.name, fmtDur(idleAir), first,
+		return []string{pr.name, fmtDur(idleAir), first,
 			fmtPct(total.DeliveryRatio()), fmtDur(total.MeanLatency()),
-			fmtF(snap["total.tx.frames"], 0))
+			fmtF(snap["total.tx.frames"], 0)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
 		"the trade: proactive pays idle beacons and answers instantly; reactive is silent when idle but the first packet of every flow waits out a discovery round trip; flooding pays the most airtime forever. For always-on telemetry (this paper's workload) proactive wins; for rare event traffic reactive's silence is worth the latency")

@@ -7,8 +7,29 @@ import "fmt"
 // graph — the idealized view used for sanity checks; the actual simulator
 // decides reachability from the link budget.
 func Neighbors(t *Topology, rangeMeters float64) [][]int {
+	// Two passes — count degrees, then fill rows carved from one flat
+	// backing array. Topology generators call this hundreds of times
+	// while searching for a connected placement, and append-grown rows
+	// made it the dominant setup allocator.
 	n := t.N()
+	deg := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if t.Positions[i].Distance(t.Positions[j]) <= rangeMeters {
+				deg[i]++
+				deg[j]++
+				total += 2
+			}
+		}
+	}
 	adj := make([][]int, n)
+	flat := make([]int, total)
+	off := 0
+	for i, d := range deg {
+		adj[i] = flat[off : off : off+d]
+		off += d
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if t.Positions[i].Distance(t.Positions[j]) <= rangeMeters {

@@ -143,12 +143,25 @@ func (h *Histogram) Min() float64 { return h.Quantile(0) }
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
 // Registry is a namespace of instruments, lazily created on first use.
+// New instruments are carved from per-kind slabs rather than allocated
+// one by one: a simulation builds a registry per node, and instrument
+// construction dominated node-setup allocation profiles before slabbing.
+// Pointers into a slab stay valid forever — exhausted slabs are simply
+// abandoned to the instruments they back.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterSlab   []Counter
+	gaugeSlab     []Gauge
+	histogramSlab []Histogram
 }
+
+// slabSize is how many instruments of one kind a slab holds. The node
+// engine pre-registers ~20 instruments, so one slab usually serves a
+// whole node.
+const slabSize = 24
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
@@ -165,7 +178,11 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{}
+		if len(r.counterSlab) == 0 {
+			r.counterSlab = make([]Counter, slabSize)
+		}
+		c = &r.counterSlab[0]
+		r.counterSlab = r.counterSlab[1:]
 		r.counters[name] = c
 	}
 	return c
@@ -177,7 +194,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		if len(r.gaugeSlab) == 0 {
+			r.gaugeSlab = make([]Gauge, slabSize)
+		}
+		g = &r.gaugeSlab[0]
+		r.gaugeSlab = r.gaugeSlab[1:]
 		r.gauges[name] = g
 	}
 	return g
@@ -189,7 +210,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = &Histogram{}
+		if len(r.histogramSlab) == 0 {
+			r.histogramSlab = make([]Histogram, slabSize)
+		}
+		h = &r.histogramSlab[0]
+		r.histogramSlab = r.histogramSlab[1:]
 		r.histograms[name] = h
 	}
 	return h

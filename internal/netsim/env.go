@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loraphy"
 	"repro/internal/packet"
+	"repro/internal/simtime"
 	"repro/internal/trace"
 )
 
@@ -36,14 +37,50 @@ func (e *nodeEnv) Schedule(d time.Duration, fn func()) func() {
 	return func() { e.sim.Sched.Cancel(h) }
 }
 
+// NewTimer implements core.TimerEnv: a reusable single-shot timer
+// holding a scheduler handle directly, so re-arming allocates nothing
+// (Schedule wraps every call in a fresh cancel closure).
+func (e *nodeEnv) NewTimer(fn func()) core.Timer {
+	t := &simTimer{sched: e.sim.Sched}
+	t.fire = func() {
+		t.armed = false
+		fn()
+	}
+	return t
+}
+
+type simTimer struct {
+	sched *simtime.Scheduler
+	fire  func()
+	h     simtime.Handle
+	armed bool
+}
+
+func (t *simTimer) Reset(d time.Duration) {
+	if t.armed {
+		t.sched.Cancel(t.h)
+	}
+	t.armed = true
+	t.h = t.sched.MustAfter(d, t.fire)
+}
+
+func (t *simTimer) Stop() {
+	if t.armed {
+		t.sched.Cancel(t.h)
+		t.armed = false
+	}
+}
+
 // Transmit implements core.Env.
 func (e *nodeEnv) Transmit(frame []byte) (time.Duration, error) {
 	airtime, err := e.sim.Medium.Transmit(e.h.Station, frame, e.phy)
 	if err != nil {
 		return 0, err
 	}
-	e.sim.Tracer.Emit(e.Now(), e.h.Addr.String(), trace.KindTx,
-		"%d bytes, %v airtime", len(frame), airtime)
+	if e.sim.Tracer.Enabled() {
+		e.sim.Tracer.Emit(e.Now(), e.h.addrStr, trace.KindTx,
+			"%d bytes, %v airtime", len(frame), airtime)
+	}
 	return airtime, nil
 }
 
@@ -55,8 +92,10 @@ func (e *nodeEnv) ChannelBusy() (bool, error) {
 // Deliver implements core.Env.
 func (e *nodeEnv) Deliver(msg core.AppMessage) {
 	e.h.Msgs = append(e.h.Msgs, msg)
-	e.sim.Tracer.Emit(e.Now(), e.h.Addr.String(), trace.KindApp,
-		"delivered %d bytes from %v (reliable=%v)", len(msg.Payload), msg.From, msg.Reliable)
+	if e.sim.Tracer.Enabled() {
+		e.sim.Tracer.Emit(e.Now(), e.h.addrStr, trace.KindApp,
+			"delivered %d bytes from %v (reliable=%v)", len(msg.Payload), msg.From, msg.Reliable)
+	}
 	if e.h.OnMessage != nil {
 		e.h.OnMessage(msg)
 	}
@@ -65,9 +104,11 @@ func (e *nodeEnv) Deliver(msg core.AppMessage) {
 // StreamDone implements core.Env.
 func (e *nodeEnv) StreamDone(ev core.StreamEvent) {
 	e.h.StreamEvents = append(e.h.StreamEvents, ev)
-	e.sim.Tracer.Emit(e.Now(), e.h.Addr.String(), trace.KindStream,
-		"stream %d to %v: err=%v chunks=%d retrans=%d elapsed=%v",
-		ev.ID, ev.Dst, ev.Err, ev.Chunks, ev.Retransmissions, ev.Elapsed)
+	if e.sim.Tracer.Enabled() {
+		e.sim.Tracer.Emit(e.Now(), e.h.addrStr, trace.KindStream,
+			"stream %d to %v: err=%v chunks=%d retrans=%d elapsed=%v",
+			ev.ID, ev.Dst, ev.Err, ev.Chunks, ev.Retransmissions, ev.Elapsed)
+	}
 	if e.h.OnStreamDone != nil {
 		e.h.OnStreamDone(ev)
 	}
@@ -108,7 +149,7 @@ func (e *nodeEnv) OnFrame(d airmedium.Delivery) {
 		if p, err := packet.Unmarshal(data); err == nil {
 			id = trace.TraceID(p.TraceID())
 		}
-		e.sim.Tracer.EmitPacket(d.At, e.h.Addr.String(), trace.KindRx, id,
+		e.sim.Tracer.EmitPacket(d.At, e.h.addrStr, trace.KindRx, id,
 			"%d bytes rssi=%.1f snr=%.1f", len(data), d.RSSIDBm, d.SNRDB)
 	}
 	e.h.Proto.HandleFrame(data, core.RxInfo{RSSIDBm: d.RSSIDBm, SNRDB: d.SNRDB})

@@ -222,7 +222,7 @@ func (s *Sim) faultDrop(at time.Time, h *Handle, reason string, frame []byte) {
 		if p, err := packet.Unmarshal(frame); err == nil {
 			id = trace.TraceID(p.TraceID())
 		}
-		s.Tracer.EmitPacket(at, h.Addr.String(), trace.KindDrop, id,
+		s.Tracer.EmitPacket(at, h.addrStr, trace.KindDrop, id,
 			"drop.fault.%s %d bytes", reason, len(frame))
 	}
 }

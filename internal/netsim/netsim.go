@@ -112,6 +112,11 @@ type Handle struct {
 	// off, but — unlike killed — the node may restart cold later.
 	down bool
 	env  *nodeEnv
+	// addrStr and prefix cache Addr's rendered forms ("0001" and
+	// "node.0001."), computed once at handle creation: tracer emits and
+	// metric aggregation would otherwise re-run fmt per node per call.
+	addrStr string
+	prefix  string
 	// helloScale is the fault plan's clock-skew factor for this node's
 	// HELLO timer (0 or 1 = nominal).
 	helloScale float64
@@ -205,6 +210,8 @@ func New(cfg Config) (*Sim, error) {
 	for i, pos := range cfg.Topology.Positions {
 		addr := cfg.BaseAddress + packet.Address(i)
 		h := &Handle{Index: i, Addr: addr}
+		h.addrStr = addr.String()
+		h.prefix = "node." + h.addrStr + "."
 		env := &nodeEnv{sim: s, h: h, rng: rand.New(rand.NewSource(cfg.Seed ^ int64(i+1)*0x9e3779b9))}
 		h.env = env
 
@@ -284,7 +291,7 @@ func (s *Sim) Kill(i int) error {
 	if err := s.Medium.Remove(h.Station); err != nil {
 		return fmt.Errorf("netsim: kill node %d: %w", i, err)
 	}
-	s.Tracer.Emit(s.Sched.Now(), h.Addr.String(), trace.KindFailure, "node killed")
+	s.Tracer.Emit(s.Sched.Now(), h.addrStr, trace.KindFailure, "node killed")
 	return nil
 }
 
@@ -338,12 +345,12 @@ func (s *Sim) Metrics() *metrics.Registry { return s.reg }
 func (s *Sim) AggregateMetrics() *metrics.Registry {
 	agg := metrics.NewRegistry()
 	for _, h := range s.handles {
-		agg.Merge(fmt.Sprintf("node.%v.", h.Addr), h.Proto.Metrics())
+		agg.Merge(h.prefix, h.Proto.Metrics())
 		agg.Merge("total.", h.Proto.Metrics())
 		if h.retired != nil {
 			// Engines discarded by crash/restart (or clock-skew rebuild)
 			// still count toward the node's and the network's totals.
-			agg.Merge(fmt.Sprintf("node.%v.", h.Addr), h.retired)
+			agg.Merge(h.prefix, h.retired)
 			agg.Merge("total.", h.retired)
 		}
 	}

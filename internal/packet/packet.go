@@ -192,10 +192,18 @@ func (p *Packet) Validate() error {
 
 // Marshal encodes the packet into wire format.
 func Marshal(p *Packet) ([]byte, error) {
+	return AppendMarshal(make([]byte, 0, p.WireLen()), p)
+}
+
+// AppendMarshal encodes the packet into wire format, appending to dst and
+// returning the extended slice. Callers on hot paths pass a reusable
+// buffer (`buf[:0]`) to keep encoding allocation-free; passing nil
+// behaves like Marshal.
+func AppendMarshal(dst []byte, p *Packet) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, p.WireLen())
+	buf := dst
 	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Dst))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Src))
 	buf = append(buf, byte(p.Type), byte(p.WireLen()))

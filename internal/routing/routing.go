@@ -148,10 +148,12 @@ type suppression struct {
 // NewTable returns an empty table for the node self.
 func NewTable(self packet.Address, cfg Config) *Table {
 	return &Table{
-		self:       self,
-		cfg:        cfg.withDefaults(),
-		entries:    make(map[packet.Address]*Entry),
-		suppressed: make(map[packet.Address]*suppression),
+		self:    self,
+		cfg:     cfg.withDefaults(),
+		entries: make(map[packet.Address]*Entry),
+		// suppressed is created lazily on the first strike: reads of a
+		// nil map behave like an empty one, and most tables never
+		// quarantine anybody.
 	}
 }
 
@@ -418,6 +420,9 @@ func (t *Table) strike(now time.Time, via packet.Address) {
 			delete(t.suppressed, victim)
 		}
 		s = &suppression{windowStart: now}
+		if t.suppressed == nil {
+			t.suppressed = make(map[packet.Address]*suppression)
+		}
 		t.suppressed[via] = s
 	}
 	if now.Sub(s.windowStart) > t.cfg.SuppressWindow {

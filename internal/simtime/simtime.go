@@ -18,9 +18,13 @@ import (
 // The zero Handle is invalid and is never returned by the scheduler.
 type Handle uint64
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. Events are pooled on the
+// scheduler's freelist: one is recycled only after it leaves the heap
+// (fired or popped while cancelled), never at Cancel time, because the
+// heap still references a cancelled event until Step or peek discards it.
 type event struct {
 	at       time.Time
+	atNs     int64  // at.UnixNano(), precomputed for heap ordering
 	seq      uint64 // tie-breaker: schedule order
 	fn       func()
 	handle   Handle
@@ -36,8 +40,8 @@ var _ heap.Interface = (*eventQueue)(nil)
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+	if q[i].atNs != q[j].atNs {
+		return q[i].atNs < q[j].atNs
 	}
 	return q[i].seq < q[j].seq
 }
@@ -75,6 +79,10 @@ type Scheduler struct {
 	nextSeq uint64
 	pending map[Handle]*event
 	fired   uint64
+	// free holds events that have left the heap, ready for reuse by At.
+	// Handles stay unique across reuse because they come from nextSeq,
+	// which never repeats.
+	free []*event
 }
 
 // NewScheduler returns a scheduler whose clock starts at start.
@@ -104,15 +112,34 @@ func (s *Scheduler) At(at time.Time, fn func()) (Handle, error) {
 		return 0, fmt.Errorf("simtime: schedule at %v is before now %v", at, s.now)
 	}
 	s.nextSeq++
-	ev := &event{
-		at:     at,
-		seq:    s.nextSeq,
-		fn:     fn,
-		handle: Handle(s.nextSeq),
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
 	}
+	ev.at = at
+	ev.atNs = at.UnixNano()
+	ev.seq = s.nextSeq
+	ev.fn = fn
+	ev.handle = Handle(s.nextSeq)
+	ev.canceled = false
 	heap.Push(&s.queue, ev)
 	s.pending[ev.handle] = ev
 	return ev.handle, nil
+}
+
+// release returns an event that has left the heap to the freelist,
+// dropping its callback so the closure (and anything it captures) is not
+// retained past the fire.
+func (s *Scheduler) release(ev *event) {
+	ev.fn = nil
+	ev.handle = 0
+	ev.canceled = false
+	ev.index = -1
+	s.free = append(s.free, ev)
 }
 
 // After schedules fn to run d after the current virtual time. A negative
@@ -157,12 +184,17 @@ func (s *Scheduler) Step() bool {
 			panic("simtime: queue held non-event")
 		}
 		if ev.canceled {
+			s.release(ev)
 			continue
 		}
 		delete(s.pending, ev.handle)
 		s.now = ev.at
 		s.fired++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing: the event is out of the heap and out of
+		// pending, so the callback can schedule freely without observing it.
+		s.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -211,6 +243,7 @@ func (s *Scheduler) peek() (*event, bool) {
 			return ev, true
 		}
 		heap.Pop(&s.queue)
+		s.release(ev)
 	}
 	return nil, false
 }

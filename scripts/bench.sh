@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite and snapshot it as BENCH_<label>.json,
+# optionally comparing against a committed baseline.
+#
+#   scripts/bench.sh [label]                 run suite, write BENCH_<label>.json
+#   scripts/bench.sh -compare a.json b.json  compare two existing snapshots
+#
+# Environment:
+#   BENCH_SHORT=1       smoke mode: -benchtime 1x (one iteration per benchmark;
+#                       noisy, for CI plumbing checks, not for committing)
+#   BENCH_TIME=<dur>    override -benchtime (default 1x short / 2x full)
+#   BENCH_BASELINE=<f>  baseline to compare the fresh run against
+#                       (default BENCH_baseline.json when it exists)
+#   BENCH_THRESHOLD=<f> fractional regression allowed (default 0.15)
+#   BENCH_GATE=0        report the comparison but never fail the run
+#                       (CI uses this on pull requests; pushes to main gate)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${BENCH_THRESHOLD:-0.15}"
+
+if [ "${1:-}" = "-compare" ]; then
+    [ $# -eq 3 ] || { echo "usage: scripts/bench.sh -compare <baseline.json> <current.json>" >&2; exit 2; }
+    exec go run ./cmd/benchjson compare -baseline "$2" -current "$3" -threshold "$THRESHOLD"
+fi
+
+LABEL="${1:-snapshot}"
+if [ "${BENCH_SHORT:-0}" = "1" ]; then
+    BENCHTIME="${BENCH_TIME:-1x}"
+else
+    BENCHTIME="${BENCH_TIME:-2x}"
+fi
+
+OUT="BENCH_${LABEL}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "bench.sh: running suite (-benchtime ${BENCHTIME})..."
+# -run '^$' skips unit tests; the suite lives at the repo root.
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+go run ./cmd/benchjson parse -label "$LABEL" -in "$RAW" -out "$OUT"
+
+BASELINE="${BENCH_BASELINE:-BENCH_baseline.json}"
+if [ -f "$BASELINE" ] && [ "$BASELINE" != "$OUT" ]; then
+    echo "bench.sh: comparing against ${BASELINE}"
+    if ! go run ./cmd/benchjson compare -baseline "$BASELINE" -current "$OUT" -threshold "$THRESHOLD"; then
+        if [ "${BENCH_GATE:-1}" = "1" ]; then
+            exit 1
+        fi
+        echo "bench.sh: regression detected but BENCH_GATE=0; reporting only" >&2
+    fi
+fi

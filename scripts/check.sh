@@ -30,7 +30,10 @@ go build ./...
 echo "==> go test"
 go test -coverprofile=coverage.out ./...
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./cmd/meshgw/...
+# netsim and experiments are here for the parallel sweep runner: worker
+# goroutines evaluate independent Sims concurrently, so hidden shared
+# state between Sims is a race, not just a determinism bug.
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./cmd/meshgw/...
 echo "==> coverage ratchet"
 # The ratchet: total statement coverage may not drop more than 1 point
 # below scripts/coverage_floor.txt. Raise the floor when coverage grows.
