@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/meshsec"
 )
 
 // options collects everything a run needs; flags map onto it 1:1.
@@ -34,6 +35,9 @@ type options struct {
 	format     string
 	parallel   int
 	cpuprofile string
+	// seckey, 32 hex digits, replaces the built-in network key in the
+	// security-aware experiments (E13).
+	seckey string
 }
 
 func main() {
@@ -46,6 +50,7 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", 0,
 		"worker goroutines per sweep (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.seckey, "seckey", "", "network key as 32 hex digits for the security experiments (default: built-in key)")
 	flag.Parse()
 	if o.cpuprofile != "" {
 		f, err := os.Create(o.cpuprofile)
@@ -91,6 +96,13 @@ func run(w, ew io.Writer, o options) error {
 	}
 
 	opt := experiments.Options{Seed: o.seed, Quick: o.quick, Parallel: o.parallel}
+	if o.seckey != "" {
+		key, err := meshsec.ParseKey(o.seckey)
+		if err != nil {
+			return err
+		}
+		opt.SecKey = &key
+	}
 	failed := 0
 	for _, s := range specs {
 		start := time.Now()

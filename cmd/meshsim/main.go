@@ -25,6 +25,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/faults"
 	"repro/internal/geo"
+	"repro/internal/meshsec"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 	"repro/loramesher"
@@ -55,6 +56,10 @@ type options struct {
 	// mesh has converged. Runs are deterministic in (plan, -seed): rerun
 	// with the same pair to replay a failure exactly.
 	faultsFile string
+	// seckey, 32 hex digits, turns on link-layer security: every frame
+	// is encrypted and authenticated under this network key (mesher
+	// protocol only).
+	seckey string
 }
 
 func main() {
@@ -75,6 +80,7 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "stream all trace events to this file as JSONL (\"-\" for stdout)")
 	flag.StringVar(&o.tracePacket, "trace-packet", "", "print the hop-by-hop journey of the packet with this trace ID")
 	flag.StringVar(&o.faultsFile, "faults", "", "apply a fault-injection plan from this JSON file (deterministic in -seed)")
+	flag.StringVar(&o.seckey, "seckey", "", "network key as 32 hex digits; enables link-layer security (mesher only)")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
@@ -132,6 +138,13 @@ func run(w io.Writer, o options) error {
 		Flood:    baseline.Config{},
 	}
 	cfg.Medium.ShadowSigmaDB = o.shadow
+	if o.seckey != "" {
+		key, err := meshsec.ParseKey(o.seckey)
+		if err != nil {
+			return err
+		}
+		cfg.SecKey = &key
+	}
 	switch o.protocol {
 	case "mesher":
 		cfg.Protocol = netsim.KindMesher
@@ -171,6 +184,9 @@ func run(w io.Writer, o options) error {
 	printMap(w, topo)
 	fmt.Fprintln(w)
 
+	if cfg.SecKey != nil {
+		fmt.Fprintf(w, "link-layer security: on (frames encrypted and authenticated)\n\n")
+	}
 	if cfg.Protocol == netsim.KindMesher {
 		conv, ok := sim.TimeToConvergence(10*time.Second, 12*time.Hour)
 		if !ok {

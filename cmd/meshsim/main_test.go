@@ -190,3 +190,29 @@ func TestRunFaultPlanFromFile(t *testing.T) {
 		t.Error("plan referencing a missing node: want error")
 	}
 }
+
+func TestRunSecuredSmoke(t *testing.T) {
+	o := opts()
+	o.seckey = "2b7e151628aed2a6abf7158809cf4f3c"
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "link-layer security: on") {
+		t.Error("report missing the security banner")
+	}
+
+	o.seckey = "not-a-key"
+	if err := run(&out, o); err == nil {
+		t.Error("malformed -seckey: want error")
+	}
+
+	// Link security is a mesher feature; the baselines must refuse the
+	// key rather than silently run plaintext.
+	o = opts()
+	o.seckey = "2b7e151628aed2a6abf7158809cf4f3c"
+	o.protocol, o.traffic, o.duration = "flooding", "none", 60e9
+	if err := run(&out, o); err == nil {
+		t.Error("-seckey with flooding protocol: want error")
+	}
+}

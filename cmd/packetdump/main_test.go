@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/hex"
 	"io"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/loraphy"
+	"repro/internal/meshsec"
 	"repro/internal/packet"
 	"repro/internal/trace"
 )
@@ -38,7 +40,7 @@ func TestDumpHello(t *testing.T) {
 		Dst: packet.Broadcast, Src: 1, Type: packet.TypeHello, Payload: payload,
 	})
 	var sb strings.Builder
-	if err := dump(&sb, hexFrame, loraphy.DefaultParams()); err != nil {
+	if err := dump(&sb, hexFrame, loraphy.DefaultParams(), nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -56,7 +58,7 @@ func TestDumpDataWithSeparators(t *testing.T) {
 	// Insert separators; dump must strip them.
 	spaced := strings.Join(strings.Split(hexFrame, ""), " ")
 	var sb strings.Builder
-	if err := dump(&sb, spaced, loraphy.DefaultParams()); err != nil {
+	if err := dump(&sb, spaced, loraphy.DefaultParams(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), `"hi"`) {
@@ -66,10 +68,10 @@ func TestDumpDataWithSeparators(t *testing.T) {
 
 func TestDumpErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := dump(&sb, "zz", loraphy.DefaultParams()); err == nil {
+	if err := dump(&sb, "zz", loraphy.DefaultParams(), nil); err == nil {
 		t.Error("bad hex: want error")
 	}
-	if err := dump(&sb, "0102", loraphy.DefaultParams()); err == nil {
+	if err := dump(&sb, "0102", loraphy.DefaultParams(), nil); err == nil {
 		t.Error("truncated frame: want error")
 	}
 }
@@ -140,5 +142,99 @@ func TestDumpEvents(t *testing.T) {
 	}
 	if err := dumpEvents(io.Discard, strings.NewReader("{not json}\n"), "", "", ""); err == nil {
 		t.Error("malformed JSONL: want error")
+	}
+}
+
+// sealedHex builds one secured DATA frame under key/counter and returns
+// it as hex, exactly as a capture would present it.
+func sealedHex(t *testing.T, key meshsec.Key, src packet.Address, counter uint32, payload string) string {
+	t.Helper()
+	p := &packet.Packet{
+		Dst: 0x0002, Src: src, Via: 0x0002, Type: packet.TypeData,
+		Payload: []byte(payload),
+		Secured: true, SecFlags: packet.SecFlagEncrypted, Counter: counter,
+	}
+	frame, err := packet.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := meshsec.NewLink(key, src).SealFrame(frame, p); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(frame)
+}
+
+func TestDumpSecuredFrames(t *testing.T) {
+	key := meshsec.Key{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+	frame := sealedHex(t, key, 0x0001, 7, "hello mesh")
+
+	// Without a key: the frame parses but stays opaque.
+	var sb strings.Builder
+	if err := dump(&sb, frame, loraphy.DefaultParams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "unauthenticated (no key") {
+		t.Errorf("keyless dump missing the no-key notice:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "hello mesh") {
+		t.Errorf("keyless dump leaked plaintext:\n%s", sb.String())
+	}
+
+	// With the key: auth ok, decrypted payload, and the second copy of
+	// the same frame is called out as a replay.
+	link := meshsec.NewLink(key, 0)
+	sb.Reset()
+	if err := dump(&sb, frame, loraphy.DefaultParams(), link); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "auth ok, counter 7 fresh") {
+		t.Errorf("dump missing auth verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "hello mesh") {
+		t.Errorf("dump missing decrypted payload:\n%s", out)
+	}
+	sb.Reset()
+	if err := dump(&sb, frame, loraphy.DefaultParams(), link); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "REPLAY") {
+		t.Errorf("second copy not flagged as replay:\n%s", sb.String())
+	}
+
+	// A tampered MIC fails authentication.
+	raw, _ := hex.DecodeString(frame)
+	raw[len(raw)-1] ^= 0x01
+	sb.Reset()
+	if err := dump(&sb, hex.EncodeToString(raw), loraphy.DefaultParams(), link); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "auth FAILED") {
+		t.Errorf("tampered frame not flagged:\n%s", sb.String())
+	}
+
+	// The wrong key also fails authentication.
+	other := meshsec.NewLink(meshsec.Key{1, 2, 3}, 0)
+	sb.Reset()
+	if err := dump(&sb, frame, loraphy.DefaultParams(), other); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "auth FAILED") {
+		t.Errorf("wrong-key dump not flagged:\n%s", sb.String())
+	}
+
+	// Legacy plaintext frames are untouched by the key path.
+	plain := encodeHex(t, &packet.Packet{
+		Dst: 0x0002, Src: 0x0001, Via: 0x0002, Type: packet.TypeData, Payload: []byte("plain"),
+	})
+	sb.Reset()
+	if err := dump(&sb, plain, loraphy.DefaultParams(), link); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"plain"`) || strings.Contains(sb.String(), "security:") {
+		t.Errorf("plaintext frame dump changed under -key:\n%s", sb.String())
 	}
 }

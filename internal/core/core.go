@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/loraphy"
+	"repro/internal/meshsec"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/routing"
@@ -122,13 +123,19 @@ type AppMessage struct {
 	// fingerprint: re-deliveries of the same reading carry the same ID,
 	// which is what the gateway's exactly-once uplink keys on.
 	//
-	// The ID is content-derived — hashed from the packet's invariant
-	// fields and payload, with no per-send nonce — so two *distinct*
-	// sends from the same source with byte-identical payloads share an
-	// ID and are indistinguishable from a mesh re-delivery. Applications
-	// whose deliveries feed a deduplicating consumer (the gateway's
-	// uplink spool) must make each payload unique per reading: embed a
-	// sequence number or timestamp, as netsim's traffic generator does.
+	// On a secured mesh (Config.Security set) the ID mixes the sender's
+	// monotonic frame counter, so two distinct sends are always distinct
+	// IDs even with byte-identical payloads, while mesh re-deliveries of
+	// the same frame still share one.
+	//
+	// On a plaintext mesh the ID is content-derived — hashed from the
+	// packet's invariant fields and payload, with no per-send nonce — so
+	// two *distinct* sends from the same source with byte-identical
+	// payloads share an ID and are indistinguishable from a mesh
+	// re-delivery. Plaintext applications whose deliveries feed a
+	// deduplicating consumer (the gateway's uplink spool) must make each
+	// payload unique per reading: embed a sequence number or timestamp,
+	// as netsim's traffic generator does.
 	Trace trace.TraceID
 	// At is the delivery time.
 	At time.Time
@@ -240,6 +247,17 @@ type Config struct {
 	// TriggeredHelloGap rate-limits triggered HELLOs. Zero means
 	// HelloPeriod/10, clamped to at least one second.
 	TriggeredHelloGap time.Duration
+	// Security, when set, arms link-layer authenticated encryption: every
+	// frame this node transmits is sealed (encrypted + 4-byte MIC) under
+	// the Link's network key, every received frame must verify and pass
+	// the per-origin replay window before it is processed, and plaintext
+	// frames are dropped — including forged HELLOs, which closes the
+	// table-poisoning hole. The Link must be owned by the HOST and carry
+	// the node's own address: engines are rebuilt on crash/restart, and
+	// reusing the host's Link is what keeps the frame counter monotonic
+	// so a rebooted node never reuses an AEAD nonce. Nil runs the legacy
+	// plaintext protocol.
+	Security *meshsec.Link
 	// Tracer, when set, receives per-packet causal events — origin,
 	// per-hop tx/rx, forwarding decisions, delivery, and every drop with
 	// its reason — keyed by the packet's trace ID, plus host-agnostic
@@ -335,6 +353,10 @@ func (c Config) Validate() error {
 	if cc.StreamBackoff < 1 {
 		return fmt.Errorf("core: stream backoff %v must be >= 1", cc.StreamBackoff)
 	}
+	if cc.Security != nil && cc.Security.Addr() != cc.Address {
+		return fmt.Errorf("core: security link keyed for %v, node is %v",
+			cc.Security.Addr(), cc.Address)
+	}
 	return nil
 }
 
@@ -353,6 +375,8 @@ type Node struct {
 	// building tracePacket's variadic arguments (the []any boxing
 	// allocates even when the tracer is nil).
 	traceOn bool
+	// sec mirrors cfg.Security; nil means the legacy plaintext protocol.
+	sec *meshsec.Link
 
 	started bool
 	stopped bool
@@ -432,6 +456,7 @@ func NewNode(cfg Config, env Env) (*Node, error) {
 	}
 	n.duty = duty
 	n.traceOn = cfg.Tracer != nil
+	n.sec = cfg.Security
 	n.pumpTimer = newTimer(env, func() {
 		n.pumpArmed = false
 		n.pump(0)
@@ -455,6 +480,12 @@ type hotInstruments struct {
 	queueDepth, routesCount, dutyUtil *metrics.Gauge
 	txAirtimeMs, queueWaitMs          *metrics.Histogram
 	txType, rxType                    [256]*metrics.Counter
+	// Security instruments; resolved only when cfg.Security is set.
+	secSealed, secOpened       *metrics.Counter
+	secDropAuth, secDropReplay *metrics.Counter
+	secDropLegacy, secRekeys   *metrics.Counter
+	secOverheadBytes           *metrics.Counter
+	secSealNs, secOpenNs       *metrics.Histogram
 }
 
 func (n *Node) cacheInstruments() {
@@ -474,6 +505,17 @@ func (n *Node) cacheInstruments() {
 	n.ins.dutyUtil = n.reg.Gauge("dutycycle.utilization")
 	n.ins.txAirtimeMs = n.reg.Histogram("tx.airtime_ms")
 	n.ins.queueWaitMs = n.reg.Histogram("queue.wait_ms")
+	if n.cfg.Security != nil {
+		n.ins.secSealed = n.reg.Counter("sec.tx.sealed")
+		n.ins.secOpened = n.reg.Counter("sec.rx.opened")
+		n.ins.secDropAuth = n.reg.Counter("sec.drop.auth")
+		n.ins.secDropReplay = n.reg.Counter("sec.drop.replay")
+		n.ins.secDropLegacy = n.reg.Counter("sec.drop.legacy")
+		n.ins.secRekeys = n.reg.Counter("sec.rekey.applied")
+		n.ins.secOverheadBytes = n.reg.Counter("sec.overhead.bytes")
+		n.ins.secSealNs = n.reg.Histogram("sec.seal_ns")
+		n.ins.secOpenNs = n.reg.Histogram("sec.open_ns")
+	}
 }
 
 // txTypeCounter returns the cached "tx.type.<T>" counter for t.
@@ -519,6 +561,17 @@ func (n *Node) preRegisterInstruments() {
 	// of consecutive retransmission rounds without acknowledged
 	// progress — the bounded-retry evidence chaos runs assert on.
 	n.reg.Histogram("stream.retx.rounds")
+	if n.cfg.Security != nil {
+		for _, c := range []string{
+			"sec.tx.sealed", "sec.rx.opened",
+			"sec.drop.auth", "sec.drop.replay", "sec.drop.legacy",
+			"sec.rekey.applied", "sec.overhead.bytes",
+		} {
+			n.reg.Counter(c)
+		}
+		n.reg.Histogram("sec.seal_ns")
+		n.reg.Histogram("sec.open_ns")
+	}
 }
 
 // tracePacket emits a causal event about p, stamped with p's trace ID.

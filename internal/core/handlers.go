@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/meshsec"
 	"repro/internal/packet"
 	"repro/internal/trace"
 )
@@ -33,16 +36,41 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 		n.ins.rxOwnEcho.Inc()
 		return
 	}
+	if n.sec != nil && !p.Secured {
+		// A secured mesh treats every plaintext frame as unauthenticated,
+		// whatever its type — this is the drop that keeps forged legacy
+		// HELLOs out of the routing table.
+		n.ins.secDropLegacy.Inc()
+		n.tracePacket(trace.KindDrop, p, "drop: plaintext %v from %v on secured mesh", p.Type, p.Src)
+		return
+	}
+	if n.sec == nil && p.Secured {
+		// Without key material the ciphertext is indistinguishable from
+		// noise; account it with other unparseable traffic.
+		n.ins.rxCorrupt.Inc()
+		return
+	}
 
 	if p.Type == packet.TypeHello {
+		// Authenticate before the table sees it: a HELLO that fails the
+		// MIC or replay check must never influence routing.
+		if n.sec != nil && !n.secOpen(p) {
+			return
+		}
 		n.handleHello(p, info)
 		return
 	}
 
 	// Routed packet: only the addressed next hop handles it; everyone
-	// else merely overhears.
+	// else merely overhears. The overheard filter must run BEFORE the
+	// replay window — an overheard copy and its later legitimate forward
+	// carry the same origin counter, and admitting the former would make
+	// the latter look like a replay.
 	if p.Via != n.cfg.Address && p.Via != packet.Broadcast {
 		n.ins.rxOverheard.Inc()
+		return
+	}
+	if n.sec != nil && !n.secOpen(p) {
 		return
 	}
 	if n.traceOn {
@@ -61,6 +89,55 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 		return
 	}
 	n.forward(p)
+}
+
+// secOpen verifies and decrypts a secured frame in place, reporting
+// whether processing may continue. Failures are accounted under the
+// sec.drop.* counters the chaos suite asserts on.
+func (n *Node) secOpen(p *packet.Packet) bool {
+	start := time.Now()
+	err := n.sec.Open(p)
+	n.ins.secOpenNs.Observe(float64(time.Since(start)))
+	if err == nil {
+		n.ins.secOpened.Inc()
+		return true
+	}
+	if errors.Is(err, meshsec.ErrReplay) {
+		n.ins.secDropReplay.Inc()
+		n.tracePacket(trace.KindDrop, p, "drop: replayed %v from %v (ctr=%d)", p.Type, p.Src, p.Counter)
+	} else {
+		n.ins.secDropAuth.Inc()
+		n.tracePacket(trace.KindDrop, p, "drop: auth failed for %v from %v", p.Type, p.Src)
+	}
+	return false
+}
+
+// maxPayloadFor is packet.MaxPayload adjusted for this node's security
+// mode: sealing a frame costs SecOverhead bytes of payload capacity.
+func (n *Node) maxPayloadFor(t packet.Type) int {
+	m := packet.MaxPayload(t)
+	if n.sec != nil {
+		m -= packet.SecOverhead
+	}
+	return m
+}
+
+// deliver hands a message to the application, except for key-rotation
+// payloads (gateway downlink provisioning), which a secured node applies
+// to its own link instead.
+func (n *Node) deliver(msg AppMessage) {
+	if n.sec != nil {
+		if k, ok := meshsec.ParseRekey(msg.Payload); ok {
+			n.sec.Rotate(k)
+			n.ins.secRekeys.Inc()
+			if n.cfg.Tracer != nil {
+				n.cfg.Tracer.Emit(n.env.Now(), n.cfg.Address.String(), trace.KindApp,
+					"sec: network key rotated (from %v)", msg.From)
+			}
+			return
+		}
+	}
+	n.env.Deliver(msg)
 }
 
 // handleHello folds a received routing beacon into the table.
@@ -117,7 +194,7 @@ func (n *Node) deliverData(p *packet.Packet) {
 	if n.traceOn {
 		n.tracePacket(trace.KindApp, p, "delivered %d bytes from %v", len(p.Payload), p.Src)
 	}
-	n.env.Deliver(AppMessage{
+	n.deliver(AppMessage{
 		From:    p.Src,
 		To:      p.Dst,
 		Payload: append([]byte(nil), p.Payload...),
@@ -225,9 +302,9 @@ func (n *Node) Send(dst packet.Address, payload []byte) error {
 	if n.stopped {
 		return ErrStopped
 	}
-	if len(payload) > packet.MaxPayload(packet.TypeData) {
+	if max := n.maxPayloadFor(packet.TypeData); len(payload) > max {
 		return fmt.Errorf("%w: %d > %d bytes (use SendReliable for large payloads)",
-			ErrTooLarge, len(payload), packet.MaxPayload(packet.TypeData))
+			ErrTooLarge, len(payload), max)
 	}
 	p := &packet.Packet{
 		Dst:     dst,

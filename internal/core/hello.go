@@ -32,12 +32,15 @@ func (n *Node) sendHello() {
 		Addr: n.cfg.Address, Metric: 0, Role: n.cfg.Role,
 	})
 	entries = append(entries, table...)
+	// A sealed HELLO pays SecOverhead bytes of payload, so a secured mesh
+	// pages its table in slightly smaller chunks.
+	maxEntries := n.maxPayloadFor(packet.TypeHello) / packet.HelloEntryLen
 	// Always send at least one HELLO, even with an empty table: it is
 	// how neighbors discover this node in the first place.
 	for first := true; first || len(entries) > 0; first = false {
 		chunk := entries
-		if len(chunk) > packet.MaxHelloEntries {
-			chunk = chunk[:packet.MaxHelloEntries]
+		if len(chunk) > maxEntries {
+			chunk = chunk[:maxEntries]
 		}
 		entries = entries[len(chunk):]
 		payload, err := packet.MarshalHello(chunk)

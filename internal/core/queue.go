@@ -112,6 +112,15 @@ func (n *Node) enqueue(p *packet.Packet) error {
 	if n.stopped {
 		return ErrStopped
 	}
+	// Stamp origin security state before Validate: WireLen depends on it.
+	// Forwarded packets arrive already stamped — their counter belongs to
+	// the origin and must survive the hop untouched, or every forwarder
+	// would change the frame's identity (and its MIC inputs).
+	if n.sec != nil && !p.Secured {
+		p.Secured = true
+		p.SecFlags = packet.SecFlagEncrypted
+		p.Counter = n.sec.NextCounter()
+	}
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -163,6 +172,13 @@ func (n *Node) transmitHead() {
 	frame, err := packet.AppendMarshal(n.txBuf[:0], head)
 	if err == nil {
 		n.txBuf = frame
+		if n.sec != nil && head.Secured {
+			// Seal in place. Deterministic, so re-marshalling the same
+			// head after a duty-cycle deferral reproduces the same bytes.
+			start := time.Now()
+			err = n.sec.SealFrame(frame, head)
+			n.ins.secSealNs.Observe(float64(time.Since(start)))
+		}
 	}
 	if err != nil {
 		// The packet was validated at enqueue; treat as a bug signal,
@@ -222,6 +238,10 @@ func (n *Node) transmitHead() {
 	n.ins.txFrames.Inc()
 	n.txTypeCounter(head.Type).Inc()
 	n.ins.txBytes.Add(uint64(len(frame)))
+	if head.Secured {
+		n.ins.secSealed.Inc()
+		n.ins.secOverheadBytes.Add(uint64(packet.SecOverhead))
+	}
 	n.ins.txAirtimeMs.ObserveDuration(airtime)
 	if !enqueuedAt.IsZero() {
 		n.ins.queueWaitMs.ObserveDuration(now.Sub(enqueuedAt))

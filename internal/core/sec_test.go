@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/meshsec"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+var testNetKey = meshsec.Key{
+	0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+}
+
+// newSecBus is newBus with per-node security links derived from one
+// network key. A nil key for an address leaves that node plaintext,
+// which is how the mixed-mesh tests model an unprovisioned device.
+func newSecBus(t *testing.T, cfg Config, key *meshsec.Key, plaintext map[packet.Address]bool, addrs ...packet.Address) *bus {
+	t.Helper()
+	b := &bus{sched: simtime.NewScheduler(t0)}
+	for i, a := range addrs {
+		c := cfg
+		c.Address = a
+		if key != nil && !plaintext[a] {
+			c.Security = meshsec.NewLink(*key, a)
+		}
+		env := &testEnv{b: b, addr: a, rng: rand.New(rand.NewSource(int64(i) + 1))}
+		n, err := NewNode(c, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.node = n
+		env.phy = n.Config().Phy
+		b.envs = append(b.envs, env)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func counter(t *testing.T, e *testEnv, name string) uint64 {
+	t.Helper()
+	return e.node.Metrics().Counter(name).Value()
+}
+
+// TestSecuredMultiHopDelivery proves the full secured path: seal at the
+// origin, hop-by-hop forward with Via rewrite, open at the destination.
+func TestSecuredMultiHopDelivery(t *testing.T) {
+	chain := []packet.Address{1, 2, 3}
+	b := newSecBus(t, fastConfig(), &testNetKey, nil, chain...)
+	b.drop = chainDrop(chain)
+	b.run(30 * time.Second)
+
+	src, dst := b.env(1), b.env(3)
+	payload := []byte("secured hop by hop")
+	if err := src.node.Send(3, payload); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	b.run(20 * time.Second)
+
+	if len(dst.msgs) != 1 {
+		t.Fatalf("destination got %d messages, want 1", len(dst.msgs))
+	}
+	if !bytes.Equal(dst.msgs[0].Payload, payload) {
+		t.Fatalf("payload = %q, want %q", dst.msgs[0].Payload, payload)
+	}
+	if got := counter(t, src, "sec.tx.sealed"); got == 0 {
+		t.Error("origin sealed no frames")
+	}
+	if got := counter(t, dst, "sec.rx.opened"); got == 0 {
+		t.Error("destination opened no frames")
+	}
+	// The relay re-seals the origin's frame byte-identically after the
+	// Via rewrite; it must also have opened frames (HELLOs at minimum).
+	if got := counter(t, b.env(2), "fwd.frames"); got == 0 {
+		t.Error("relay forwarded no frames")
+	}
+}
+
+// TestSecuredTraceIDDistinctPerSend is the regression for the dedup
+// hazard documented on AppMessage.Trace: on a secured mesh, two distinct
+// sends of byte-identical payloads must carry different trace IDs
+// (the origin frame counter keys the ID).
+func TestSecuredTraceIDDistinctPerSend(t *testing.T) {
+	b := newSecBus(t, fastConfig(), &testNetKey, nil, 1, 2)
+	b.run(20 * time.Second)
+
+	src, dst := b.env(1), b.env(2)
+	payload := []byte("identical reading")
+	if err := src.node.Send(2, payload); err != nil {
+		t.Fatalf("first Send: %v", err)
+	}
+	b.run(5 * time.Second)
+	if err := src.node.Send(2, payload); err != nil {
+		t.Fatalf("second Send: %v", err)
+	}
+	b.run(5 * time.Second)
+
+	if len(dst.msgs) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(dst.msgs))
+	}
+	if dst.msgs[0].Trace == dst.msgs[1].Trace {
+		t.Fatalf("identical payloads from one sender share trace ID %v; counter not mixed in", dst.msgs[0].Trace)
+	}
+}
+
+// TestSecuredReliableTraceIDDistinct extends the regression to the
+// reliable transport: two identical SendReliable payloads (single-packet
+// and multi-chunk) must deliver with distinct trace IDs.
+func TestSecuredReliableTraceIDDistinct(t *testing.T) {
+	b := newSecBus(t, fastConfig(), &testNetKey, nil, 1, 2)
+	b.run(20 * time.Second)
+	src, dst := b.env(1), b.env(2)
+
+	single := []byte("one frame worth")
+	large := bytes.Repeat([]byte("chunky"), 200) // > one frame, identical twice
+	for _, payload := range [][]byte{single, single, large, large} {
+		if _, err := src.node.SendReliable(2, payload); err != nil {
+			t.Fatalf("SendReliable: %v", err)
+		}
+		b.run(30 * time.Second)
+	}
+	if len(dst.msgs) != 4 {
+		t.Fatalf("got %d deliveries, want 4", len(dst.msgs))
+	}
+	if dst.msgs[0].Trace == dst.msgs[1].Trace {
+		t.Error("identical single-packet reliable payloads share a trace ID")
+	}
+	if dst.msgs[2].Trace == dst.msgs[3].Trace {
+		t.Error("identical multi-chunk reliable payloads share a trace ID")
+	}
+}
+
+// TestSecuredRejectsReplayAndTamper injects a captured frame back at the
+// receiver (replay) and a bit-flipped copy (forgery); both must die with
+// the right sec.drop counter and no duplicate app delivery.
+func TestSecuredRejectsReplayAndTamper(t *testing.T) {
+	b := newSecBus(t, fastConfig(), &testNetKey, nil, 1, 2)
+	var captured [][]byte
+	b.drop = func(from, to packet.Address, frame []byte) bool {
+		if from == 1 && to == 2 {
+			captured = append(captured, append([]byte(nil), frame...))
+		}
+		return false
+	}
+	b.run(20 * time.Second)
+
+	src, dst := b.env(1), b.env(2)
+	if err := src.node.Send(2, []byte("capture me")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	b.run(10 * time.Second)
+	if len(dst.msgs) != 1 {
+		t.Fatalf("got %d deliveries, want 1", len(dst.msgs))
+	}
+	if len(captured) == 0 {
+		t.Fatal("captured no frames")
+	}
+
+	replays := counter(t, dst, "sec.drop.replay")
+	auths := counter(t, dst, "sec.drop.auth")
+	for _, f := range captured {
+		dst.node.HandleFrame(f, RxInfo{})
+	}
+	if got := counter(t, dst, "sec.drop.replay"); got != replays+uint64(len(captured)) {
+		t.Errorf("sec.drop.replay = %d after %d replays (was %d)", got, len(captured), replays)
+	}
+
+	flipped := append([]byte(nil), captured[len(captured)-1]...)
+	flipped[len(flipped)-1] ^= 0x01 // corrupt the MIC
+	dst.node.HandleFrame(flipped, RxInfo{})
+	if got := counter(t, dst, "sec.drop.auth"); got != auths+1 {
+		t.Errorf("sec.drop.auth = %d, want %d", got, auths+1)
+	}
+	if len(dst.msgs) != 1 {
+		t.Fatalf("forged/replayed traffic reached the app: %d deliveries", len(dst.msgs))
+	}
+}
+
+// TestSecuredMeshIgnoresPlaintextNode runs an unprovisioned (plaintext)
+// node alongside a secured pair: its HELLOs must never enter the secured
+// nodes' routing tables, so the table-poisoning hole is closed.
+func TestSecuredMeshIgnoresPlaintextNode(t *testing.T) {
+	b := newSecBus(t, fastConfig(), &testNetKey, map[packet.Address]bool{3: true}, 1, 2, 3)
+	b.run(30 * time.Second)
+
+	for _, a := range []packet.Address{1, 2} {
+		e := b.env(a)
+		if _, ok := e.node.Table().NextHop(3); ok {
+			t.Errorf("node %v learned a route to the plaintext node", a)
+		}
+		if got := counter(t, e, "sec.drop.legacy"); got == 0 {
+			t.Errorf("node %v dropped no plaintext frames", a)
+		}
+	}
+	// The secured pair still converged with each other.
+	if _, ok := b.env(1).node.Table().NextHop(2); !ok {
+		t.Error("secured nodes failed to converge with each other")
+	}
+	// Conversely, secured frames are noise to the plaintext node.
+	if got := counter(t, b.env(3), "rx.corrupt"); got == 0 {
+		t.Error("plaintext node counted no secured frames as corrupt")
+	}
+}
+
+// TestRekeyDelivery exercises the in-band rotation path: a rekey payload
+// sent under the old key rotates the receiver, which keeps accepting
+// old-key frames (prev-key fallback) until the sender rotates too.
+func TestRekeyDelivery(t *testing.T) {
+	b := newSecBus(t, fastConfig(), &testNetKey, nil, 1, 2)
+	b.run(20 * time.Second)
+	src, dst := b.env(1), b.env(2)
+
+	newKey := meshsec.Key{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6}
+	if err := src.node.Send(2, meshsec.RekeyPayload(newKey)); err != nil {
+		t.Fatalf("Send rekey: %v", err)
+	}
+	b.run(10 * time.Second)
+
+	if got := counter(t, dst, "sec.rekey.applied"); got != 1 {
+		t.Fatalf("sec.rekey.applied = %d, want 1", got)
+	}
+	if len(dst.msgs) != 0 {
+		t.Fatalf("rekey payload leaked to the app (%d deliveries)", len(dst.msgs))
+	}
+	if dst.node.Config().Security.NetKey() != newKey {
+		t.Fatal("receiver did not install the new key")
+	}
+
+	// Old-key traffic still flows (prev-key fallback) until the sender
+	// rotates; then new-key traffic flows too.
+	if err := src.node.Send(2, []byte("still on old key")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	b.run(10 * time.Second)
+	if len(dst.msgs) != 1 {
+		t.Fatalf("old-key frame dropped after rotation: %d deliveries", len(dst.msgs))
+	}
+	src.node.Config().Security.Rotate(newKey)
+	if err := src.node.Send(2, []byte("now on new key")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	b.run(10 * time.Second)
+	if len(dst.msgs) != 2 {
+		t.Fatalf("new-key frame dropped: %d deliveries", len(dst.msgs))
+	}
+}
+
+// TestSecuredPayloadCapacity checks that a secured node refuses payloads
+// that would no longer fit once the security header and MIC are added.
+func TestSecuredPayloadCapacity(t *testing.T) {
+	b := newSecBus(t, fastConfig(), &testNetKey, nil, 1, 2)
+	src := b.env(1)
+	max := packet.MaxPayload(packet.TypeData)
+	if err := src.node.Send(2, make([]byte, max)); err == nil {
+		t.Errorf("secured Send accepted %d bytes; the sealed frame cannot fit", max)
+	}
+	b.run(20 * time.Second)
+	if err := src.node.Send(2, make([]byte, max-packet.SecOverhead)); err != nil {
+		t.Errorf("secured Send rejected a payload that fits: %v", err)
+	}
+}
+
+// TestSecurityConfigAddressMismatch rejects a link keyed for a different
+// address than the node's at construction time.
+func TestSecurityConfigAddressMismatch(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Address = 7
+	cfg.Security = meshsec.NewLink(testNetKey, 8)
+	if _, err := NewNode(cfg, &testEnv{b: &bus{sched: simtime.NewScheduler(t0)}, rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("NewNode accepted a security link keyed for another address")
+	}
+}

@@ -20,12 +20,18 @@ import (
 // requests the missing chunk with LOST. Senders retransmit on timeout and
 // give up after StreamMaxRetries rounds.
 
-// maxChunk is the data bytes per XL_DATA packet.
+// maxChunk is the data bytes per XL_DATA packet on a plaintext mesh.
 var maxChunk = packet.MaxPayload(packet.TypeXLData)
 
-// MaxReliablePayload is the largest payload SendReliable accepts:
-// 65535 chunks of maxChunk bytes.
+// MaxReliablePayload is the largest payload SendReliable accepts on a
+// plaintext mesh: 65535 chunks of maxChunk bytes. A secured node's limit
+// is smaller (sealing costs packet.SecOverhead bytes per chunk).
 var MaxReliablePayload = 65535 * maxChunk
+
+// chunkSize is the data bytes per XL_DATA packet for this node's
+// security mode. Both ends compute the same value because security is a
+// network-wide property (a mixed mesh cannot interoperate anyway).
+func (n *Node) chunkSize() int { return n.maxPayloadFor(packet.TypeXLData) }
 
 // outMode selects the sender-side reliability machinery.
 type outMode int
@@ -71,6 +77,8 @@ type inStream struct {
 	done         bool
 	lastLost     time.Time
 	gcCancel     func()
+	secured      bool   // the opening SYNC arrived sealed
+	counter      uint32 // the opening SYNC's origin frame counter
 }
 
 // SendReliable transfers payload to dst with end-to-end acknowledgment and
@@ -86,8 +94,8 @@ func (n *Node) SendReliable(dst packet.Address, payload []byte) (uint8, error) {
 	if len(payload) == 0 {
 		return 0, fmt.Errorf("core: reliable transfer of empty payload")
 	}
-	if len(payload) > MaxReliablePayload {
-		return 0, fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(payload), MaxReliablePayload)
+	if max := 65535 * n.chunkSize(); len(payload) > max {
+		return 0, fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(payload), max)
 	}
 	if len(n.outStreams) >= n.cfg.MaxOutStreams {
 		return 0, fmt.Errorf("%w: %d active", ErrBusyStream, len(n.outStreams))
@@ -105,14 +113,15 @@ func (n *Node) SendReliable(dst packet.Address, payload []byte) (uint8, error) {
 		base:      1,
 		next:      1,
 	}
-	if len(payload) <= packet.MaxPayload(packet.TypeDataAck) {
+	if len(payload) <= n.maxPayloadFor(packet.TypeDataAck) {
 		s.mode = modeSingle
 		s.synced = true
 		s.chunks = [][]byte{append([]byte(nil), payload...)}
 	} else {
 		s.mode = modeStream
-		for off := 0; off < len(payload); off += maxChunk {
-			end := off + maxChunk
+		cs := n.chunkSize()
+		for off := 0; off < len(payload); off += cs {
+			end := off + cs
 			if end > len(payload) {
 				end = len(payload)
 			}
@@ -395,7 +404,7 @@ func (n *Node) handleSingle(p *packet.Packet) {
 	n.armStreamGC(key, s)
 	n.reg.Counter("stream.received").Inc()
 	n.reg.Counter("app.delivered").Inc()
-	n.env.Deliver(AppMessage{
+	n.deliver(AppMessage{
 		From:     p.Src,
 		To:       p.Dst,
 		Payload:  append([]byte(nil), p.Payload...),
@@ -423,7 +432,8 @@ func (n *Node) handleSync(p *packet.Packet) {
 	if len(p.Payload) == 4 {
 		totalBytes = int(binary.BigEndian.Uint32(p.Payload))
 	}
-	if totalBytes <= 0 || totalBytes > total*maxChunk || totalBytes <= (total-1)*maxChunk {
+	cs := n.chunkSize()
+	if totalBytes <= 0 || totalBytes > total*cs || totalBytes <= (total-1)*cs {
 		n.reg.Counter("rx.corrupt").Inc()
 		return
 	}
@@ -432,6 +442,8 @@ func (n *Node) handleSync(p *packet.Packet) {
 		totalBytes:   totalBytes,
 		chunks:       make([][]byte, total),
 		nextExpected: 1,
+		secured:      p.Secured,
+		counter:      p.Counter,
 	}
 	n.inStreams[key] = s
 	n.armStreamGC(key, s)
@@ -497,8 +509,11 @@ func (n *Node) handleChunk(p *packet.Packet) {
 		sid := &packet.Packet{
 			Dst: n.cfg.Address, Src: p.Src, Type: packet.TypeSync,
 			SeqID: p.SeqID, Number: uint16(s.total), Payload: payload,
+			// On a secured mesh the opening SYNC's origin counter keys
+			// the ID, so re-sends of an identical payload stay distinct.
+			Secured: s.secured, Counter: s.counter,
 		}
-		n.env.Deliver(AppMessage{
+		n.deliver(AppMessage{
 			From:     p.Src,
 			To:       n.cfg.Address,
 			Payload:  payload,

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/meshsec"
 )
 
 // Options tunes an experiment run.
@@ -27,6 +29,10 @@ type Options struct {
 	// come out byte-identical at any setting — workers only compute
 	// cells, and rows are assembled in sweep order afterwards.
 	Parallel int
+	// SecKey, when set, replaces the built-in network key in the
+	// security-aware experiments (E13). Nil keeps the fixed default so
+	// published tables reproduce without flags.
+	SecKey *meshsec.Key
 }
 
 // Result is one regenerated table/figure as rows of text cells.
@@ -109,6 +115,7 @@ func All() []Spec {
 		{"E10", "Route repair after router failure", E10Repair},
 		{"E11", "Gateway uplink under backend outage and partition", E11GatewayUplink},
 		{"E12", "Chaos matrix: delivery under injected faults", E12ChaosMatrix},
+		{"E13", "Link-layer security overhead (on vs off)", E13Security},
 		{"A1", "Ablation: route poisoning vs expiry-only", A1Poisoning},
 		{"A2", "Ablation: HELLO period trade-off", A2HelloPeriod},
 		{"A3", "Ablation: ARQ window (stop-and-wait vs go-back-N)", A3ARQWindow},

@@ -147,6 +147,53 @@ type Corrupt struct {
 	MaxBits int     `json:"max_bits,omitempty"`
 }
 
+// Attacker places a hostile radio next to a victim node. It overhears
+// the victim's neighborhood and, on a fixed schedule, transmits hostile
+// frames chosen by the enabled behaviors:
+//
+//   - Replay retransmits a previously captured frame verbatim.
+//   - ForgeHello fabricates a HELLO from an address that does not exist
+//     in the mesh, advertising cheap routes (table poisoning).
+//   - BitFlip retransmits a captured frame with flipped bits (MIC/CRC
+//     tampering).
+//
+// With several behaviors enabled the attacker cycles through them
+// deterministically. The attacker has no network key: against a secured
+// mesh every injected frame must die at the receivers' MIC or replay
+// checks, which is precisely what the chaos suite asserts.
+type Attacker struct {
+	// Node is the victim whose neighborhood the attacker camps in.
+	Node int `json:"node"`
+	// Start is when the first injection fires, relative to the plan epoch.
+	Start Duration `json:"start"`
+	// Period is the injection cadence.
+	Period Duration `json:"period"`
+	// Count caps the number of injections; <= 0 means no cap.
+	Count int `json:"count,omitempty"`
+
+	Replay     bool `json:"replay,omitempty"`
+	ForgeHello bool `json:"forge_hello,omitempty"`
+	BitFlip    bool `json:"bit_flip,omitempty"`
+}
+
+// behaviors returns the enabled behavior names in cycling order.
+func (a Attacker) behaviors() []string {
+	var bs []string
+	if a.Replay {
+		bs = append(bs, "replay")
+	}
+	if a.ForgeHello {
+		bs = append(bs, "forge_hello")
+	}
+	if a.BitFlip {
+		bs = append(bs, "bit_flip")
+	}
+	return bs
+}
+
+// Behaviors exposes the enabled behavior names in cycling order.
+func (a Attacker) Behaviors() []string { return a.behaviors() }
+
 // ClockSkew multiplies one node's HELLO timer period by Factor,
 // modelling the cheap-crystal drift real SX127x boards exhibit (a
 // factor of 1.25 beacons 25% slower than its neighbors expect).
@@ -163,6 +210,7 @@ type Plan struct {
 	Crashes    []Crash     `json:"crashes,omitempty"`
 	Corrupt    *Corrupt    `json:"corrupt,omitempty"`
 	ClockSkews []ClockSkew `json:"clock_skews,omitempty"`
+	Attackers  []Attacker  `json:"attackers,omitempty"`
 }
 
 // Validate checks the plan against a simulation of n nodes.
@@ -255,6 +303,21 @@ func (p *Plan) Validate(n int) error {
 		}
 		if s.Factor <= 0 {
 			return fmt.Errorf("faults: %s factor must be positive", what)
+		}
+	}
+	for i, a := range p.Attackers {
+		what := fmt.Sprintf("attackers[%d]", i)
+		if err := node(what+".node", a.Node); err != nil {
+			return err
+		}
+		if a.Start.D() < 0 {
+			return fmt.Errorf("faults: %s has negative start", what)
+		}
+		if a.Period.D() <= 0 {
+			return fmt.Errorf("faults: %s period must be positive", what)
+		}
+		if len(a.behaviors()) == 0 {
+			return fmt.Errorf("faults: %s enables no behavior (replay, forge_hello, bit_flip)", what)
 		}
 	}
 	return nil

@@ -8,8 +8,10 @@
 //
 //   - every mesh delivery is deduplicated by its causal trace ID and
 //     appended to a file-backed WAL spool (see spool.go), so no reading is
-//     lost across a gateway restart; the trace ID is content-derived, so
-//     uplink payloads must be unique per reading (see Reading.Trace);
+//     lost across a gateway restart; on a plaintext mesh the trace ID is
+//     content-derived, so uplink payloads must be unique per reading (see
+//     Reading.Trace — secured meshes mix a per-send counter and have no
+//     such constraint);
 //   - an uplinker drains the spool in size- or time-triggered batches over
 //     a plain net/http POST, with exponential backoff plus jitter on
 //     failure and a circuit breaker after consecutive failures;
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/meshsec"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/trace"
@@ -67,13 +70,16 @@ type Reading struct {
 	From packet.Address
 	// To is the gateway node's address (or broadcast).
 	To packet.Address
-	// Trace is the reading's end-to-end causal ID — the dedup key. The
-	// mesh derives it from packet content with no per-send nonce, so two
-	// distinct readings from the same sensor with byte-identical payloads
-	// share an ID and the later one is suppressed as a duplicate within
-	// the dedup horizon. Uplinked payloads must therefore be unique per
-	// reading — embed a sequence number or timestamp (see
-	// core.AppMessage.Trace).
+	// Trace is the reading's end-to-end causal ID — the dedup key. On a
+	// secured mesh (core.Config.Security set) the ID mixes the sender's
+	// monotonic frame counter, so repeated byte-identical payloads are
+	// distinct readings and dedup only ever suppresses true mesh-level
+	// duplicates. On a plaintext mesh the ID is derived from packet
+	// content with no per-send nonce, so two distinct readings from the
+	// same sensor with byte-identical payloads share an ID and the later
+	// one is suppressed as a duplicate within the dedup horizon —
+	// plaintext uplink payloads must therefore be unique per reading
+	// (embed a sequence number or timestamp; see core.AppMessage.Trace).
 	Trace trace.TraceID
 	// Payload is the application data.
 	Payload []byte
@@ -140,6 +146,14 @@ type Downlink struct {
 	Payload []byte `json:"payload"`
 	// Reliable selects the stream transport over a plain datagram.
 	Reliable bool `json:"reliable,omitempty"`
+	// Rekey carries a replacement network key as 32 hex digits. When
+	// set, Payload is ignored: the gateway synthesizes the in-band rekey
+	// command (meshsec.RekeyPayload) and forces the reliable transport —
+	// a lost key rotation partitions the mesh, so it always rides the
+	// acknowledged stream. Rotate the backend's nodes farthest-first and
+	// the gateway's own link (host side) last: receivers keep the prior
+	// key live, so the mesh stays connected mid-rollout.
+	Rekey string `json:"rekey,omitempty"`
 }
 
 // uplinkRequest is the POST body.
@@ -581,13 +595,27 @@ func (g *Gateway) injectDownlinks(cmds []Downlink) {
 		return
 	}
 	for _, d := range cmds {
+		if d.Rekey != "" {
+			k, err := meshsec.ParseKey(d.Rekey)
+			if err != nil {
+				g.reg.Counter("gw.downlink.errors").Inc()
+				g.emit("rekey downlink to %v rejected: %v", d.To, err)
+				continue
+			}
+			d.Payload = meshsec.RekeyPayload(k)
+			d.Reliable = true
+		}
 		if err := sender(d); err != nil {
 			g.reg.Counter("gw.downlink.errors").Inc()
 			g.emit("downlink to %v failed: %v", d.To, err)
 			continue
 		}
 		g.reg.Counter("gw.downlink.injected").Inc()
-		g.emit("downlink %d bytes injected toward %v (reliable=%v)", len(d.Payload), d.To, d.Reliable)
+		if d.Rekey != "" {
+			g.emit("rekey downlink injected toward %v (reliable)", d.To)
+		} else {
+			g.emit("downlink %d bytes injected toward %v (reliable=%v)", len(d.Payload), d.To, d.Reliable)
+		}
 	}
 }
 

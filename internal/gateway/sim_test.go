@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/meshsec"
 	"repro/internal/netsim"
 	"repro/internal/routing"
 
@@ -15,6 +16,12 @@ import (
 
 // simChain builds a converged n-node chain with node 0 as the sink.
 func simChain(t *testing.T, n int, seed int64) *netsim.Sim {
+	return simChainKeyed(t, n, seed, nil)
+}
+
+// simChainKeyed is simChain on a link-layer-secured mesh when key is
+// non-nil.
+func simChainKeyed(t *testing.T, n int, seed int64, key *meshsec.Key) *netsim.Sim {
 	t.Helper()
 	topo, err := geo.Line(n, 8000)
 	if err != nil {
@@ -26,7 +33,8 @@ func simChain(t *testing.T, n int, seed int64) *netsim.Sim {
 			HelloPeriod: 2 * time.Minute,
 			Routing:     routing.Config{EntryTTL: 10 * time.Minute},
 		},
-		Seed: seed,
+		Seed:   seed,
+		SecKey: key,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -240,5 +248,151 @@ func TestSimRestartReplay(t *testing.T) {
 
 	if b.Distinct() != atSink || b.Duplicates() != 0 {
 		t.Fatalf("after restart: backend %d/%d dupes=%d", b.Distinct(), atSink, b.Duplicates())
+	}
+}
+
+// TestSimRekeyRollout provisions a new network key over the air: the
+// backend queues rekey downlinks farthest-first, each rides a reliable
+// stream out of the gateway node, and the gateway's own link rotates
+// host-side last. Telemetry keeps flowing across the rollout — receivers
+// hold the previous key live, so the mesh never partitions — and the
+// backend ends with exactly-once delivery of readings sealed under both
+// keys.
+func TestSimRekeyRollout(t *testing.T) {
+	oldKey := meshsec.Key{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+	newKey := meshsec.Key{
+		0x60, 0x3d, 0xeb, 0x10, 0x15, 0xca, 0x71, 0xbe,
+		0x2b, 0x73, 0xae, 0xf0, 0x85, 0x7d, 0x77, 0x81,
+	}
+
+	b := NewBackend()
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	sim := simChainKeyed(t, 3, 5, &oldKey)
+	g := simGateway(t, srv.URL, "")
+	if _, err := AttachSim(sim, 0, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Telemetry spanning the whole rollout: the uplink batches it
+	// produces are also what carries the rekey downlinks back out.
+	for i := 1; i < sim.N(); i++ {
+		if _, err := sim.StartFlow(netsim.Flow{
+			From: i, To: 0, Payload: 12, Interval: 15 * time.Second, Count: 30,
+			Poisson: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(time.Minute)
+
+	// Farthest-first: each rekey command crosses only forwarders still on
+	// the old key, so it authenticates hop by hop on its way out.
+	for i := sim.N() - 1; i >= 1; i-- {
+		b.PushDownlink(Downlink{To: sim.Handle(i).Addr, Rekey: newKey.String()})
+		h := sim.Handle(i)
+		if _, ok := sim.RunUntil(func() bool { return h.Sec.NetKey() == newKey },
+			10*time.Second, 20*time.Minute); !ok {
+			t.Fatalf("node %v never applied the rekey", h.Addr)
+		}
+	}
+	// The gateway node is the key source; its link rotates host-side.
+	sim.Handle(0).Sec.Rotate(newKey)
+	preRotate := b.Distinct()
+
+	sim.Run(6 * time.Minute) // remaining sends finish on the new key
+	drain(t, sim, g)
+
+	for i := 0; i < sim.N(); i++ {
+		if got := sim.Handle(i).Sec.NetKey(); got != newKey {
+			t.Errorf("node %v still on key %v after rollout", sim.Handle(i).Addr, got)
+		}
+	}
+	snap := sim.AggregateMetrics().Snapshot()
+	if snap["total.sec.rekey.applied"] < float64(sim.N()-1) {
+		t.Errorf("sec.rekey.applied=%v, want >= %d", snap["total.sec.rekey.applied"], sim.N()-1)
+	}
+	if g.Metrics().Counter("gw.downlink.injected").Value() < uint64(sim.N()-1) {
+		t.Errorf("gateway injected %d downlinks, want >= %d",
+			g.Metrics().Counter("gw.downlink.injected").Value(), sim.N()-1)
+	}
+	atSink := len(sim.Handle(0).Msgs)
+	if b.Distinct() <= preRotate {
+		t.Errorf("no readings arrived after the rotation (%d before, %d after)", preRotate, b.Distinct())
+	}
+	if b.Distinct() != atSink || b.Duplicates() != 0 {
+		t.Errorf("backend %d/%d dupes=%d, want lossless exactly-once across the rollout",
+			b.Distinct(), atSink, b.Duplicates())
+	}
+}
+
+// TestSimSecuredGatewayRestart restarts the gateway process on a secured
+// mesh: the node's security link (and with it the monotonic frame
+// counter) belongs to the node, not the gateway, so a detach/close/
+// re-attach cycle must never reset it — no nonce is ever reused because
+// a gateway process bounced.
+func TestSimSecuredGatewayRestart(t *testing.T) {
+	key := meshsec.Key{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+	path := filepath.Join(t.TempDir(), "uplink.wal")
+	b := NewBackend()
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	sim := simChainKeyed(t, 3, 6, &key)
+	g1 := simGateway(t, srv.URL, path)
+	a1, err := AttachSim(sim, 0, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b.SetFailing(true)
+	for i := 1; i < sim.N(); i++ {
+		if _, err := sim.StartFlow(netsim.Flow{
+			From: i, To: 0, Payload: 12, Interval: 15 * time.Second, Count: 5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(4 * time.Minute)
+	atOutage := len(sim.Handle(0).Msgs)
+	if atOutage == 0 || g1.Pending() != atOutage {
+		t.Fatalf("outage phase: sink=%d pending=%d, want equal and nonzero", atOutage, g1.Pending())
+	}
+	counterBefore := sim.Handle(0).Sec.Counter()
+	if counterBefore == 0 {
+		t.Fatal("gateway node sent no secured frames before the restart")
+	}
+
+	a1.Detach()
+	if err := g1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b.SetFailing(false)
+	g2 := simGateway(t, srv.URL, path)
+	if g2.Pending() != atOutage {
+		t.Fatalf("successor replayed %d, want %d", g2.Pending(), atOutage)
+	}
+	if _, err := AttachSim(sim, 0, g2); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, sim, g2)
+
+	if got := sim.Handle(0).Sec.Counter(); got < counterBefore {
+		t.Fatalf("frame counter went backwards across gateway restart: %d -> %d", counterBefore, got)
+	}
+	if b.Distinct() != atOutage || b.Duplicates() != 0 {
+		t.Fatalf("after restart: backend %d/%d dupes=%d", b.Distinct(), atOutage, b.Duplicates())
+	}
+	snap := sim.AggregateMetrics().Snapshot()
+	if snap["total.sec.drop.auth"]+snap["total.sec.drop.replay"] != 0 {
+		t.Fatalf("benign secured run dropped frames as hostile: auth=%v replay=%v",
+			snap["total.sec.drop.auth"], snap["total.sec.drop.replay"])
 	}
 }

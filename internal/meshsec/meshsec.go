@@ -1,0 +1,362 @@
+// Package meshsec is the mesh's link-layer security subsystem:
+// authenticated encryption, replay protection, and key management for
+// LoRaMesher frames.
+//
+// The model is a single shared network key per mesh (the way deployed
+// LoRa meshes such as Meshtastic provision channels). Every node derives
+// a per-origin session key from (netkey, 16-bit origin address); a frame
+// is encrypted and authenticated ONCE by its originator under that
+// origin's session key, with an AEAD nonce built from the origin address
+// and a monotonic 32-bit frame counter carried in the secured wire
+// header (see internal/packet). Because the MIC covers only the
+// hop-invariant fields — the hop-local via is excluded, exactly like the
+// trace ID — forwarders verify, rewrite via, and re-seal byte-identically
+// without any per-hop key agreement, and every receiver keeps one sliding
+// replay window per origin.
+//
+// Construction: AES-128-CTR encryption with an AES-CMAC (RFC 4493) tag
+// truncated to the 4-byte wire MIC, i.e. CCM's two halves composed
+// encrypt-then-MAC. Everything is a pure function of (netkey, addresses,
+// counters), so seeded simulator runs stay byte-identical replayable.
+//
+// Threat model: an outside radio without the network key cannot read
+// payloads, forge or tamper with frames (including routing HELLOs), or
+// replay captured traffic. NOT protected: traffic analysis (headers are
+// plaintext so forwarders can route), jamming/collisions, via-field
+// tampering (hop-local, self-healing via retransmission), and insiders
+// holding the network key.
+package meshsec
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Key is a 128-bit network key.
+type Key [16]byte
+
+// ParseKey decodes a 32-hex-digit network key.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("meshsec: malformed key (want 32 hex digits): %v", err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("meshsec: malformed key: got %d hex digits, want 32", 2*len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Errors returned by Open.
+var (
+	// ErrAuth means the MIC did not verify under any installed key: the
+	// frame is forged, corrupted, or sealed under an unknown key.
+	ErrAuth = errors.New("meshsec: authentication failed")
+	// ErrReplay means the frame authenticated but its counter was already
+	// accepted from that origin (or fell behind the replay window).
+	ErrReplay = errors.New("meshsec: replayed frame counter")
+)
+
+// session holds the cipher state derived for one origin address under
+// one network key.
+type session struct {
+	block  cipher.Block
+	k1, k2 [16]byte // CMAC subkeys
+}
+
+// Link is one node's security state: the installed network key(s), the
+// node's own monotonic frame counter, per-origin session-key caches, and
+// per-origin replay windows.
+//
+// The Link is designed to be owned by the HOST (the simulator handle or
+// the device firmware's persistent store), not by the protocol engine:
+// engines are rebuilt on crash/restart, and a counter that reset to zero
+// would reuse AEAD nonces. Passing the same Link into the rebuilt engine
+// models counter persistence across reboots.
+//
+// Not safe for concurrent use; each node owns exactly one.
+type Link struct {
+	addr packet.Address
+
+	cur, prev       Key
+	hasPrev         bool
+	curGen, prevGen uint32 // bumped by Rotate; keys session cache entries
+
+	counter uint32
+
+	sessions map[sessKey]*session
+	windows  map[packet.Address]*window
+
+	scratch []byte // decrypted-payload buffer, valid until the next Open
+	macBuf  []byte // CMAC input assembly buffer
+}
+
+type sessKey struct {
+	addr packet.Address
+	gen  uint32
+}
+
+// NewLink returns the security state for a node with the given address
+// under the given network key.
+func NewLink(key Key, addr packet.Address) *Link {
+	return &Link{
+		addr:     addr,
+		cur:      key,
+		curGen:   1,
+		sessions: make(map[sessKey]*session),
+		windows:  make(map[packet.Address]*window),
+	}
+}
+
+// Addr returns the owning node's address.
+func (l *Link) Addr() packet.Address { return l.addr }
+
+// Counter returns the last frame counter issued (0 = none yet).
+func (l *Link) Counter() uint32 { return l.counter }
+
+// NextCounter issues the next monotonic frame counter. Counters start at
+// 1; 0 on the wire would mean "never sealed". The 32-bit space outlasts
+// any deployment (one frame per second for 136 years).
+func (l *Link) NextCounter() uint32 {
+	l.counter++
+	return l.counter
+}
+
+// Rotate installs a new network key. The old key is kept as a fallback
+// for Open so a mesh can be re-keyed node by node (far-to-near from the
+// gateway) without partitioning itself mid-rotation; Seal switches to
+// the new key immediately. The frame counter is NOT reset: it keeps
+// climbing across rotations, so a nonce is never reused even if a key
+// is ever re-installed. Replay windows are kept for the same reason.
+func (l *Link) Rotate(key Key) {
+	if key == l.cur {
+		return
+	}
+	l.prev, l.prevGen, l.hasPrev = l.cur, l.curGen, true
+	l.cur = key
+	l.curGen++
+	if l.prevGen == l.curGen { // prev entries must not alias cur's
+		l.curGen++
+	}
+}
+
+// NetKey returns the current network key (for host-side provisioning of
+// additional nodes).
+func (l *Link) NetKey() Key { return l.cur }
+
+// session returns (caching) the cipher state for frames originated by
+// addr under the given key generation.
+func (l *Link) session(addr packet.Address, key Key, gen uint32) (*session, error) {
+	sk := sessKey{addr, gen}
+	if s, ok := l.sessions[sk]; ok {
+		return s, nil
+	}
+	nk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("meshsec: %w", err)
+	}
+	// Per-origin session key: AES(netkey, 0x01 || addr || 0...). Distinct
+	// origins get unrelated keys; an attacker learning one session key
+	// (e.g. from a captured device) still cannot forge for other origins
+	// without inverting AES.
+	var blk [16]byte
+	blk[0] = 0x01
+	binary.BigEndian.PutUint16(blk[1:3], uint16(addr))
+	nk.Encrypt(blk[:], blk[:])
+	b, err := aes.NewCipher(blk[:])
+	if err != nil {
+		return nil, fmt.Errorf("meshsec: %w", err)
+	}
+	s := &session{block: b}
+	cmacSubkeys(b, &s.k1, &s.k2)
+	l.sessions[sk] = s
+	return s, nil
+}
+
+// aad assembles the 13 bytes of authenticated associated data: every
+// hop-invariant header field. Via is deliberately excluded so forwarders
+// can rewrite it; see the package comment for why that is acceptable.
+func secAAD(p *packet.Packet, buf *[13]byte) {
+	buf[0] = packet.SecVersion<<4 | p.SecFlags&0x0F
+	binary.BigEndian.PutUint16(buf[1:3], uint16(p.Dst))
+	binary.BigEndian.PutUint16(buf[3:5], uint16(p.Src))
+	buf[5] = byte(p.Type)
+	buf[6] = p.SeqID
+	binary.BigEndian.PutUint16(buf[7:9], p.Number)
+	binary.BigEndian.PutUint32(buf[9:13], p.Counter)
+}
+
+// ctrXOR applies the CTR keystream for (origin, counter) to data in
+// place. The IV is unique per (session key, origin, counter) and frames
+// are < 16 blocks, so the keystream never repeats.
+func ctrXOR(s *session, src packet.Address, counter uint32, data []byte) {
+	var iv, ks [16]byte
+	iv[0] = 0x02
+	binary.BigEndian.PutUint16(iv[1:3], uint16(src))
+	binary.BigEndian.PutUint32(iv[3:7], counter)
+	for i := 0; i < len(data); i += 16 {
+		binary.BigEndian.PutUint16(iv[14:16], uint16(i/16))
+		s.block.Encrypt(ks[:], iv[:])
+		n := len(data) - i
+		if n > 16 {
+			n = 16
+		}
+		for j := 0; j < n; j++ {
+			data[i+j] ^= ks[j]
+		}
+	}
+}
+
+// mic computes the truncated CMAC tag over aad || ciphertext.
+func (l *Link) mic(s *session, p *packet.Packet, ct []byte) [packet.SecMICLen]byte {
+	var aad [13]byte
+	secAAD(p, &aad)
+	l.macBuf = append(l.macBuf[:0], aad[:]...)
+	l.macBuf = append(l.macBuf, ct...)
+	var tag [16]byte
+	cmac(s.block, &s.k1, &s.k2, l.macBuf, &tag)
+	var out [packet.SecMICLen]byte
+	copy(out[:], tag[:])
+	return out
+}
+
+// SealFrame encrypts and authenticates an encoded secured frame in
+// place. frame must be the AppendMarshal encoding of p (plaintext
+// payload, zero MIC trailer); on return the payload bytes are ciphertext
+// and the trailer holds the MIC. Sealing uses the session key of the
+// frame's ORIGIN (p.Src) under the current network key, so forwarding a
+// frame re-seals it byte-identically to the original transmission.
+func (l *Link) SealFrame(frame []byte, p *packet.Packet) error {
+	if !p.Secured {
+		return errors.New("meshsec: SealFrame on an unsecured packet")
+	}
+	if len(frame) < packet.SecMICLen || len(frame) != p.WireLen() {
+		return errors.New("meshsec: frame does not match packet")
+	}
+	s, err := l.session(p.Src, l.cur, l.curGen)
+	if err != nil {
+		return err
+	}
+	end := len(frame) - packet.SecMICLen
+	start := end - len(p.Payload)
+	if p.SecFlags&packet.SecFlagEncrypted != 0 {
+		ctrXOR(s, p.Src, p.Counter, frame[start:end])
+	}
+	m := l.mic(s, p, frame[start:end])
+	copy(frame[end:], m[:])
+	return nil
+}
+
+// Open verifies and decrypts a secured packet fresh from Unmarshal
+// (payload still ciphertext, aliasing the receive buffer). On success
+// the packet's payload is replaced with plaintext held in a buffer owned
+// by the Link — valid until the next Open; callers that retain it must
+// copy (core's deliver/forward paths already do).
+//
+// Verification order matters: the MIC is checked first (under the
+// current key, then the previous key during a rotation), and only an
+// authenticated counter may advance the replay window — otherwise a
+// forger could poison windows and block legitimate traffic.
+func (l *Link) Open(p *packet.Packet) error {
+	if !p.Secured {
+		return errors.New("meshsec: Open on an unsecured packet")
+	}
+	s, err := l.session(p.Src, l.cur, l.curGen)
+	if err != nil {
+		return err
+	}
+	if l.mic(s, p, p.Payload) != p.MIC {
+		ok := false
+		if l.hasPrev {
+			ps, err := l.session(p.Src, l.prev, l.prevGen)
+			if err != nil {
+				return err
+			}
+			if l.mic(ps, p, p.Payload) == p.MIC {
+				s, ok = ps, true
+			}
+		}
+		if !ok {
+			return ErrAuth
+		}
+	}
+	w := l.windows[p.Src]
+	if w == nil {
+		w = &window{}
+		l.windows[p.Src] = w
+	}
+	if !w.admit(p.Counter) {
+		return ErrReplay
+	}
+	l.scratch = append(l.scratch[:0], p.Payload...)
+	if p.SecFlags&packet.SecFlagEncrypted != 0 {
+		ctrXOR(s, p.Src, p.Counter, l.scratch)
+	}
+	p.Payload = l.scratch
+	return nil
+}
+
+// VerifyOnly checks a packet's MIC without touching replay windows or
+// the scratch buffer, and reports whether it verified and (if encrypted)
+// returns the decrypted payload as a fresh allocation. Offline tooling
+// (packetdump) uses it; the engine path uses Open.
+func (l *Link) VerifyOnly(p *packet.Packet) ([]byte, bool) {
+	s, err := l.session(p.Src, l.cur, l.curGen)
+	if err != nil || l.mic(s, p, p.Payload) != p.MIC {
+		return nil, false
+	}
+	pt := append([]byte(nil), p.Payload...)
+	if p.SecFlags&packet.SecFlagEncrypted != 0 {
+		ctrXOR(s, p.Src, p.Counter, pt)
+	}
+	return pt, true
+}
+
+// ReplayCheck runs just the replay-window admission for (origin,
+// counter), for tooling that verifies with VerifyOnly first.
+func (l *Link) ReplayCheck(src packet.Address, counter uint32) bool {
+	w := l.windows[src]
+	if w == nil {
+		w = &window{}
+		l.windows[src] = w
+	}
+	return w.admit(counter)
+}
+
+// Rekey payloads: key provisioning/rotation rides the gateway downlink
+// channel as an ordinary (secured) application payload with a magic
+// prefix; core intercepts it on delivery and rotates the node's Link
+// instead of handing it to the application.
+
+// rekeyMagic prefixes a key-rotation payload. The collision risk with
+// application data is one in 2^32 per 20-byte payload and only matters
+// on secured meshes, where application payloads are already opaque to
+// outsiders.
+var rekeyMagic = [4]byte{0xA5, 'R', 'K', 0x01}
+
+// RekeyPayload builds the over-the-air payload that installs key k.
+func RekeyPayload(k Key) []byte {
+	out := make([]byte, 0, len(rekeyMagic)+len(k))
+	out = append(out, rekeyMagic[:]...)
+	return append(out, k[:]...)
+}
+
+// ParseRekey reports whether b is a rekey payload and extracts the key.
+func ParseRekey(b []byte) (Key, bool) {
+	var k Key
+	if len(b) != len(rekeyMagic)+len(k) || [4]byte(b[:4]) != rekeyMagic {
+		return k, false
+	}
+	copy(k[:], b[4:])
+	return k, true
+}

@@ -1,0 +1,390 @@
+package meshsec
+
+import (
+	"bytes"
+	"crypto/aes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+// TestCMACVectors pins the CMAC implementation to the RFC 4493 test
+// vectors (AES-128 key 2b7e...).
+func TestCMACVectors(t *testing.T) {
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	msg, _ := hex.DecodeString(
+		"6bc1bee22e409f96e93d7e117393172a" +
+			"ae2d8a571e03ac9c9eb76fac45af8e51" +
+			"30c81c46a35ce411")
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "bb1d6929e95937287fa37d129b756746"},
+		{16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{40, "dfa66747de9ae63030ca32611497c827"},
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k1, k2 [16]byte
+	cmacSubkeys(b, &k1, &k2)
+	for _, c := range cases {
+		var tag [16]byte
+		cmac(b, &k1, &k2, msg[:c.n], &tag)
+		if got := hex.EncodeToString(tag[:]); got != c.want {
+			t.Errorf("cmac over %d bytes = %s, want %s", c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	k, err := ParseKey("000102030405060708090a0b0c0d0e0f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[0] != 0 || k[15] != 0x0f {
+		t.Errorf("parsed key wrong: %v", k)
+	}
+	for _, bad := range []string{"", "0badc0ffee", "zz0102030405060708090a0b0c0d0e0f",
+		"000102030405060708090a0b0c0d0e0f00"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q): want error", bad)
+		}
+	}
+}
+
+// sealUnmarshal marshals, seals, and re-parses a packet the way a
+// receiver sees it on the air.
+func sealUnmarshal(t *testing.T, l *Link, p *packet.Packet) (*packet.Packet, []byte) {
+	t.Helper()
+	frame, err := packet.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SealFrame(frame, p); err != nil {
+		t.Fatal(err)
+	}
+	rx, err := packet.Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rx, frame
+}
+
+func securedPacket(l *Link, payload []byte) *packet.Packet {
+	return &packet.Packet{
+		Dst: 0x0002, Src: l.Addr(), Type: packet.TypeData, Via: 0x0002,
+		Payload: payload,
+		Secured: true, SecFlags: packet.SecFlagEncrypted, Counter: l.NextCounter(),
+	}
+}
+
+func TestSealOpenRoundtrip(t *testing.T) {
+	key := testKey(0x42)
+	tx := NewLink(key, 0x0001)
+	rxl := NewLink(key, 0x0002)
+	payload := []byte("the quick brown fox")
+
+	p := securedPacket(tx, append([]byte(nil), payload...))
+	rx, frame := sealUnmarshal(t, tx, p)
+
+	if bytes.Equal(rx.Payload, payload) {
+		t.Fatal("payload went out in plaintext")
+	}
+	if err := rxl.Open(rx); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(rx.Payload, payload) {
+		t.Fatalf("decrypted %q, want %q", rx.Payload, payload)
+	}
+
+	// The same bytes again are a replay.
+	rx2, err := packet.Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rxl.Open(rx2); err != ErrReplay {
+		t.Fatalf("replayed frame: got %v, want ErrReplay", err)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := testKey(0x42)
+	tx := NewLink(key, 0x0001)
+	flip := func(mut func(f []byte)) error {
+		rxl := NewLink(key, 0x0002)
+		p := securedPacket(tx, []byte("payload"))
+		frame, err := packet.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.SealFrame(frame, p); err != nil {
+			t.Fatal(err)
+		}
+		mut(frame)
+		frame[5] = byte(len(frame)) // keep the size field honest
+		rx, err := packet.Unmarshal(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rxl.Open(rx)
+	}
+
+	if err := flip(func(f []byte) {}); err != nil {
+		t.Fatalf("untampered frame must open: %v", err)
+	}
+	cases := map[string]func(f []byte){
+		"mic bit":     func(f []byte) { f[len(f)-1] ^= 0x01 },
+		"payload bit": func(f []byte) { f[len(f)-5] ^= 0x80 },
+		"counter":     func(f []byte) { f[10] ^= 0x01 },
+		"dst":         func(f []byte) { f[1] ^= 0x01 },
+		"src":         func(f []byte) { f[3] ^= 0x01 },
+		"wrong key":   nil, // handled below
+	}
+	for name, mut := range cases {
+		if mut == nil {
+			continue
+		}
+		if err := flip(mut); err != ErrAuth {
+			t.Errorf("%s flipped: got %v, want ErrAuth", name, err)
+		}
+	}
+
+	// A receiver keyed differently must reject everything.
+	other := NewLink(testKey(0x43), 0x0002)
+	p := securedPacket(tx, []byte("payload"))
+	rx, _ := sealUnmarshal(t, tx, p)
+	if err := other.Open(rx); err != ErrAuth {
+		t.Errorf("wrong key: got %v, want ErrAuth", err)
+	}
+}
+
+// TestViaRewriteKeepsMIC proves the forwarder property: rewriting the
+// hop-local via and re-sealing yields byte-identical ciphertext and MIC.
+func TestViaRewriteKeepsMIC(t *testing.T) {
+	key := testKey(0x42)
+	tx := NewLink(key, 0x0001)
+	fwd := NewLink(key, 0x0003)
+
+	p := securedPacket(tx, []byte("hop hop"))
+	_, frame1 := sealUnmarshal(t, tx, p)
+
+	// The forwarder re-seals the plaintext clone with a different via.
+	q := p.Clone()
+	q.Via = 0x0004
+	frame2, err := packet.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fwd.SealFrame(frame2, q); err != nil {
+		t.Fatal(err)
+	}
+	// Everything but the via bytes must match the origin's transmission.
+	if !bytes.Equal(frame1[len(frame1)-packet.SecMICLen:], frame2[len(frame2)-packet.SecMICLen:]) {
+		t.Error("MIC changed across a via rewrite")
+	}
+	start := packet.BaseHeaderLen + packet.SecHeaderLen + packet.ViaLen
+	if !bytes.Equal(frame1[start:len(frame1)-packet.SecMICLen], frame2[start:len(frame2)-packet.SecMICLen]) {
+		t.Error("ciphertext changed across a via rewrite")
+	}
+}
+
+func TestRotateAcceptsPreviousKey(t *testing.T) {
+	oldKey, newKey := testKey(0x11), testKey(0x22)
+	tx := NewLink(oldKey, 0x0001) // not yet rotated
+	rxl := NewLink(oldKey, 0x0002)
+	rxl.Rotate(newKey)
+
+	// Old-key traffic still opens after the receiver rotated.
+	p := securedPacket(tx, []byte("before rotation"))
+	rx, _ := sealUnmarshal(t, tx, p)
+	if err := rxl.Open(rx); err != nil {
+		t.Fatalf("old-key frame after Rotate: %v", err)
+	}
+
+	// After the sender rotates too, new-key traffic opens as well.
+	tx.Rotate(newKey)
+	p2 := securedPacket(tx, []byte("after rotation"))
+	rx2, _ := sealUnmarshal(t, tx, p2)
+	if err := rxl.Open(rx2); err != nil {
+		t.Fatalf("new-key frame after Rotate: %v", err)
+	}
+
+	// A third key no one installed is rejected.
+	strange := NewLink(testKey(0x33), 0x0001)
+	strange.counter = tx.counter
+	p3 := securedPacket(strange, []byte("stranger"))
+	rx3, _ := sealUnmarshal(t, strange, p3)
+	if err := rxl.Open(rx3); err != ErrAuth {
+		t.Fatalf("unknown-key frame: got %v, want ErrAuth", err)
+	}
+}
+
+func TestRekeyPayload(t *testing.T) {
+	k := testKey(0x7A)
+	pl := RekeyPayload(k)
+	got, ok := ParseRekey(pl)
+	if !ok || got != k {
+		t.Fatalf("ParseRekey(RekeyPayload(k)) = %v, %v", got, ok)
+	}
+	for _, bad := range [][]byte{nil, {}, pl[:10], append(append([]byte(nil), pl...), 0), []byte("twenty bytes of data")} {
+		if _, ok := ParseRekey(bad); ok {
+			t.Errorf("ParseRekey(%x): want !ok", bad)
+		}
+	}
+}
+
+// Property tests for the replay window (satellite: testing/quick).
+
+// TestWindowFreshMonotonic: strictly increasing counters are all accepted.
+func TestWindowFreshMonotonic(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		var w window
+		c := uint32(0)
+		for _, d := range deltas {
+			c += uint32(d) + 1 // strictly increasing
+			if !w.admit(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowDuplicateReject: any admitted counter is rejected when
+// presented again, regardless of what else was admitted in between.
+func TestWindowDuplicateReject(t *testing.T) {
+	f := func(counters []uint16) bool {
+		var w window
+		seen := make(map[uint32]bool)
+		for _, c16 := range counters {
+			c := uint32(c16) + 1
+			ok := w.admit(c)
+			if seen[c] && ok {
+				return false // duplicate accepted
+			}
+			if ok {
+				seen[c] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowInWindowAcceptOnce: out-of-order arrivals within the window
+// are accepted exactly once; counters at or beyond the window edge are
+// rejected.
+func TestWindowInWindowAcceptOnce(t *testing.T) {
+	f := func(top uint32, back uint16) bool {
+		if top < WindowBits+1 {
+			top += WindowBits + 1
+		}
+		var w window
+		if !w.admit(top) {
+			return false
+		}
+		c := top - uint32(back)
+		if uint32(back) >= WindowBits {
+			return !w.admit(c) // too old: always rejected
+		}
+		if back == 0 {
+			return !w.admit(c) // duplicate of top
+		}
+		return w.admit(c) && !w.admit(c) // once, then never again
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowFarFutureSlide: a far-future counter slides everything out;
+// the counters admitted before it become too old.
+func TestWindowFarFutureSlide(t *testing.T) {
+	f := func(start uint16, jump uint32) bool {
+		if jump < WindowBits {
+			jump += WindowBits
+		}
+		var w window
+		c := uint32(start) + 1
+		if !w.admit(c) {
+			return false
+		}
+		future := c + jump
+		if future < c { // wrapped; skip degenerate case
+			return true
+		}
+		if !w.admit(future) {
+			return false
+		}
+		return !w.admit(c) // original now behind the window
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowZeroCounterRejected(t *testing.T) {
+	var w window
+	if w.admit(0) {
+		t.Error("counter 0 must never be admitted")
+	}
+}
+
+func TestNextCounterMonotonic(t *testing.T) {
+	l := NewLink(testKey(1), 0x0001)
+	prev := uint32(0)
+	for i := 0; i < 1000; i++ {
+		c := l.NextCounter()
+		if c <= prev {
+			t.Fatalf("counter went backwards: %d after %d", c, prev)
+		}
+		prev = c
+	}
+	if l.Counter() != prev {
+		t.Errorf("Counter() = %d, want %d", l.Counter(), prev)
+	}
+}
+
+func TestVerifyOnlyAndReplayCheck(t *testing.T) {
+	key := testKey(0x42)
+	tx := NewLink(key, 0x0001)
+	dump := NewLink(key, 0)
+
+	p := securedPacket(tx, []byte("captured"))
+	rx, _ := sealUnmarshal(t, tx, p)
+
+	pt, ok := dump.VerifyOnly(rx)
+	if !ok || string(pt) != "captured" {
+		t.Fatalf("VerifyOnly = %q, %v", pt, ok)
+	}
+	// VerifyOnly leaves the window untouched: first ReplayCheck admits.
+	if !dump.ReplayCheck(rx.Src, rx.Counter) {
+		t.Error("first ReplayCheck must admit")
+	}
+	if dump.ReplayCheck(rx.Src, rx.Counter) {
+		t.Error("second ReplayCheck must reject")
+	}
+
+	rx.MIC[0] ^= 1
+	if _, ok := dump.VerifyOnly(rx); ok {
+		t.Error("VerifyOnly accepted a flipped MIC")
+	}
+}

@@ -1,0 +1,63 @@
+package meshsec
+
+// WindowBits is the replay window width per origin: how far behind the
+// highest authenticated counter a frame may arrive and still be
+// accepted (once). LoRa meshes reorder across go-back-N retransmission
+// rounds, so the window is generous; at ~1 frame/s it covers ~17 minutes
+// of reordering per origin for 128 bytes of state.
+const WindowBits = 1024
+
+// window is a sliding replay window: the highest counter accepted from
+// one origin plus a bitmap of the WindowBits counters below it.
+type window struct {
+	top  uint32 // highest counter accepted; 0 = nothing yet
+	bits [WindowBits / 64]uint64
+}
+
+// admit reports whether counter c should be accepted from this origin,
+// and records it. Semantics:
+//   - c > top: slide the window forward and accept.
+//   - top-WindowBits < c <= top: accept the first time, reject duplicates.
+//   - c <= top-WindowBits (or c == 0): reject as too old.
+func (w *window) admit(c uint32) bool {
+	if c == 0 {
+		return false // 0 is "never sealed"; a real counter starts at 1
+	}
+	if c > w.top {
+		w.slide(c - w.top)
+		w.top = c
+		w.bits[0] |= 1
+		return true
+	}
+	back := w.top - c
+	if back >= WindowBits {
+		return false
+	}
+	word, bit := back/64, back%64
+	if w.bits[word]&(1<<bit) != 0 {
+		return false
+	}
+	w.bits[word] |= 1 << bit
+	return true
+}
+
+// slide shifts the bitmap up by n counters (bit k tracks top-k).
+func (w *window) slide(n uint32) {
+	if n >= WindowBits {
+		w.bits = [WindowBits / 64]uint64{}
+		return
+	}
+	words, bits := int(n/64), n%64
+	if words > 0 {
+		copy(w.bits[words:], w.bits[:len(w.bits)-words])
+		for i := 0; i < words; i++ {
+			w.bits[i] = 0
+		}
+	}
+	if bits > 0 {
+		for i := len(w.bits) - 1; i > 0; i-- {
+			w.bits[i] = w.bits[i]<<bits | w.bits[i-1]>>(64-bits)
+		}
+		w.bits[0] <<= bits
+	}
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/airmedium"
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/loraphy"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// ForgeAddr is the fabricated source address attacker stations use for
+// forged HELLOs. It sits far outside the simulator's contiguous address
+// range, so "no route to or via ForgeAddr" is a clean table-poisoning
+// assertion.
+const ForgeAddr packet.Address = 0xBEEF
+
+// attackerRing caps how many overheard frames an attacker retains for
+// replay and tampering (oldest evicted first).
+const attackerRing = 32
+
+// attacker is a hostile radio realized as an extra medium station camped
+// ~100 m from its victim. It is not in the simulator's stationIdx map,
+// so the fault injector ignores its transmissions (an attacker is not a
+// lossy link), and it runs no protocol engine — it only captures what it
+// overhears and injects hostile frames on the plan's schedule.
+type attacker struct {
+	sim     *Sim
+	spec    faults.Attacker
+	station airmedium.StationID
+	phy     loraphy.Params
+	rng     *rand.Rand
+
+	captured [][]byte
+	next     int // ring write index
+	sent     int
+}
+
+// OnFrame implements airmedium.Receiver: capture everything overheard.
+// Receptions are accounted sim-side so the medium's delivered-frames
+// ledger still reconciles (the attacker is a radio, not an engine).
+func (a *attacker) OnFrame(d airmedium.Delivery) {
+	a.sim.reg.Counter("attacker.rx.frames").Inc()
+	data := append([]byte(nil), d.Data...)
+	if len(a.captured) < attackerRing {
+		a.captured = append(a.captured, data)
+		return
+	}
+	a.captured[a.next] = data
+	a.next = (a.next + 1) % attackerRing
+}
+
+// tick fires one scheduled injection and re-arms.
+func (a *attacker) tick() {
+	if a.spec.Count > 0 && a.sent >= a.spec.Count {
+		return
+	}
+	behaviors := a.spec.Behaviors()
+	b := behaviors[a.sent%len(behaviors)]
+	frame := a.buildFrame(b)
+	if frame != nil {
+		if _, err := a.sim.Medium.Transmit(a.station, frame, a.phy); err == nil {
+			a.sim.reg.Counter("attacker.tx.frames").Inc()
+			a.sim.reg.Counter("attacker.tx." + b).Inc()
+			a.sim.Tracer.Emit(a.sim.Sched.Now(), "attacker", trace.KindFailure,
+				"injected %s frame (%d bytes)", b, len(frame))
+		}
+	}
+	// A skipped injection (nothing captured yet) still advances the
+	// schedule; the cadence is the plan's, not the traffic's.
+	a.sent++
+	a.sim.Sched.MustAfter(a.spec.Period.D(), a.tick)
+}
+
+// buildFrame constructs the hostile frame for one behavior, or nil when
+// the behavior has no material yet (e.g. replay before any capture).
+func (a *attacker) buildFrame(behavior string) []byte {
+	switch behavior {
+	case "replay":
+		if len(a.captured) == 0 {
+			return nil
+		}
+		return a.captured[a.rng.Intn(len(a.captured))]
+	case "forge_hello":
+		// A plaintext HELLO from a fabricated node advertising itself and
+		// a metric-1 route to every real node: classic table poisoning.
+		// Against a secured mesh it must die as an unauthenticated frame.
+		entries := []packet.HelloEntry{{Addr: ForgeAddr, Metric: 0, Role: packet.RoleDefault}}
+		for _, h := range a.sim.handles {
+			if len(entries) >= packet.MaxHelloEntries {
+				break
+			}
+			entries = append(entries, packet.HelloEntry{Addr: h.Addr, Metric: 1})
+		}
+		payload, err := packet.MarshalHello(entries)
+		if err != nil {
+			return nil
+		}
+		frame, err := packet.Marshal(&packet.Packet{
+			Dst: packet.Broadcast, Src: ForgeAddr,
+			Type: packet.TypeHello, Payload: payload,
+		})
+		if err != nil {
+			return nil
+		}
+		return frame
+	case "bit_flip":
+		if len(a.captured) == 0 {
+			return nil
+		}
+		src := a.captured[a.rng.Intn(len(a.captured))]
+		frame := append([]byte(nil), src...)
+		// Flip 1..3 bits in the trailing half — payload or MIC territory.
+		flips := 1 + a.rng.Intn(3)
+		for i := 0; i < flips; i++ {
+			pos := len(frame)/2 + a.rng.Intn(len(frame)-len(frame)/2)
+			frame[pos] ^= 1 << uint(a.rng.Intn(8))
+		}
+		return frame
+	}
+	return nil
+}
+
+// applyAttackers realizes the plan's attacker stations: each is placed
+// 100 m east of its victim and armed on the virtual clock. Injection
+// choices draw from a PRNG seeded by (sim seed, attacker index), keeping
+// runs byte-for-byte replayable.
+func (s *Sim) applyAttackers(specs []faults.Attacker) error {
+	for i, spec := range specs {
+		victim := s.handles[spec.Node]
+		pos, err := s.Medium.Position(victim.Station)
+		if err != nil {
+			return fmt.Errorf("netsim: attacker %d: %w", i, err)
+		}
+		a := &attacker{
+			sim:  s,
+			spec: spec,
+			phy:  s.Cfg.Node.EffectivePhy(),
+			rng:  rand.New(rand.NewSource(s.Cfg.Seed ^ int64(i+1)*0x9e3779b9 ^ 0x5bd1e995)),
+		}
+		station, err := s.Medium.AddStation(geo.Point{X: pos.X + 100, Y: pos.Y}, a)
+		if err != nil {
+			return fmt.Errorf("netsim: attacker %d: %w", i, err)
+		}
+		a.station = station
+		s.Sched.MustAfter(spec.Start.D(), a.tick)
+		s.Tracer.Emit(s.Sched.Now(), "attacker", trace.KindFailure,
+			"attacker armed near node %v (behaviors %v, period %v)",
+			victim.Addr, spec.Behaviors(), spec.Period.D())
+	}
+	return nil
+}
+
+var _ airmedium.Receiver = (*attacker)(nil)

@@ -259,3 +259,111 @@ func TestChaosMixedFaultSoak(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosAttackerSecured soaks a secured mesh under a sustained active
+// attacker — replaying captured frames, forging HELLOs from a
+// nonexistent address, and bit-flipping MICs — and demands that not one
+// hostile frame is delivered to an application or admitted to a routing
+// table, with every rejection accounted under the sec.drop.* counters,
+// while the mesh keeps delivering and stays loop-free.
+func TestChaosAttackerSecured(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			var sink bytes.Buffer
+			defer func() {
+				if t.Failed() {
+					dumpArtifact(t, "attacker-secured", seed, sink.Bytes())
+				}
+			}()
+
+			topo := mustLine(t, 5, 8000)
+			sim, err := New(Config{Topology: topo, Node: chaosNode(), Seed: seed,
+				SecKey: &secTestKey, TraceCapacity: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.Tracer.SetSink(&sink)
+			if _, ok := sim.TimeToConvergence(time.Second, 10*time.Minute); !ok {
+				t.Fatal("no initial convergence")
+			}
+			// A 10-minute barrage, then silence: the soak's back half shows
+			// the mesh recovering once the channel clears.
+			if err := sim.ApplyFaultPlan(&faults.Plan{
+				Name: "attacker-secured",
+				Attackers: []faults.Attacker{{
+					Node:   2, // center of the 5-chain: overhears the most
+					Start:  faults.Duration(30 * time.Second),
+					Period: faults.Duration(10 * time.Second),
+					Count:  60,
+					Replay: true, ForgeHello: true, BitFlip: true,
+				}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			up, err := sim.StartFlow(Flow{
+				From: 0, To: 4, Payload: 24, Interval: 30 * time.Second, Poisson: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			down, err := sim.StartFlow(Flow{
+				From: 4, To: 0, Payload: 24, Interval: 30 * time.Second, Poisson: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.Run(20 * time.Minute)
+
+			snap := sim.AggregateMetrics().Snapshot()
+			if snap["sim.attacker.tx.frames"] < 50 {
+				t.Fatalf("attacker injected only %v frames in a 20-minute soak",
+					snap["sim.attacker.tx.frames"])
+			}
+			hostile := snap["total.sec.drop.auth"] + snap["total.sec.drop.replay"] +
+				snap["total.sec.drop.legacy"]
+			if hostile == 0 {
+				t.Error("no hostile frame accounted under sec.drop.*")
+			}
+			for i := 0; i < sim.N(); i++ {
+				h := sim.Handle(i)
+				if _, ok := h.Mesher.Table().NextHop(ForgeAddr); ok {
+					t.Errorf("node %v learned a route to forged %v", h.Addr, ForgeAddr)
+				}
+				for _, e := range h.Mesher.Table().Entries() {
+					if e.Via == ForgeAddr {
+						t.Errorf("node %v routes via forged %v", h.Addr, ForgeAddr)
+					}
+				}
+				for _, msg := range h.Msgs {
+					if sim.ByAddr(msg.From) == nil {
+						t.Errorf("node %v delivered app payload from forged %v", h.Addr, msg.From)
+					}
+				}
+			}
+			// Channel occupancy from hostile transmissions is jamming —
+			// not in the threat model — and during the barrage it costs
+			// unreliable 4-hop datagrams dearly in collisions and the
+			// HELLO losses behind route expiry. The floor guards against
+			// collapse (a security failure would drop delivery to ~0),
+			// not against jamming.
+			for name, flow := range map[string]*TrafficStats{"up": up, "down": down} {
+				if flow.DeliveryRatio() < 0.45 {
+					t.Errorf("%s flow delivered %.2f under attack, want >= 0.45",
+						name, flow.DeliveryRatio())
+				}
+			}
+			// The barrage ended ~9 minutes before the soak did: the mesh
+			// must have recovered full routing coverage by now.
+			if !sim.Converged() {
+				t.Error("mesh not converged after the attack ended")
+			}
+			if err := sim.CheckRoutingLoops(); err != nil {
+				t.Errorf("loops/blackholes under attack:\n%v", err)
+			}
+			if err := sim.CheckInvariants(); err != nil {
+				t.Errorf("invariants:\n%v", err)
+			}
+		})
+	}
+}

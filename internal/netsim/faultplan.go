@@ -28,6 +28,9 @@ func (s *Sim) buildEngine(h *Handle) error {
 			nc = s.Cfg.NodeOverride(h.Index, nc)
 			nc.Address = addr // the override must not break addressing
 		}
+		// The handle's link (not a fresh one) goes into every rebuilt
+		// engine: the frame counter must survive restarts.
+		nc.Security = h.Sec
 		if h.helloScale > 0 && h.helloScale != 1 {
 			// Clock skew: this node's crystal runs fast or slow, so its
 			// HELLO cadence drifts from what neighbors expect.
@@ -142,6 +145,11 @@ func (s *Sim) ApplyFaultPlan(plan *faults.Plan) error {
 			})
 		}
 		arm(0)
+	}
+
+	// Attackers: hostile stations camped next to their victims.
+	if err := s.applyAttackers(plan.Attackers); err != nil {
+		return err
 	}
 
 	s.injector = faults.NewInjector(plan, s.Cfg.Seed, now)

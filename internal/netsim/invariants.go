@@ -17,8 +17,10 @@ func (s *Sim) CheckInvariants() error {
 	snap := s.AggregateMetrics().Snapshot()
 	ms := s.Medium.Stats()
 
-	// Every frame the engines report transmitted appears at the medium.
-	if got, want := float64(ms.FramesSent), snap["total.tx.frames"]; got != want {
+	// Every frame the engines report transmitted appears at the medium;
+	// attacker stations transmit outside any engine and account for the
+	// difference.
+	if got, want := float64(ms.FramesSent), snap["total.tx.frames"]+snap["sim.attacker.tx.frames"]; got != want {
 		errs = append(errs, fmt.Errorf("medium saw %v frames, engines sent %v", got, want))
 	}
 
@@ -35,10 +37,11 @@ func (s *Sim) CheckInvariants() error {
 			faultDrops += uint64(v)
 		}
 	}
-	if ms.FramesDelivered != received+faultDrops {
+	attackerRx := uint64(snap["sim.attacker.rx.frames"])
+	if ms.FramesDelivered != received+faultDrops+attackerRx {
 		errs = append(errs, fmt.Errorf(
-			"medium delivered %d frames, engines received %d + fault layer dropped %d",
-			ms.FramesDelivered, received, faultDrops))
+			"medium delivered %d frames, engines received %d + fault layer dropped %d + attackers overheard %d",
+			ms.FramesDelivered, received, faultDrops, attackerRx))
 	}
 	_ = outcomes // partition total varies with receiver count; per-outcome checks above suffice
 

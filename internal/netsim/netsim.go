@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/geo"
+	"repro/internal/meshsec"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/reactive"
@@ -78,6 +79,11 @@ type Config struct {
 	// BaseAddress is node 0's address; node i gets BaseAddress+i.
 	// Zero means 0x0001.
 	BaseAddress packet.Address
+	// SecKey, when set, secures the mesh (KindMesher only): every node
+	// gets a meshsec link derived from this network key. The link lives
+	// on the Handle, not the engine, so crash/restart cycles keep the
+	// node's frame counter monotonic and never reuse a nonce.
+	SecKey *meshsec.Key
 	// Seed drives all simulation randomness (jitter, traffic).
 	Seed int64
 	// Start is the virtual start time; zero means Epoch.
@@ -106,6 +112,9 @@ type Handle struct {
 	OnMessage func(core.AppMessage)
 	// OnStreamDone, when set, observes each stream outcome.
 	OnStreamDone func(core.StreamEvent)
+	// Sec is the node's security link when Config.SecKey is set. It
+	// outlives engine rebuilds (see Config.SecKey).
+	Sec *meshsec.Link
 
 	killed bool
 	// down marks a fault-plan crash: the engine is stopped and the radio
@@ -189,6 +198,9 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Medium.Seed == 0 {
 		cfg.Medium.Seed = cfg.Seed
 	}
+	if cfg.SecKey != nil && cfg.Protocol != KindMesher {
+		return nil, fmt.Errorf("netsim: security requires the mesher protocol")
+	}
 
 	sched := simtime.NewScheduler(cfg.Start)
 	medium, err := airmedium.New(sched, cfg.Medium)
@@ -212,6 +224,9 @@ func New(cfg Config) (*Sim, error) {
 		h := &Handle{Index: i, Addr: addr}
 		h.addrStr = addr.String()
 		h.prefix = "node." + h.addrStr + "."
+		if cfg.SecKey != nil {
+			h.Sec = meshsec.NewLink(*cfg.SecKey, addr)
+		}
 		env := &nodeEnv{sim: s, h: h, rng: rand.New(rand.NewSource(cfg.Seed ^ int64(i+1)*0x9e3779b9))}
 		h.env = env
 

@@ -42,8 +42,9 @@ type HelloEntry struct {
 	Role   Role
 }
 
-// helloEntryLen is the wire size of one HelloEntry.
-const helloEntryLen = 4
+// HelloEntryLen is the wire size of one HelloEntry.
+const HelloEntryLen = 4
+const helloEntryLen = HelloEntryLen
 
 // MaxHelloEntries is how many routing-table rows fit in one HELLO packet.
 // Larger tables are split across consecutive HELLOs by the caller.

@@ -8,6 +8,19 @@
 //	stream packets: + seqID(1) number(2)
 //	payload:        up to the 255-byte LoRa PHY limit
 //
+// Secured frames (see internal/meshsec) set the high bit of the type
+// byte and insert a versioned security header between the size byte and
+// the via/stream fields, plus a MIC trailer after the payload:
+//
+//	secured header: verflags(1) counter(4)   — after the size byte
+//	secured trailer: mic(4)                  — after the payload
+//
+// The counter is the *originator's* monotonic frame counter and, like
+// src/dst, is never rewritten by forwarders; the MIC covers every
+// hop-invariant field (the hop-local via is excluded so forwarders can
+// rewrite it without key material for re-signing per hop). Legacy frames
+// (high bit clear) parse exactly as before.
+//
 // Node addresses are 16 bits (derived from the device MAC on hardware);
 // 0xFFFF broadcasts. HELLO packets carry the sender's routing table as a
 // sequence of (address, metric, role) tuples. Reliable large-payload
@@ -134,6 +147,25 @@ const (
 	MaxFrameLen = 255
 )
 
+// Secured-frame constants. All legacy type values are below 0x80, so the
+// high bit of the type byte discriminates secured frames on the wire.
+const (
+	// secTypeBit marks a secured frame in the wire type byte.
+	secTypeBit = 0x80
+	// SecVersion is the security header version this codec speaks; the
+	// upper nibble of the verflags byte carries it.
+	SecVersion = 1
+	// SecFlagEncrypted marks a payload that is encrypted (not just
+	// authenticated); lower-nibble flag of the verflags byte.
+	SecFlagEncrypted = 0x01
+	// SecHeaderLen covers verflags(1) + counter(4).
+	SecHeaderLen = 5
+	// SecMICLen is the message integrity code trailer length.
+	SecMICLen = 4
+	// SecOverhead is the total extra wire bytes a secured frame carries.
+	SecOverhead = SecHeaderLen + SecMICLen
+)
+
 // HeaderLen returns the total header length for a packet of type t.
 func HeaderLen(t Type) int {
 	n := BaseHeaderLen
@@ -164,20 +196,41 @@ type Packet struct {
 	// Number is the stream chunk count (SYNC), chunk index (XL_DATA,
 	// ACK, LOST), or zero.
 	Number uint16
-	// Payload is the application or routing-table bytes.
+	// Payload is the application or routing-table bytes. On a secured
+	// frame fresh from Unmarshal this is still ciphertext; meshsec's Open
+	// replaces it with plaintext after the MIC verifies.
 	Payload []byte
+
+	// Secured marks a frame carrying the versioned security header and
+	// MIC trailer (type byte high bit on the wire).
+	Secured bool
+	// SecFlags is the lower nibble of the verflags byte (SecFlag*).
+	SecFlags uint8
+	// Counter is the originator's monotonic frame counter: the AEAD
+	// nonce input and replay-window position. Hop-invariant, like Src.
+	Counter uint32
+	// MIC is the message integrity code trailer. Zero until meshsec
+	// seals the encoded frame; preserved verbatim by Unmarshal.
+	MIC [SecMICLen]byte
 }
 
 // Errors returned by the codec.
 var (
-	ErrTooLarge  = errors.New("packet: frame exceeds 255-byte PHY limit")
-	ErrTruncated = errors.New("packet: frame truncated")
-	ErrBadType   = errors.New("packet: unknown packet type")
-	ErrBadSize   = errors.New("packet: size field does not match frame length")
+	ErrTooLarge   = errors.New("packet: frame exceeds 255-byte PHY limit")
+	ErrTruncated  = errors.New("packet: frame truncated")
+	ErrBadType    = errors.New("packet: unknown packet type")
+	ErrBadSize    = errors.New("packet: size field does not match frame length")
+	ErrBadVersion = errors.New("packet: unsupported security header version")
 )
 
 // WireLen returns the encoded length of p in bytes.
-func (p *Packet) WireLen() int { return HeaderLen(p.Type) + len(p.Payload) }
+func (p *Packet) WireLen() int {
+	n := HeaderLen(p.Type) + len(p.Payload)
+	if p.Secured {
+		n += SecOverhead
+	}
+	return n
+}
 
 // Validate checks that the packet can be encoded.
 func (p *Packet) Validate() error {
@@ -206,7 +259,15 @@ func AppendMarshal(dst []byte, p *Packet) ([]byte, error) {
 	buf := dst
 	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Dst))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Src))
-	buf = append(buf, byte(p.Type), byte(p.WireLen()))
+	t := byte(p.Type)
+	if p.Secured {
+		t |= secTypeBit
+	}
+	buf = append(buf, t, byte(p.WireLen()))
+	if p.Secured {
+		buf = append(buf, SecVersion<<4|p.SecFlags&0x0F)
+		buf = binary.BigEndian.AppendUint32(buf, p.Counter)
+	}
 	if p.Type.Routed() {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Via))
 	}
@@ -215,6 +276,9 @@ func AppendMarshal(dst []byte, p *Packet) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint16(buf, p.Number)
 	}
 	buf = append(buf, p.Payload...)
+	if p.Secured {
+		buf = append(buf, p.MIC[:]...)
+	}
 	return buf, nil
 }
 
@@ -229,9 +293,10 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
 	}
 	p := &Packet{
-		Dst:  Address(binary.BigEndian.Uint16(buf[0:2])),
-		Src:  Address(binary.BigEndian.Uint16(buf[2:4])),
-		Type: Type(buf[4]),
+		Dst:     Address(binary.BigEndian.Uint16(buf[0:2])),
+		Src:     Address(binary.BigEndian.Uint16(buf[2:4])),
+		Type:    Type(buf[4] &^ secTypeBit),
+		Secured: buf[4]&secTypeBit != 0,
 	}
 	if !p.Type.Valid() {
 		return nil, fmt.Errorf("%w: 0x%02X", ErrBadType, buf[4])
@@ -240,6 +305,17 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		return nil, fmt.Errorf("%w: field %d, frame %d", ErrBadSize, buf[5], len(buf))
 	}
 	off := BaseHeaderLen
+	if p.Secured {
+		if len(buf) < off+SecHeaderLen+SecMICLen {
+			return nil, fmt.Errorf("%w: missing security header", ErrTruncated)
+		}
+		if v := buf[off] >> 4; v != SecVersion {
+			return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		}
+		p.SecFlags = buf[off] & 0x0F
+		p.Counter = binary.BigEndian.Uint32(buf[off+1 : off+5])
+		off += SecHeaderLen
+	}
 	if p.Type.Routed() {
 		if len(buf) < off+ViaLen {
 			return nil, fmt.Errorf("%w: missing via", ErrTruncated)
@@ -255,7 +331,15 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		p.Number = binary.BigEndian.Uint16(buf[off+1 : off+3])
 		off += StreamHeaderLen
 	}
-	p.Payload = buf[off:]
+	if p.Secured {
+		if len(buf) < off+SecMICLen {
+			return nil, fmt.Errorf("%w: missing MIC trailer", ErrTruncated)
+		}
+		copy(p.MIC[:], buf[len(buf)-SecMICLen:])
+		p.Payload = buf[off : len(buf)-SecMICLen]
+	} else {
+		p.Payload = buf[off:]
+	}
 	return p, nil
 }
 
@@ -263,11 +347,31 @@ func Unmarshal(buf []byte) (*Packet, error) {
 // the hop-local Via — into a stable 64-bit ID. Because the hashed fields
 // are invariant along the path, every node that handles the packet
 // computes the same ID with no wire-format change; it keys per-packet
-// causal tracing and the forwarding loop-breaker. Two packets with
-// identical (src, dst, type, seqID, number, payload) share an ID, which
-// is exactly the dedup property forwarding wants.
+// causal tracing and the forwarding loop-breaker.
+//
+// Legacy frames hash (dst, src, type, seqID, number, payload), so two
+// packets with identical fields and payload share an ID — the dedup
+// property forwarding wants, and the documented hazard for applications
+// that send identical payloads twice. Secured frames instead hash the
+// originator's frame counter and skip the payload: the counter is unique
+// per origin, so identical payloads sent twice get distinct IDs (fixing
+// the hazard), duplicate copies of the same transmission still collide
+// (preserving dedup), and the ID is identical whether the payload bytes
+// at hand are ciphertext or plaintext.
 func (p *Packet) TraceID() uint64 {
 	h := fnv.New64a()
+	if p.Secured {
+		var hdr [13]byte
+		binary.BigEndian.PutUint16(hdr[0:2], uint16(p.Dst))
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(p.Src))
+		hdr[4] = byte(p.Type)
+		hdr[5] = p.SeqID
+		binary.BigEndian.PutUint16(hdr[6:8], p.Number)
+		hdr[8] = secTypeBit // domain separator vs the legacy hash
+		binary.BigEndian.PutUint32(hdr[9:13], p.Counter)
+		h.Write(hdr[:])
+		return h.Sum64()
+	}
 	var hdr [8]byte
 	binary.BigEndian.PutUint16(hdr[0:2], uint16(p.Dst))
 	binary.BigEndian.PutUint16(hdr[2:4], uint16(p.Src))
@@ -297,6 +401,9 @@ func (p *Packet) String() string {
 	}
 	if p.Type.Stream() {
 		s += fmt.Sprintf(" seq=%d num=%d", p.SeqID, p.Number)
+	}
+	if p.Secured {
+		s += fmt.Sprintf(" sec(ctr=%d)", p.Counter)
 	}
 	return fmt.Sprintf("%s len=%d", s, p.WireLen())
 }

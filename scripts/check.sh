@@ -4,9 +4,10 @@
 # (live harness, metrics instruments, tracer, gateway bridge), and the
 # coverage ratchet. CI and contributors run exactly this.
 #
-# staticcheck runs when the binary is on PATH (CI installs it; locally
-# `go install honnef.co/go/tools/cmd/staticcheck@latest`); it is skipped,
-# loudly, when absent so the gate works in minimal containers.
+# staticcheck and govulncheck run when their binaries are on PATH (CI
+# installs them; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`
+# and `go install golang.org/x/vuln/cmd/govulncheck@latest`); each is
+# skipped, loudly, when absent so the gate works in minimal containers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,12 @@ if command -v staticcheck >/dev/null 2>&1; then
 else
     echo "==> staticcheck (skipped: not installed)"
 fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "==> govulncheck"
+    govulncheck ./...
+else
+    echo "==> govulncheck (skipped: not installed)"
+fi
 echo "==> go build"
 go build ./...
 echo "==> go test"
@@ -33,7 +40,10 @@ echo "==> go test -race (concurrent packages)"
 # netsim and experiments are here for the parallel sweep runner: worker
 # goroutines evaluate independent Sims concurrently, so hidden shared
 # state between Sims is a race, not just a determinism bug.
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./cmd/meshgw/...
+# meshsec is in the race list because one Link is shared by a node's
+# engine and its host (gateway rekey, handle counters); faults rides
+# along for the injector its plans arm across the live harness.
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./cmd/meshgw/...
 echo "==> coverage ratchet"
 # The ratchet: total statement coverage may not drop more than 1 point
 # below scripts/coverage_floor.txt. Raise the floor when coverage grows.
