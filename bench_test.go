@@ -8,8 +8,10 @@ package repro
 import (
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/span"
 )
 
 // benchExperiment runs the experiment with the given id once per iteration.
@@ -47,6 +49,7 @@ func BenchmarkE10Repair(b *testing.B)         { benchExperiment(b, "E10") }
 func BenchmarkE11GatewayUplink(b *testing.B)  { benchExperiment(b, "E11") }
 func BenchmarkE12ChaosMatrix(b *testing.B)    { benchExperiment(b, "E12") }
 func BenchmarkE13Security(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14Observer(b *testing.B)       { benchExperiment(b, "E14") }
 func BenchmarkA1SplitHorizon(b *testing.B)    { benchExperiment(b, "A1") }
 func BenchmarkA2HelloPeriod(b *testing.B)     { benchExperiment(b, "A2") }
 func BenchmarkA3ARQWindow(b *testing.B)       { benchExperiment(b, "A3") }
@@ -58,6 +61,24 @@ func BenchmarkX3Mobility(b *testing.B)        { benchExperiment(b, "X3") }
 func BenchmarkX4SNRRouting(b *testing.B)      { benchExperiment(b, "X4") }
 func BenchmarkX5Partition(b *testing.B)       { benchExperiment(b, "X5") }
 func BenchmarkX6Reactive(b *testing.B)        { benchExperiment(b, "X6") }
+
+// BenchmarkSpanRecordNoSink is the observer's hot-path guard: recording
+// a span segment with no trace sink attached must stay allocation-free
+// (the bench gate compares ns/op; the hard 0 allocs/op assertion lives
+// in internal/span's TestRecordNoSinkZeroAlloc).
+func BenchmarkSpanRecordNoSink(b *testing.B) {
+	r := span.NewRecorder(8192)
+	at := time.Unix(0, 0)
+	node := "0001"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(at, node, 42, span.SegAirtime, 70*time.Millisecond, "DATA")
+	}
+	if r.Total() == 0 {
+		b.Fatal("recorder captured nothing")
+	}
+}
 
 // TestAllExperimentsQuick runs every experiment once in Quick mode so the
 // full evaluation pipeline stays green under `go test`.

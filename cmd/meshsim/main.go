@@ -27,6 +27,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/meshsec"
 	"repro/internal/netsim"
+	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/loramesher"
 )
@@ -60,6 +61,13 @@ type options struct {
 	// is encrypted and authenticated under this network key (mesher
 	// protocol only).
 	seckey string
+	// spanCap arms hop-level span capture with a flight-recorder ring of
+	// this many segments; with -trace-out the segments also stream as
+	// KindSpan JSONL events for packetdump -spans.
+	spanCap int
+	// health runs the always-on mesh health monitor at this virtual-time
+	// poll interval, printing the verdict after the run.
+	health time.Duration
 }
 
 func main() {
@@ -81,6 +89,8 @@ func main() {
 	flag.StringVar(&o.tracePacket, "trace-packet", "", "print the hop-by-hop journey of the packet with this trace ID")
 	flag.StringVar(&o.faultsFile, "faults", "", "apply a fault-injection plan from this JSON file (deterministic in -seed)")
 	flag.StringVar(&o.seckey, "seckey", "", "network key as 32 hex digits; enables link-layer security (mesher only)")
+	flag.IntVar(&o.spanCap, "spans", 0, "capture hop-level spans in a ring of this many segments (streamed to -trace-out as span events)")
+	flag.DurationVar(&o.health, "health", 0, "poll the mesh health monitor at this interval (0 disables)")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
@@ -158,6 +168,8 @@ func run(w io.Writer, o options) error {
 	if o.traceN > 0 {
 		cfg.TraceCapacity = o.traceN
 	}
+	cfg.SpanCapacity = o.spanCap
+	cfg.HealthInterval = o.health
 	if cfg.TraceCapacity == 0 && (o.traceOut != "" || o.tracePacket != "") {
 		// Tracing is implied; the sink sees everything regardless of the
 		// ring size, and journeys need a reasonable window.
@@ -280,6 +292,18 @@ func run(w io.Writer, o options) error {
 		}
 	}
 
+	if sim.Spans != nil {
+		recs := sim.Spans.Records()
+		fmt.Fprintf(w, "\nspan capture: %d segments recorded (%d retained, %d traces); render with packetdump -events <jsonl> -spans <id>\n",
+			sim.Spans.Total(), len(recs), len(span.TraceIDs(recs)))
+	}
+	if sim.Health != nil {
+		v := sim.Health.Verdict()
+		fmt.Fprintf(w, "\nmesh health: %v (%v polls, %v violations)\n", v["status"], v["polls"], v["violations"])
+		for _, viol := range sim.Health.Violations() {
+			fmt.Fprintf(w, "  %v\n", viol)
+		}
+	}
 	if o.traceN > 0 && sim.Tracer != nil {
 		fmt.Fprintf(w, "\nlast %d events:\n", o.traceN)
 		if _, err := sim.Tracer.WriteTo(w); err != nil {

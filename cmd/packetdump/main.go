@@ -24,6 +24,16 @@
 //
 //	$ packetdump -events events.jsonl -trace 9c4f21aa03b7e5d1
 //	$ meshsim -trace-out - | packetdump -events - -kind drop -node 0003
+//
+// With -spans it reconstructs the causal hop tree for a packet from the
+// stream's span events (meshsim -spans), showing per-hop, per-segment
+// latency and the queue-wait/airtime/end-to-end breakdown; -chrome
+// exports the same records as Chrome trace_event JSON for
+// chrome://tracing or Perfetto:
+//
+//	$ packetdump -events events.jsonl -spans 9c4f21aa03b7e5d1
+//	$ packetdump -events events.jsonl -spans all
+//	$ packetdump -events events.jsonl -chrome timeline.json
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"repro/internal/loraphy"
 	"repro/internal/meshsec"
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -47,6 +58,8 @@ func main() {
 	traceID := flag.String("trace", "", "with -events: only events for this trace ID (the packet's journey)")
 	kind := flag.String("kind", "", "with -events: only events of this kind (tx, rx, drop, route, app, stream, failure)")
 	node := flag.String("node", "", "with -events: only events from this node address")
+	spans := flag.String("spans", "", "with -events: render the causal hop span tree for this trace ID (\"all\" for every trace in the stream)")
+	chrome := flag.String("chrome", "", "with -events: export span records as Chrome trace_event JSON to this file (\"-\" for stdout)")
 	key := flag.String("key", "", "network key as 32 hex digits: authenticate and decrypt secured frames, with replay verdicts across the dump")
 	flag.Parse()
 
@@ -74,7 +87,13 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		if err := dumpEvents(os.Stdout, r, *traceID, *kind, *node); err != nil {
+		var err error
+		if *spans != "" || *chrome != "" {
+			err = dumpSpans(os.Stdout, r, *spans, *chrome)
+		} else {
+			err = dumpEvents(os.Stdout, r, *traceID, *kind, *node)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "packetdump: %v\n", err)
 			os.Exit(1)
 		}
@@ -144,6 +163,57 @@ func dumpEvents(w io.Writer, r io.Reader, traceID, kind, node string) error {
 		shown++
 	}
 	fmt.Fprintf(w, "%d of %d events\n", shown, len(evs))
+	return nil
+}
+
+// dumpSpans reconstructs hop span trees from a JSONL trace stream's span
+// events. With a trace ID (or "all") it renders the indented causal tree
+// per trace; with a chrome output path it instead exports every span
+// record as Chrome trace_event JSON.
+func dumpSpans(w io.Writer, r io.Reader, traceID, chromeOut string) error {
+	evs, err := trace.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	recs := span.FromEvents(evs)
+	if len(recs) == 0 {
+		return fmt.Errorf("no span events in stream (capture with meshsim -spans)")
+	}
+	if chromeOut != "" {
+		out := w
+		if chromeOut != "-" {
+			f, err := os.Create(chromeOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := span.WriteChromeTrace(out, recs); err != nil {
+			return err
+		}
+		if chromeOut != "-" {
+			fmt.Fprintf(w, "wrote %d span records for %d traces to %s\n",
+				len(recs), len(span.TraceIDs(recs)), chromeOut)
+		}
+		return nil
+	}
+	ids := span.TraceIDs(recs)
+	if traceID != "all" {
+		id, err := trace.ParseTraceID(traceID)
+		if err != nil {
+			return err
+		}
+		ids = []trace.TraceID{id}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := span.WriteTree(w, id, recs); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/routing"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -266,6 +267,13 @@ type Config struct {
 	// the live runtimes because the node only stamps events with
 	// Env.Now.
 	Tracer *trace.Tracer
+	// Spans, when set, receives hop-level causal span segments — enqueue,
+	// queue-wait, airtime, rx, forward, retransmit, deliver, and drop —
+	// keyed by the packet's trace ID (see internal/span). The recorder is
+	// a fixed ring; with no trace sink attached to it, recording stays
+	// allocation-free, so spans can remain armed on the hot path. Nil
+	// disables span capture entirely.
+	Spans *span.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -377,6 +385,16 @@ type Node struct {
 	traceOn bool
 	// sec mirrors cfg.Security; nil means the legacy plaintext protocol.
 	sec *meshsec.Link
+	// spans mirrors cfg.Spans; nil disables span capture.
+	spans *span.Recorder
+	// addrStr caches Address.String() — span records carry the rendered
+	// address, and formatting it per segment would allocate on the hot
+	// path.
+	addrStr string
+	// secStatTick throttles replay-window gauge refreshes to every 32nd
+	// successful frame open; walking the per-origin windows on every frame
+	// would show up in dense-simulation profiles.
+	secStatTick uint32
 
 	started bool
 	stopped bool
@@ -457,6 +475,8 @@ func NewNode(cfg Config, env Env) (*Node, error) {
 	n.duty = duty
 	n.traceOn = cfg.Tracer != nil
 	n.sec = cfg.Security
+	n.spans = cfg.Spans
+	n.addrStr = cfg.Address.String()
 	n.pumpTimer = newTimer(env, func() {
 		n.pumpArmed = false
 		n.pump(0)
@@ -486,6 +506,9 @@ type hotInstruments struct {
 	secDropLegacy, secRekeys   *metrics.Counter
 	secOverheadBytes           *metrics.Counter
 	secSealNs, secOpenNs       *metrics.Histogram
+	// Replay-protection state gauges, refreshed by refreshSecGauges.
+	secWinOrigins, secWinOccupancy *metrics.Gauge
+	secTxHigh, secRxHigh           *metrics.Gauge
 }
 
 func (n *Node) cacheInstruments() {
@@ -515,6 +538,10 @@ func (n *Node) cacheInstruments() {
 		n.ins.secOverheadBytes = n.reg.Counter("sec.overhead.bytes")
 		n.ins.secSealNs = n.reg.Histogram("sec.seal_ns")
 		n.ins.secOpenNs = n.reg.Histogram("sec.open_ns")
+		n.ins.secWinOrigins = n.reg.Gauge("sec.replay.window.origins")
+		n.ins.secWinOccupancy = n.reg.Gauge("sec.replay.window.occupancy")
+		n.ins.secTxHigh = n.reg.Gauge("sec.counter.tx.highwater")
+		n.ins.secRxHigh = n.reg.Gauge("sec.counter.rx.highwater")
 	}
 }
 
@@ -571,6 +598,12 @@ func (n *Node) preRegisterInstruments() {
 		}
 		n.reg.Histogram("sec.seal_ns")
 		n.reg.Histogram("sec.open_ns")
+		for _, g := range []string{
+			"sec.replay.window.origins", "sec.replay.window.occupancy",
+			"sec.counter.tx.highwater", "sec.counter.rx.highwater",
+		} {
+			n.reg.Gauge(g)
+		}
 	}
 }
 
@@ -582,6 +615,29 @@ func (n *Node) tracePacket(kind trace.Kind, p *packet.Packet, format string, arg
 	}
 	n.cfg.Tracer.EmitPacket(n.env.Now(), n.cfg.Address.String(), kind,
 		trace.TraceID(p.TraceID()), format, args...)
+}
+
+// recordSpan captures one hop-level span segment for p. It is a no-op
+// without a configured recorder, and with one it allocates nothing:
+// node and detail strings are pre-rendered or constant, and the trace ID
+// hash works on the packet in place.
+func (n *Node) recordSpan(p *packet.Packet, seg span.Seg, dur time.Duration, detail string) {
+	if n.spans == nil {
+		return
+	}
+	n.spans.Record(n.env.Now(), n.addrStr, trace.TraceID(p.TraceID()), seg, dur, detail)
+}
+
+// refreshSecGauges re-exports the link's replay-protection state —
+// window occupancy and frame-counter high-water marks. Called every 32nd
+// successful open (see secStatTick) so the per-origin window walk stays
+// off the per-frame cost profile.
+func (n *Node) refreshSecGauges() {
+	origins, occupancy, rxHigh := n.sec.ReplayStats()
+	n.ins.secWinOrigins.Set(float64(origins))
+	n.ins.secWinOccupancy.Set(float64(occupancy))
+	n.ins.secTxHigh.Set(float64(n.sec.Counter()))
+	n.ins.secRxHigh.Set(float64(rxHigh))
 }
 
 // Address returns the node's mesh address.

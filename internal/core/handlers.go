@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/meshsec"
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -42,6 +43,7 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 		// HELLOs out of the routing table.
 		n.ins.secDropLegacy.Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: plaintext %v from %v on secured mesh", p.Type, p.Src)
+		n.recordSpan(p, span.SegDrop, 0, "plaintext")
 		return
 	}
 	if n.sec == nil && p.Secured {
@@ -73,6 +75,7 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 	if n.sec != nil && !n.secOpen(p) {
 		return
 	}
+	n.recordSpan(p, span.SegRx, 0, p.Type.String())
 	if n.traceOn {
 		n.tracePacket(trace.KindRx, p, "rx %v %v->%v snr=%.1f", p.Type, p.Src, p.Dst, info.SNRDB)
 	}
@@ -100,14 +103,20 @@ func (n *Node) secOpen(p *packet.Packet) bool {
 	n.ins.secOpenNs.Observe(float64(time.Since(start)))
 	if err == nil {
 		n.ins.secOpened.Inc()
+		n.secStatTick++
+		if n.secStatTick&31 == 0 {
+			n.refreshSecGauges()
+		}
 		return true
 	}
 	if errors.Is(err, meshsec.ErrReplay) {
 		n.ins.secDropReplay.Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: replayed %v from %v (ctr=%d)", p.Type, p.Src, p.Counter)
+		n.recordSpan(p, span.SegDrop, 0, "replay")
 	} else {
 		n.ins.secDropAuth.Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: auth failed for %v from %v", p.Type, p.Src)
+		n.recordSpan(p, span.SegDrop, 0, "auth")
 	}
 	return false
 }
@@ -191,6 +200,7 @@ func (n *Node) consume(p *packet.Packet) {
 // deliverData hands a datagram payload to the application.
 func (n *Node) deliverData(p *packet.Packet) {
 	n.ins.appDelivered.Inc()
+	n.recordSpan(p, span.SegDeliver, 0, "data")
 	if n.traceOn {
 		n.tracePacket(trace.KindApp, p, "delivered %d bytes from %v", len(p.Payload), p.Src)
 	}
@@ -209,11 +219,13 @@ func (n *Node) forward(p *packet.Packet) {
 	if !ok {
 		n.reg.Counter("drop.noroute").Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: no route to %v (forwarding)", p.Dst)
+		n.recordSpan(p, span.SegDrop, 0, "noroute")
 		return
 	}
 	if n.isDuplicate(p) {
 		n.reg.Counter("drop.duplicate").Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: duplicate within dedup horizon (loop breaker)")
+		n.recordSpan(p, span.SegDrop, 0, "duplicate")
 		return
 	}
 	fwd := p.Clone()
@@ -224,6 +236,7 @@ func (n *Node) forward(p *packet.Packet) {
 		return
 	}
 	n.ins.fwdFrames.Inc()
+	n.recordSpan(fwd, span.SegForward, 0, fwd.Type.String())
 	if n.traceOn {
 		n.tracePacket(trace.KindRoute, fwd, "forward %v->%v via %v", fwd.Src, fwd.Dst, next)
 	}
@@ -263,6 +276,7 @@ func (n *Node) route(p *packet.Packet) error {
 	if !ok {
 		n.reg.Counter("drop.noroute").Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: no route to %v (origin)", p.Dst)
+		n.recordSpan(p, span.SegDrop, 0, "noroute")
 		return fmt.Errorf("%w: %v", ErrNoRoute, p.Dst)
 	}
 	p.Via = next

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -128,8 +129,12 @@ func (n *Node) enqueue(p *packet.Packet) error {
 		n.reg.Counter("drop.queue_full").Inc()
 		if p.Type != packet.TypeHello {
 			n.tracePacket(trace.KindDrop, p, "drop: queue full (%d queued)", n.queue.len())
+			n.recordSpan(p, span.SegDrop, 0, "queue_full")
 		}
 		return err
+	}
+	if p.Type != packet.TypeHello {
+		n.recordSpan(p, span.SegEnqueue, 0, p.Type.String())
 	}
 	n.ins.queueDepth.Set(float64(n.queue.len()))
 	n.pump(0)
@@ -186,6 +191,7 @@ func (n *Node) transmitHead() {
 		n.queue.pop()
 		n.reg.Counter("drop.marshal").Inc()
 		n.tracePacket(trace.KindDrop, head, "drop: marshal failed: %v", err)
+		n.recordSpan(head, span.SegDrop, 0, "marshal")
 		n.pump(0)
 		return
 	}
@@ -194,6 +200,7 @@ func (n *Node) transmitHead() {
 		n.queue.pop()
 		n.reg.Counter("drop.marshal").Inc()
 		n.tracePacket(trace.KindDrop, head, "drop: airtime rejected: %v", err)
+		n.recordSpan(head, span.SegDrop, 0, "airtime")
 		n.pump(0)
 		return
 	}
@@ -206,6 +213,7 @@ func (n *Node) transmitHead() {
 			n.queue.pop()
 			n.reg.Counter("drop.dutycycle").Inc()
 			n.tracePacket(trace.KindDrop, head, "drop: frame airtime %v exceeds whole duty budget", airtime)
+			n.recordSpan(head, span.SegDrop, 0, "dutycycle")
 			n.pump(0)
 			return
 		}
@@ -230,6 +238,7 @@ func (n *Node) transmitHead() {
 	if _, err := n.env.Transmit(frame); err != nil {
 		n.reg.Counter("drop.txerror").Inc()
 		n.tracePacket(trace.KindDrop, head, "drop: radio transmit error: %v", err)
+		n.recordSpan(head, span.SegDrop, 0, "txerror")
 		n.pump(0)
 		return
 	}
@@ -247,6 +256,13 @@ func (n *Node) transmitHead() {
 		n.ins.queueWaitMs.ObserveDuration(now.Sub(enqueuedAt))
 	}
 	n.ins.dutyUtil.Set(n.duty.Utilization(now))
+	if n.spans != nil && head.Type != packet.TypeHello {
+		id := trace.TraceID(head.TraceID())
+		if !enqueuedAt.IsZero() {
+			n.spans.Record(now, n.addrStr, id, span.SegQueueWait, now.Sub(enqueuedAt), "")
+		}
+		n.spans.Record(now, n.addrStr, id, span.SegAirtime, airtime, head.Type.String())
+	}
 	if n.traceOn && head.Type != packet.TypeHello {
 		n.tracePacket(trace.KindTx, head, "tx %v %v->%v via %v, %d bytes, airtime %v",
 			head.Type, head.Src, head.Dst, head.Via, len(frame), airtime)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -194,6 +195,7 @@ func (n *Node) sendChunk(s *outStream, k int) error {
 	}
 	if k <= s.maxSent {
 		s.retrans++
+		n.recordSpan(p, span.SegRetransmit, 0, p.Type.String())
 	} else {
 		s.maxSent = k
 	}
@@ -404,6 +406,7 @@ func (n *Node) handleSingle(p *packet.Packet) {
 	n.armStreamGC(key, s)
 	n.reg.Counter("stream.received").Inc()
 	n.reg.Counter("app.delivered").Inc()
+	n.recordSpan(p, span.SegDeliver, 0, "data_ack")
 	n.deliver(AppMessage{
 		From:     p.Src,
 		To:       p.Dst,
@@ -513,6 +516,7 @@ func (n *Node) handleChunk(p *packet.Packet) {
 			// the ID, so re-sends of an identical payload stay distinct.
 			Secured: s.secured, Counter: s.counter,
 		}
+		n.recordSpan(sid, span.SegDeliver, 0, "stream")
 		n.deliver(AppMessage{
 			From:     p.Src,
 			To:       n.cfg.Address,

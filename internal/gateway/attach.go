@@ -41,6 +41,11 @@ func AttachSim(s *netsim.Sim, index int, g *Gateway) (*Sim, error) {
 	}
 	h := s.Handle(index)
 	g.setAddr(h.Addr)
+	if g.cfg.Spans == nil {
+		// Inherit the simulation's recorder (when span capture is on) so
+		// a reading's span tree runs mesh hop → spool → backend uplink.
+		g.cfg.Spans = s.Spans
+	}
 	a := &Sim{g: g, sim: s, h: h}
 
 	prev := h.OnMessage

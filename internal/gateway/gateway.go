@@ -41,6 +41,7 @@ import (
 	"repro/internal/meshsec"
 	"repro/internal/metrics"
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -207,6 +208,10 @@ type Config struct {
 	Client *http.Client
 	// Tracer, when set, receives gateway events. Nil disables tracing.
 	Tracer *trace.Tracer
+	// Spans, when set, records the uplink leg of each reading's span:
+	// spool admission (enqueue), spool drops, and backend delivery on a
+	// successful batch ack. Nil disables span capture.
+	Spans *span.Recorder
 	// Jitter returns a uniform float64 in [0,1) used to decorrelate
 	// retry backoffs across a fleet. Nil means a fixed midpoint (no
 	// jitter, fully deterministic); pass a seeded source for
@@ -332,6 +337,16 @@ func (g *Gateway) emitPacket(id trace.TraceID, format string, args ...any) {
 	g.cfg.Tracer.EmitPacket(time.Now(), fmt.Sprintf("gw.%v", g.cfg.Addr), trace.KindGateway, id, format, args...)
 }
 
+// recordSpan appends one uplink-leg span segment for a reading (no-op
+// without a recorder). The node label matches the gateway's trace
+// label so span trees and JSONL events line up.
+func (g *Gateway) recordSpan(at time.Time, id trace.TraceID, seg span.Seg, dur time.Duration, detail string) {
+	if g.cfg.Spans == nil {
+		return
+	}
+	g.cfg.Spans.Record(at, fmt.Sprintf("gw.%v", g.cfg.Addr), id, seg, dur, detail)
+}
+
 // Metrics exposes the gateway's instrument registry.
 func (g *Gateway) Metrics() *metrics.Registry { return g.reg }
 
@@ -399,18 +414,22 @@ func (g *Gateway) Offer(r Reading) bool {
 	switch res {
 	case addDuplicate:
 		g.reg.Counter("gw.drop.duplicate").Inc()
+		g.recordSpan(time.Now(), r.Trace, span.SegDrop, 0, "gw_duplicate")
 		g.emitPacket(r.Trace, "duplicate reading from %v suppressed", r.From)
 		return false
 	case addRejected:
 		g.reg.Counter("gw.drop.newest").Inc()
+		g.recordSpan(time.Now(), r.Trace, span.SegDrop, 0, "gw_spool_full")
 		g.emitPacket(r.Trace, "spool full (%d): newest reading from %v dropped", g.cfg.SpoolCapacity, r.From)
 		return false
 	}
 	if evicted != nil {
 		g.reg.Counter("gw.drop.oldest").Inc()
+		g.recordSpan(time.Now(), evicted.Trace, span.SegDrop, 0, "gw_evicted")
 		g.emitPacket(evicted.Trace, "spool full (%d): oldest reading from %v evicted", g.cfg.SpoolCapacity, evicted.From)
 	}
 	g.reg.Counter("gw.accepted").Inc()
+	g.recordSpan(time.Now(), r.Trace, span.SegEnqueue, 0, "gw_spool")
 	g.emitPacket(r.Trace, "spooled %d bytes from %v (depth %d)", len(r.Payload), r.From, depth)
 	if depth >= g.cfg.BatchSize {
 		select {
@@ -540,6 +559,10 @@ func (g *Gateway) flushOnce(now time.Time) bool {
 	g.reg.Histogram("gw.uplink.rtt_ms").ObserveDuration(rtt)
 	for _, r := range batch {
 		g.reg.Histogram("gw.uplink.age_ms").ObserveDuration(now.Sub(r.At))
+		// Queue-wait is the reading's spool residency; the batch POST's
+		// round trip stands in for the uplink "airtime".
+		g.recordSpan(now, r.Trace, span.SegQueueWait, now.Sub(r.At), "gw_spool")
+		g.recordSpan(now, r.Trace, span.SegDeliver, rtt, "gw_uplink")
 	}
 	g.emit("uplinked batch of %d (accepted %d, depth %d)", len(batch), resp.Accepted, depth)
 	g.injectDownlinks(resp.Downlinks)

@@ -17,11 +17,13 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/loraphy"
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -49,6 +51,19 @@ type Config struct {
 	// answers with a JSON liveness summary. Use "127.0.0.1:0" to let the
 	// kernel pick a free port (see Net.MetricsAddr).
 	MetricsAddr string
+	// HealthInterval arms the always-on mesh health monitor when
+	// positive: every interval of VIRTUAL time (wall time divided by
+	// TimeScale) the monitor snapshots every node's routing table and
+	// counters to detect loops, blackholes, silent nodes, stuck duty
+	// budgets, and replay anomalies (see internal/health). With a
+	// MetricsAddr, /healthz then reports the monitor's verdict and
+	// /metrics exports the health.* instruments.
+	HealthInterval time.Duration
+	// Pprof, when true together with MetricsAddr, additionally mounts the
+	// net/http/pprof profiling handlers under /debug/pprof/ on the
+	// metrics mux. Off by default: profiling endpoints on a mesh debug
+	// port are opt-in.
+	Pprof bool
 }
 
 // Net is a running live network.
@@ -68,6 +83,10 @@ type Net struct {
 
 	metricsLis net.Listener
 	metricsSrv *http.Server
+
+	// health is the always-on monitor; nil unless Config.HealthInterval
+	// is positive.
+	health *health.Monitor
 }
 
 // Handle is one live node.
@@ -103,12 +122,58 @@ func New(cfg Config) (*Net, error) {
 		byAddr: make(map[packet.Address]*Handle),
 		closed: make(chan struct{}),
 	}
+	if cfg.HealthInterval > 0 {
+		n.health = health.New(health.Config{
+			Interval: cfg.HealthInterval,
+			Tracer:   cfg.Node.Tracer,
+		}, n.healthSource)
+		go n.healthLoop()
+	}
 	if cfg.MetricsAddr != "" {
 		if err := n.serveMetrics(cfg.MetricsAddr); err != nil {
 			return nil, err
 		}
 	}
 	return n, nil
+}
+
+// Health returns the mesh health monitor, or nil when disabled.
+func (n *Net) Health() *health.Monitor { return n.health }
+
+// healthLoop polls the monitor on the (time-scaled) wall clock until the
+// network closes.
+func (n *Net) healthLoop() {
+	t := time.NewTicker(n.wall(n.cfg.HealthInterval))
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-t.C:
+			n.health.Poll(n.virtualNow())
+		}
+	}
+}
+
+// healthSource snapshots every node for the monitor. Each snapshot runs
+// on the node's own event loop (Do), so table walks never race the
+// engine.
+func (n *Net) healthSource() []health.NodeStatus {
+	var out []health.NodeStatus
+	for _, h := range n.handles() {
+		st := health.NodeStatus{Addr: h.addr, Alive: true}
+		h.Do(func(node *core.Node) {
+			st.Stats = node.Metrics().Snapshot()
+			for _, e := range node.Table().Entries() {
+				if e.Poisoned() {
+					continue
+				}
+				st.Routes = append(st.Routes, health.Route{Dst: e.Addr, Via: e.Via})
+			}
+		})
+		out = append(out, st)
+	}
+	return out
 }
 
 // serveMetrics starts the /metrics and /healthz listener.
@@ -120,13 +185,25 @@ func (n *Net) serveMetrics(addr string) error {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler(n.AggregateMetrics))
 	mux.Handle("/healthz", metrics.HealthHandler(func() map[string]any {
-		return map[string]any{
-			"status":    "ok",
-			"nodes":     len(n.handles()),
-			"timescale": n.cfg.TimeScale,
-			"uptime":    time.Since(n.start).String(),
+		v := map[string]any{"status": "ok"}
+		if n.health != nil {
+			// The monitor's verdict IS the liveness answer: a mesh with
+			// loops or silent nodes is not "ok" just because the process
+			// responds.
+			v = n.health.Verdict()
 		}
+		v["nodes"] = len(n.handles())
+		v["timescale"] = n.cfg.TimeScale
+		v["uptime"] = time.Since(n.start).String()
+		return v
 	}))
+	if n.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	n.metricsLis = lis
 	n.metricsSrv = &http.Server{Handler: mux}
 	go n.metricsSrv.Serve(lis)
@@ -151,6 +228,9 @@ func (n *Net) AggregateMetrics() *metrics.Registry {
 		reg := h.node.Metrics()
 		agg.Merge(fmt.Sprintf("node.%v.", h.addr), reg)
 		agg.Merge("mesh.", reg)
+	}
+	if n.health != nil {
+		agg.Merge("", n.health.Metrics())
 	}
 	return agg
 }

@@ -124,6 +124,23 @@ func (l *Link) Addr() packet.Address { return l.addr }
 // Counter returns the last frame counter issued (0 = none yet).
 func (l *Link) Counter() uint32 { return l.counter }
 
+// ReplayStats summarizes the link's replay-protection state for the
+// health/metrics exporters: how many origins have a replay window, the
+// total admitted counters those windows remember (occupancy), and the
+// highest frame counter authenticated from any origin (the rx
+// high-water mark; the tx mark is Counter). Call from the owning node's
+// execution context, like Open.
+func (l *Link) ReplayStats() (origins, occupancy int, rxHigh uint32) {
+	for _, w := range l.windows {
+		origins++
+		occupancy += w.occupancy()
+		if w.top > rxHigh {
+			rxHigh = w.top
+		}
+	}
+	return origins, occupancy, rxHigh
+}
+
 // NextCounter issues the next monotonic frame counter. Counters start at
 // 1; 0 on the wire would mean "never sealed". The 32-bit space outlasts
 // any deployment (one frame per second for 136 years).

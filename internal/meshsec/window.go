@@ -1,5 +1,7 @@
 package meshsec
 
+import "math/bits"
+
 // WindowBits is the replay window width per origin: how far behind the
 // highest authenticated counter a frame may arrive and still be
 // accepted (once). LoRa meshes reorder across go-back-N retransmission
@@ -39,6 +41,15 @@ func (w *window) admit(c uint32) bool {
 	}
 	w.bits[word] |= 1 << bit
 	return true
+}
+
+// occupancy counts the admitted counters the window currently remembers.
+func (w *window) occupancy() int {
+	n := 0
+	for _, word := range w.bits {
+		n += bits.OnesCount64(word)
+	}
+	return n
 }
 
 // slide shifts the bitmap up by n counters (bit k tracks top-k).

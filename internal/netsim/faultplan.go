@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/packet"
 	"repro/internal/reactive"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -24,6 +25,7 @@ func (s *Sim) buildEngine(h *Handle) error {
 		nc := s.Cfg.Node
 		nc.Address = addr
 		nc.Tracer = s.Tracer
+		nc.Spans = s.Spans
 		if s.Cfg.NodeOverride != nil {
 			nc = s.Cfg.NodeOverride(h.Index, nc)
 			nc.Address = addr // the override must not break addressing
@@ -225,11 +227,17 @@ func (s *Sim) restartNode(i int) {
 // trace ID when it still parses.
 func (s *Sim) faultDrop(at time.Time, h *Handle, reason string, frame []byte) {
 	s.reg.Counter("drop.fault." + reason).Inc()
+	if !s.Tracer.Enabled() && s.Spans == nil {
+		return
+	}
+	var id trace.TraceID
+	if p, err := packet.Unmarshal(frame); err == nil {
+		id = trace.TraceID(p.TraceID())
+	}
+	// The span drop pairs 1:1 with the drop.fault.* trace event: a fault
+	// eating a frame terminates that frame's span at this node.
+	s.Spans.Record(at, h.addrStr, id, span.SegDrop, 0, reason)
 	if s.Tracer.Enabled() {
-		var id trace.TraceID
-		if p, err := packet.Unmarshal(frame); err == nil {
-			id = trace.TraceID(p.TraceID())
-		}
 		s.Tracer.EmitPacket(at, h.addrStr, trace.KindDrop, id,
 			"drop.fault.%s %d bytes", reason, len(frame))
 	}

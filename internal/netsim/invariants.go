@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/health"
 )
 
 // CheckInvariants audits cross-layer accounting after (or during) a run
@@ -85,46 +87,17 @@ func (s *Sim) CheckInvariants() error {
 // crashed or killed next hop (blackhole). Routing is only expected to
 // satisfy this once it has stabilized after a topology change; chaos
 // scenarios call it after their convergence window, not mid-churn.
+//
+// The walk itself lives in internal/health (RouteFaults), where the
+// always-on monitor runs the same detection continuously at runtime;
+// this method is the test-time entry point over the same code.
 func (s *Sim) CheckRoutingLoops() error {
 	if s.Cfg.Protocol != KindMesher {
 		return nil
 	}
 	var errs []error
-	for _, src := range s.handles {
-		if src.killed || src.down {
-			continue
-		}
-		for _, dst := range s.handles {
-			if dst == src || dst.killed || dst.down {
-				continue
-			}
-			visited := make(map[int]bool)
-			cur := src
-			for cur != dst {
-				if visited[cur.Index] {
-					errs = append(errs, fmt.Errorf(
-						"routing loop: %v -> %v revisits node %v", src.Addr, dst.Addr, cur.Addr))
-					break
-				}
-				visited[cur.Index] = true
-				via, ok := cur.Mesher.Table().NextHop(dst.Addr)
-				if !ok {
-					break // no route: not a loop (coverage is Converged's job)
-				}
-				next := s.ByAddr(via)
-				if next == nil {
-					errs = append(errs, fmt.Errorf(
-						"blackhole: %v routes %v via unknown address %v", cur.Addr, dst.Addr, via))
-					break
-				}
-				if next.killed || next.down {
-					errs = append(errs, fmt.Errorf(
-						"blackhole: %v routes %v via dead node %v", cur.Addr, dst.Addr, via))
-					break
-				}
-				cur = next
-			}
-		}
+	for _, v := range health.RouteFaults(s.healthSource()) {
+		errs = append(errs, errors.New(v.Detail))
 	}
 	return errors.Join(errs...)
 }

@@ -16,11 +16,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/geo"
+	"repro/internal/health"
 	"repro/internal/meshsec"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/reactive"
 	"repro/internal/simtime"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -90,6 +92,21 @@ type Config struct {
 	Start time.Time
 	// TraceCapacity enables event tracing when positive.
 	TraceCapacity int
+	// SpanCapacity enables hop-level span capture when positive: every
+	// mesher node records enqueue/queue-wait/airtime/rx/forward/deliver/
+	// drop segments into one shared flight recorder retaining this many
+	// segments (see internal/span). When tracing is also enabled, spans
+	// additionally stream to the tracer's sink as KindSpan events. Zero
+	// keeps span capture off — and keeps existing trace streams
+	// byte-identical.
+	SpanCapacity int
+	// HealthInterval arms the always-on mesh health monitor when
+	// positive: every interval of virtual time the monitor walks routing
+	// tables and counter deltas for loops, blackholes, silent nodes,
+	// stuck duty budgets, and replay anomalies (see internal/health).
+	// Violations emit KindHealth trace events; scores and counts ride
+	// AggregateMetrics under health.*.
+	HealthInterval time.Duration
 }
 
 // Handle is one node in the simulation.
@@ -162,6 +179,12 @@ type Sim struct {
 	Sched  *simtime.Scheduler
 	Medium *airmedium.Medium
 	Tracer *trace.Tracer
+	// Spans is the shared hop-span flight recorder; nil unless
+	// Config.SpanCapacity is positive.
+	Spans *span.Recorder
+	// Health is the mesh health monitor, polled on the virtual clock; nil
+	// unless Config.HealthInterval is positive.
+	Health *health.Monitor
 
 	handles []*Handle
 	rng     *rand.Rand
@@ -218,6 +241,12 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.TraceCapacity > 0 {
 		s.Tracer = trace.New(cfg.TraceCapacity)
 	}
+	if cfg.SpanCapacity > 0 {
+		s.Spans = span.NewRecorder(cfg.SpanCapacity)
+		if s.Tracer != nil {
+			s.Spans.AttachTracer(s.Tracer)
+		}
+	}
 
 	for i, pos := range cfg.Topology.Positions {
 		addr := cfg.BaseAddress + packet.Address(i)
@@ -249,7 +278,41 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("netsim: start node %d: %w", i, err)
 		}
 	}
+	if cfg.HealthInterval > 0 {
+		s.Health = health.New(health.Config{
+			Interval: cfg.HealthInterval,
+			Tracer:   s.Tracer,
+		}, s.healthSource)
+		var tick func()
+		tick = func() {
+			s.Health.Poll(s.Sched.Now())
+			s.Sched.MustAfter(cfg.HealthInterval, tick)
+		}
+		s.Sched.MustAfter(cfg.HealthInterval, tick)
+	}
 	return s, nil
+}
+
+// healthSource snapshots every node for the health monitor: liveness,
+// usable routes, and the metric values the delta detectors key on.
+func (s *Sim) healthSource() []health.NodeStatus {
+	out := make([]health.NodeStatus, 0, len(s.handles))
+	for _, h := range s.handles {
+		st := health.NodeStatus{Addr: h.Addr, Alive: !h.killed && !h.down}
+		if st.Alive {
+			st.Stats = h.Proto.Metrics().Snapshot()
+			if h.Mesher != nil {
+				for _, e := range h.Mesher.Table().Entries() {
+					if e.Poisoned() {
+						continue
+					}
+					st.Routes = append(st.Routes, health.Route{Dst: e.Addr, Via: e.Via})
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // N returns the number of nodes.
@@ -370,6 +433,12 @@ func (s *Sim) AggregateMetrics() *metrics.Registry {
 		}
 	}
 	agg.Merge("sim.", s.reg)
+	if s.Health != nil {
+		// Health instruments are already namespaced health.*; merge them
+		// unprefixed so dashboards see the same names the live runtimes
+		// export.
+		agg.Merge("", s.Health.Metrics())
+	}
 	return agg
 }
 

@@ -1,0 +1,289 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/health"
+	"repro/internal/span"
+	"repro/internal/trace"
+)
+
+// Integration tests for the observability layer: span capture under
+// chaos must be byte-identical per (plan, seed) with every drop
+// terminating exactly one span, and the always-on health monitor must
+// flag an injected blackhole within its acceptance window.
+
+// spanChaosPlans are the two fault plans the determinism sweep runs:
+// lossy (link faults + corruption, lots of mid-flight drops) and
+// crashy (a dying relay plus a flapping backbone link).
+func spanChaosPlans() []*faults.Plan {
+	return []*faults.Plan{
+		{
+			Name: "lossy",
+			Links: []faults.LinkFault{
+				{From: 1, To: 2, Symmetric: true, Kind: faults.KindBernoulli, P: 0.3},
+			},
+			Corrupt: &faults.Corrupt{Rate: 0.08, MaxBits: 3},
+		},
+		{
+			Name: "crashy",
+			Flaps: []faults.Flap{
+				{A: 0, B: 1, Start: faults.Duration(time.Minute),
+					Period: faults.Duration(90 * time.Second),
+					Down:   faults.Duration(30 * time.Second), Count: 2},
+			},
+			Crashes: []faults.Crash{
+				{Node: 2, At: faults.Duration(2 * time.Minute), Downtime: faults.Duration(time.Minute)},
+			},
+		},
+	}
+}
+
+// dropKey is the multiset key for the drop <-> span pairing: a drop
+// event and its terminating span record agree on node and trace ID.
+func dropKey(node string, id trace.TraceID) string {
+	return node + "|" + id.String()
+}
+
+func TestSpanChaosByteIdenticalAndDropPairing(t *testing.T) {
+	for _, plan := range spanChaosPlans() {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			for _, seed := range []int64{3, 7, 11} {
+				run := func() []byte {
+					topo := mustLine(t, 4, 8000)
+					sim, err := New(Config{Topology: topo, Node: fastNode(), Seed: seed,
+						TraceCapacity: 64, SpanCapacity: 16384})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sink bytes.Buffer
+					sim.Tracer.SetSink(&sink)
+					if err := sim.ApplyFaultPlan(plan); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := sim.StartFlow(Flow{
+						From: 0, To: 3, Payload: 24, Interval: 15 * time.Second, Poisson: true,
+					}); err != nil {
+						t.Fatal(err)
+					}
+					sim.Run(6 * time.Minute)
+					if err := sim.CheckInvariants(); err != nil {
+						t.Errorf("seed %d invariants:\n%v", seed, err)
+					}
+					return sink.Bytes()
+				}
+				a, b := run(), run()
+				if len(a) == 0 {
+					t.Fatalf("seed %d: no trace emitted", seed)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("seed %d: same (plan, seed) produced different span streams", seed)
+				}
+				verifyDropSpanPairing(t, seed, a)
+			}
+		})
+	}
+}
+
+// verifyDropSpanPairing asserts the 1:1 invariant on one JSONL stream:
+// the multiset of drop.* events equals, keyed by (node, trace), the
+// multiset of span records with seg=drop.
+func verifyDropSpanPairing(t *testing.T, seed int64, stream []byte) {
+	t.Helper()
+	evs, err := trace.ReadJSONL(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drops, spanDrops []string
+	for _, ev := range evs {
+		switch {
+		case ev.Kind == trace.KindDrop:
+			drops = append(drops, dropKey(ev.Node, ev.Trace))
+		case ev.Kind == trace.KindSpan && ev.Seg == span.SegDrop.String():
+			spanDrops = append(spanDrops, dropKey(ev.Node, ev.Trace))
+		}
+	}
+	if len(drops) == 0 {
+		t.Errorf("seed %d: chaos run produced no drop events to pair", seed)
+	}
+	sort.Strings(drops)
+	sort.Strings(spanDrops)
+	if fmt.Sprint(drops) != fmt.Sprint(spanDrops) {
+		t.Errorf("seed %d: drop events and drop spans diverge:\nevents: %v\nspans:  %v",
+			seed, drops, spanDrops)
+	}
+}
+
+// TestHealthFlagsBlackholeWithinThreeHellos is the monitor's acceptance
+// scenario: crash a relay out from under converged routes and the
+// monitor must emit a blackhole health.violation before the mesh's own
+// HELLO expiry machinery has had three beacon periods to repair it.
+func TestHealthFlagsBlackholeWithinThreeHellos(t *testing.T) {
+	const hello = 5 * time.Second
+	node := fastNode() // HelloPeriod 5s, EntryTTL 30s
+	topo := mustLine(t, 4, 8000)
+	sim, err := New(Config{Topology: topo, Node: node, Seed: 4,
+		TraceCapacity: 64, HealthInterval: hello})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Health == nil {
+		t.Fatal("HealthInterval did not arm the monitor")
+	}
+	var sink bytes.Buffer
+	sim.Tracer.SetSink(&sink)
+	if _, ok := sim.TimeToConvergence(time.Second, 5*time.Minute); !ok {
+		t.Fatal("no convergence before the crash")
+	}
+
+	applyAt := sim.Now()
+	if err := sim.ApplyFaultPlan(&faults.Plan{
+		Name:    "blackhole",
+		Crashes: []faults.Crash{{Node: 1, At: faults.Duration(10 * time.Second)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	crashAt := applyAt.Add(10 * time.Second)
+	deadline := crashAt.Add(3 * hello)
+	sim.Run(2 * time.Minute)
+
+	var flagged *health.Violation
+	for _, v := range sim.Health.Violations() {
+		if v.Kind == health.KindBlackhole {
+			v := v
+			flagged = &v
+			break
+		}
+	}
+	if flagged == nil {
+		t.Fatalf("crashed relay never flagged as blackhole; violations: %v",
+			sim.Health.Violations())
+	}
+	if flagged.At.After(deadline) {
+		t.Errorf("first blackhole flagged at %v, after the 3-HELLO deadline %v (crash at %v)",
+			flagged.At, deadline, crashAt)
+	}
+	if !strings.Contains(flagged.Detail, "via dead node") {
+		t.Errorf("blackhole detail = %q", flagged.Detail)
+	}
+
+	// The violation also reached the JSONL stream as a structured
+	// health event — the trigger feed a control plane would consume.
+	evs, err := trace.ReadJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healthEvents int
+	for _, ev := range evs {
+		if ev.Kind == trace.KindHealth && ev.Seg == health.KindBlackhole {
+			healthEvents++
+			if !strings.Contains(ev.Detail, "health.violation:") {
+				t.Errorf("health event detail = %q", ev.Detail)
+			}
+		}
+	}
+	if healthEvents == 0 {
+		t.Error("no health.violation event in the trace stream")
+	}
+
+	// Metrics surfaced through the aggregate registry.
+	snap := sim.AggregateMetrics().Snapshot()
+	if snap["health.violation.blackhole"] == 0 {
+		t.Error("health.violation.blackhole counter not aggregated")
+	}
+	if snap["health.mesh.score.min"] >= 100 {
+		t.Errorf("mesh min score still %v after a blackhole", snap["health.mesh.score.min"])
+	}
+}
+
+// TestSpanTreeThreeHop drives one data packet across a 3-hop line and
+// reconstructs its causal hop tree from the JSONL stream — the
+// packetdump -spans view, asserted end to end.
+func TestSpanTreeThreeHop(t *testing.T) {
+	topo := mustLine(t, 4, 8000)
+	sim, err := New(Config{Topology: topo, Node: fastNode(), Seed: 2,
+		TraceCapacity: 64, SpanCapacity: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	sim.Tracer.SetSink(&sink)
+	if _, ok := sim.TimeToConvergence(time.Second, 5*time.Minute); !ok {
+		t.Fatal("no convergence")
+	}
+	dst := sim.Handle(3).Addr
+	sim.Sched.MustAfter(time.Second, func() {
+		if err := sim.Handle(0).Proto.Send(dst, []byte("span me")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	sim.Run(time.Minute)
+
+	evs, err := trace.ReadJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := span.FromEvents(evs)
+	if len(recs) == 0 {
+		t.Fatal("no span records in the stream")
+	}
+
+	// The delivered data packet's trace: the one with a deliver segment.
+	var id trace.TraceID
+	for _, r := range recs {
+		if r.Seg == span.SegDeliver {
+			id = r.Trace
+			break
+		}
+	}
+	if id == 0 {
+		t.Fatal("no delivered trace captured")
+	}
+
+	roots := span.BuildTree(id, recs)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	var chain []string
+	for h := roots[0]; h != nil; {
+		chain = append(chain, h.Node)
+		if len(h.Children) > 1 {
+			t.Fatalf("hop %s has %d children, want a single chain", h.Node, len(h.Children))
+		}
+		if len(h.Children) == 0 {
+			h = nil
+		} else {
+			h = h.Children[0]
+		}
+	}
+	want := []string{"0001", "0002", "0003", "0004"}
+	if fmt.Sprint(chain) != fmt.Sprint(want) {
+		t.Fatalf("causal chain = %v, want %v", chain, want)
+	}
+
+	m := span.Measure(roots)
+	if m.Hops != 4 || !m.Delivered {
+		t.Fatalf("breakdown = %+v", m)
+	}
+	if m.Airtime <= 0 || m.EndToEnd < m.Airtime {
+		t.Fatalf("latency breakdown implausible: airtime %v, e2e %v", m.Airtime, m.EndToEnd)
+	}
+
+	var buf bytes.Buffer
+	if err := span.WriteTree(&buf, id, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, wantLine := range []string{"● hop 0001", "└─ hop 0002", "└─ hop 0003", "└─ hop 0004", "(delivered)"} {
+		if !strings.Contains(out, wantLine) {
+			t.Fatalf("rendered tree missing %q:\n%s", wantLine, out)
+		}
+	}
+}

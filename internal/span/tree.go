@@ -1,0 +1,231 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Hop is one node's visit in a packet's journey: a contiguous run of
+// segments captured on that node, parented to the hop whose transmission
+// it received.
+type Hop struct {
+	// Node is the visiting node's rendered address.
+	Node string
+	// Recs are the hop's segments in time order.
+	Recs []Record
+	// Children are the hops that received this hop's transmission(s).
+	Children []*Hop
+
+	parent *Hop
+}
+
+// Start is the hop's first segment time.
+func (h *Hop) Start() time.Time { return h.Recs[0].At }
+
+// BuildTree reconstructs the causal hop tree for one trace ID from its
+// span records. Records are stably sorted by time first, so both live
+// captures and JSONL replays reconstruct identically. Parent links are
+// derived from causal ordering: a hop opened by an rx segment is a child
+// of the hop that most recently put the frame on the air. The returned
+// slice holds the tree's roots (normally one — the origin hop; an rx
+// with no visible transmission becomes its own root, which happens when
+// the capture window missed the origin).
+func BuildTree(id trace.TraceID, recs []Record) []*Hop {
+	var mine []Record
+	for _, r := range recs {
+		if r.Trace == id {
+			mine = append(mine, r)
+		}
+	}
+	sort.SliceStable(mine, func(i, j int) bool { return mine[i].At.Before(mine[j].At) })
+
+	var roots []*Hop
+	open := make(map[string]*Hop) // node -> hop still accumulating segments
+	var lastTx *Hop               // hop that most recently started an airtime segment
+	for _, r := range mine {
+		h := open[r.Node]
+		// An rx opens a fresh visit: a second copy arriving at a node
+		// that already has a hop (a retransmission or loop echo) starts
+		// a new child rather than extending the old visit.
+		if h == nil || r.Seg == SegRx {
+			h = &Hop{Node: r.Node}
+			if r.Seg == SegRx && lastTx != nil && lastTx.Node != r.Node {
+				h.parent = lastTx
+				lastTx.Children = append(lastTx.Children, h)
+			} else {
+				roots = append(roots, h)
+			}
+			open[r.Node] = h
+		}
+		h.Recs = append(h.Recs, r)
+		if r.Seg == SegAirtime {
+			lastTx = h
+		}
+	}
+	return roots
+}
+
+// Breakdown sums a tree's latency components: total head-of-line
+// queue-wait, total on-air time, and the end-to-end elapsed time from
+// the first segment to the last deliver (or to the last segment when
+// nothing was delivered).
+type Breakdown struct {
+	QueueWait time.Duration
+	Airtime   time.Duration
+	EndToEnd  time.Duration
+	Hops      int
+	Delivered bool
+	Dropped   bool
+}
+
+// Measure computes the latency breakdown over a tree.
+func Measure(roots []*Hop) Breakdown {
+	var b Breakdown
+	var first, last, deliver time.Time
+	var walk func(h *Hop)
+	walk = func(h *Hop) {
+		b.Hops++
+		for _, r := range h.Recs {
+			if first.IsZero() || r.At.Before(first) {
+				first = r.At
+			}
+			end := r.At.Add(r.Dur)
+			if end.After(last) {
+				last = end
+			}
+			switch r.Seg {
+			case SegQueueWait:
+				b.QueueWait += r.Dur
+			case SegAirtime:
+				b.Airtime += r.Dur
+			case SegDeliver:
+				b.Delivered = true
+				if r.At.After(deliver) {
+					deliver = r.At
+				}
+			case SegDrop:
+				b.Dropped = true
+			}
+		}
+		for _, c := range h.Children {
+			walk(c)
+		}
+	}
+	for _, h := range roots {
+		walk(h)
+	}
+	if !first.IsZero() {
+		if b.Delivered {
+			b.EndToEnd = deliver.Sub(first)
+		} else {
+			b.EndToEnd = last.Sub(first)
+		}
+	}
+	return b
+}
+
+// WriteTree renders the causal hop tree for one trace ID as an indented
+// per-hop, per-segment latency breakdown — the packetdump -spans view.
+func WriteTree(w io.Writer, id trace.TraceID, recs []Record) error {
+	roots := BuildTree(id, recs)
+	if len(roots) == 0 {
+		_, err := fmt.Fprintf(w, "trace %v: no span segments\n", id)
+		return err
+	}
+	var start time.Time
+	for i, h := range roots {
+		if i == 0 || h.Start().Before(start) {
+			start = h.Start()
+		}
+	}
+	n := 0
+	for _, h := range roots {
+		n += countSegs(h)
+	}
+	if _, err := fmt.Fprintf(w, "trace %v span tree (%d segments):\n", id, n); err != nil {
+		return err
+	}
+	for _, h := range roots {
+		if err := writeHop(w, h, start, 0); err != nil {
+			return err
+		}
+	}
+	b := Measure(roots)
+	outcome := "in flight"
+	switch {
+	case b.Delivered:
+		outcome = "delivered"
+	case b.Dropped:
+		outcome = "dropped"
+	}
+	_, err := fmt.Fprintf(w, "breakdown: %d hops, queue-wait %v, airtime %v, e2e %v (%s)\n",
+		b.Hops, round(b.QueueWait), round(b.Airtime), round(b.EndToEnd), outcome)
+	return err
+}
+
+func countSegs(h *Hop) int {
+	n := len(h.Recs)
+	for _, c := range h.Children {
+		n += countSegs(c)
+	}
+	return n
+}
+
+func writeHop(w io.Writer, h *Hop, start time.Time, depth int) error {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "    "
+	}
+	if _, err := fmt.Fprintf(w, "%s%s hop %s  +%v\n",
+		indent, branch(depth), h.Node, round(h.Start().Sub(start))); err != nil {
+		return err
+	}
+	for _, r := range h.Recs {
+		dur := ""
+		if r.Dur > 0 {
+			dur = fmt.Sprintf("  %v", round(r.Dur))
+		}
+		detail := ""
+		if r.Detail != "" {
+			detail = "  " + r.Detail
+		}
+		if _, err := fmt.Fprintf(w, "%s    %-10s +%v%s%s\n",
+			indent, r.Seg, round(r.At.Sub(start)), dur, detail); err != nil {
+			return err
+		}
+	}
+	for _, c := range h.Children {
+		if err := writeHop(w, c, start, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func branch(depth int) string {
+	if depth == 0 {
+		return "●"
+	}
+	return "└─"
+}
+
+// round trims sub-microsecond noise for display.
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// TraceIDs returns the distinct trace IDs present in recs, in first-seen
+// order.
+func TraceIDs(recs []Record) []trace.TraceID {
+	seen := make(map[trace.TraceID]bool)
+	var out []trace.TraceID
+	for _, r := range recs {
+		if r.Trace != 0 && !seen[r.Trace] {
+			seen[r.Trace] = true
+			out = append(out, r.Trace)
+		}
+	}
+	return out
+}

@@ -38,6 +38,15 @@ const (
 	// drops, uplink batch outcomes, circuit-breaker transitions, and
 	// downlink injections.
 	KindGateway Kind = "gateway"
+	// KindSpan marks hop-level span segments (see internal/span): causal
+	// timing segments of one packet's journey — enqueue, queue-wait,
+	// airtime, rx, forward, retransmit, deliver, drop — carrying the
+	// segment name in Event.Seg and its duration in Event.Dur.
+	KindSpan Kind = "span"
+	// KindHealth marks mesh health-monitor events (see internal/health):
+	// violation detections (loops, blackholes, silent nodes, stuck duty
+	// budgets, replay anomalies) with the violation kind in Event.Seg.
+	KindHealth Kind = "health"
 )
 
 // TraceID identifies one datagram end to end. It is derived from the
@@ -72,14 +81,29 @@ type Event struct {
 	// are not about one packet (beacons of state, failures, moves).
 	Trace  TraceID
 	Detail string
+	// Seg carries structured sub-classification for KindSpan (the span
+	// segment name: enqueue, queue-wait, airtime, ...) and KindHealth
+	// (the violation kind: loop, blackhole, silent, ...). Empty for
+	// other kinds.
+	Seg string
+	// Dur is the segment's measured duration (KindSpan only); zero for
+	// instantaneous segments and for other kinds.
+	Dur time.Duration
 }
 
 func (e Event) String() string {
-	if e.Trace != 0 {
-		return fmt.Sprintf("%s %-6s %-8s [%v] %s",
-			e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Trace, e.Detail)
+	seg := ""
+	if e.Seg != "" {
+		seg = " " + e.Seg
+		if e.Dur > 0 {
+			seg += fmt.Sprintf("(%v)", e.Dur)
+		}
 	}
-	return fmt.Sprintf("%s %-6s %-8s %s", e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Detail)
+	if e.Trace != 0 {
+		return fmt.Sprintf("%s %-6s %-8s [%v]%s %s",
+			e.At.Format("15:04:05.000"), e.Node, e.Kind, e.Trace, seg, e.Detail)
+	}
+	return fmt.Sprintf("%s %-6s %-8s%s %s", e.At.Format("15:04:05.000"), e.Node, e.Kind, seg, e.Detail)
 }
 
 // jsonEvent is the JSONL wire form of an Event.
@@ -89,10 +113,13 @@ type jsonEvent struct {
 	Kind   string    `json:"kind"`
 	Trace  string    `json:"trace,omitempty"`
 	Detail string    `json:"detail"`
+	Seg    string    `json:"seg,omitempty"`
+	DurNS  int64     `json:"dur_ns,omitempty"`
 }
 
 func (e Event) toJSON() jsonEvent {
-	j := jsonEvent{At: e.At, Node: e.Node, Kind: string(e.Kind), Detail: e.Detail}
+	j := jsonEvent{At: e.At, Node: e.Node, Kind: string(e.Kind), Detail: e.Detail,
+		Seg: e.Seg, DurNS: int64(e.Dur)}
 	if e.Trace != 0 {
 		j.Trace = e.Trace.String()
 	}
@@ -100,7 +127,8 @@ func (e Event) toJSON() jsonEvent {
 }
 
 func (j jsonEvent) toEvent() (Event, error) {
-	e := Event{At: j.At, Node: j.Node, Kind: Kind(j.Kind), Detail: j.Detail}
+	e := Event{At: j.At, Node: j.Node, Kind: Kind(j.Kind), Detail: j.Detail,
+		Seg: j.Seg, Dur: time.Duration(j.DurNS)}
 	if j.Trace != "" {
 		id, err := ParseTraceID(j.Trace)
 		if err != nil {
@@ -170,12 +198,27 @@ func (t *Tracer) EmitPacket(at time.Time, node string, kind Kind, id TraceID, fo
 	if t == nil {
 		return
 	}
+	t.record(Event{At: at, Node: node, Kind: kind, Trace: id, Detail: fmt.Sprintf(format, args...)})
+}
+
+// EmitSeg records a structured segmented event — a span segment
+// (KindSpan) or a health violation (KindHealth) — with a pre-formatted
+// detail string. Unlike EmitPacket it takes no format arguments, so hot
+// callers can pass constant details without boxing a variadic slice.
+func (t *Tracer) EmitSeg(at time.Time, node string, kind Kind, id TraceID, seg string, dur time.Duration, detail string) {
+	if t == nil {
+		return
+	}
+	t.record(Event{At: at, Node: node, Kind: kind, Trace: id, Seg: seg, Dur: dur, Detail: detail})
+}
+
+// record appends one assembled event to the sink and the ring.
+func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.enabled {
 		return
 	}
-	ev := Event{At: at, Node: node, Kind: kind, Trace: id, Detail: fmt.Sprintf(format, args...)}
 	if t.sink != nil && t.sinkErr == nil {
 		if b, err := json.Marshal(ev.toJSON()); err == nil {
 			b = append(b, '\n')

@@ -16,10 +16,12 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/loraphy"
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -49,6 +51,16 @@ type Config struct {
 	// Prometheus format at GET /metrics plus a JSON /healthz on that TCP
 	// address ("127.0.0.1:0" picks a free port; see Host.MetricsAddr).
 	MetricsAddr string
+	// HealthInterval arms this host's health monitor when positive: every
+	// interval of virtual time the monitor snapshots the local node
+	// (routes, counter deltas) for blackholes toward dead next hops,
+	// silence, stuck duty budgets, and replay anomalies. A single UDP host
+	// only sees itself — mesh-wide loop detection needs a view of every
+	// table — but the local detectors still feed /healthz and health.*.
+	HealthInterval time.Duration
+	// Pprof, when true together with MetricsAddr, mounts net/http/pprof
+	// under /debug/pprof/ on the metrics mux. Opt-in.
+	Pprof bool
 }
 
 // Host is one running UDP mesh node.
@@ -72,6 +84,10 @@ type Host struct {
 
 	metricsLis net.Listener
 	metricsSrv *http.Server
+
+	// health is this host's monitor; nil unless Config.HealthInterval is
+	// positive.
+	health *health.Monitor
 }
 
 // Start binds the socket and starts the node.
@@ -118,6 +134,15 @@ func Start(cfg Config) (*Host, error) {
 	}
 	h.node = node
 
+	if cfg.HealthInterval > 0 {
+		h.health = health.New(health.Config{
+			Interval: cfg.HealthInterval,
+			Tracer:   cfg.Node.Tracer,
+		}, h.healthSource)
+		h.wg.Add(1)
+		go h.healthLoop()
+	}
+
 	if cfg.MetricsAddr != "" {
 		if err := h.serveMetrics(cfg.MetricsAddr); err != nil {
 			conn.Close()
@@ -145,19 +170,75 @@ func (h *Host) serveMetrics(addr string) error {
 		return fmt.Errorf("udpnet: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", metrics.Handler(func() *metrics.Registry { return h.node.Metrics() }))
+	mux.Handle("/metrics", metrics.Handler(h.exportMetrics))
 	mux.Handle("/healthz", metrics.HealthHandler(func() map[string]any {
-		return map[string]any{
-			"status": "ok",
-			"mesh":   h.MeshAddress().String(),
-			"udp":    h.conn.LocalAddr().String(),
-			"uptime": time.Since(h.start).String(),
+		v := map[string]any{"status": "ok"}
+		if h.health != nil {
+			v = h.health.Verdict()
 		}
+		v["mesh"] = h.MeshAddress().String()
+		v["udp"] = h.conn.LocalAddr().String()
+		v["uptime"] = time.Since(h.start).String()
+		return v
 	}))
+	if h.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	h.metricsLis = lis
 	h.metricsSrv = &http.Server{Handler: mux}
 	go h.metricsSrv.Serve(lis)
 	return nil
+}
+
+// exportMetrics is the /metrics view: the node's registry plus, when the
+// monitor runs, the health.* instruments.
+func (h *Host) exportMetrics() *metrics.Registry {
+	if h.health == nil {
+		return h.node.Metrics()
+	}
+	agg := metrics.NewRegistry()
+	agg.Merge("", h.node.Metrics())
+	agg.Merge("", h.health.Metrics())
+	return agg
+}
+
+// Health returns this host's health monitor, or nil when disabled.
+func (h *Host) Health() *health.Monitor { return h.health }
+
+// healthLoop polls the monitor on the (time-scaled) wall clock until the
+// host closes.
+func (h *Host) healthLoop() {
+	defer h.wg.Done()
+	t := time.NewTicker(h.wall(h.cfg.HealthInterval))
+	defer t.Stop()
+	for {
+		select {
+		case <-h.closed:
+			return
+		case <-t.C:
+			h.health.Poll((*hostEnv)(h).Now())
+		}
+	}
+}
+
+// healthSource snapshots the local node for the monitor, on its event
+// loop.
+func (h *Host) healthSource() []health.NodeStatus {
+	st := health.NodeStatus{Addr: h.cfg.Node.Address, Alive: true}
+	h.Do(func(n *core.Node) {
+		st.Stats = n.Metrics().Snapshot()
+		for _, e := range n.Table().Entries() {
+			if e.Poisoned() {
+				continue
+			}
+			st.Routes = append(st.Routes, health.Route{Dst: e.Addr, Via: e.Via})
+		}
+	})
+	return []health.NodeStatus{st}
 }
 
 // MetricsAddr returns the metrics listener's address ("" when disabled).

@@ -43,7 +43,9 @@ echo "==> go test -race (concurrent packages)"
 # meshsec is in the race list because one Link is shared by a node's
 # engine and its host (gateway rekey, handle counters); faults rides
 # along for the injector its plans arm across the live harness.
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./cmd/meshgw/...
+# span and health are here because their recorder/monitor are written
+# from engine goroutines and read by scrape/verdict endpoints.
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./cmd/meshgw/...
 echo "==> coverage ratchet"
 # The ratchet: total statement coverage may not drop more than 1 point
 # below scripts/coverage_floor.txt. Raise the floor when coverage grows.
