@@ -50,6 +50,7 @@ func BenchmarkE11GatewayUplink(b *testing.B)  { benchExperiment(b, "E11") }
 func BenchmarkE12ChaosMatrix(b *testing.B)    { benchExperiment(b, "E12") }
 func BenchmarkE13Security(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14Observer(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE16SelfHealing(b *testing.B)    { benchExperiment(b, "E16") }
 func BenchmarkA1SplitHorizon(b *testing.B)    { benchExperiment(b, "A1") }
 func BenchmarkA2HelloPeriod(b *testing.B)     { benchExperiment(b, "A2") }
 func BenchmarkA3ARQWindow(b *testing.B)       { benchExperiment(b, "A3") }

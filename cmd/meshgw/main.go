@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/metrics"
@@ -43,6 +44,10 @@ type options struct {
 	hello     time.Duration
 	metrics   string
 	downlink  bool
+	// controlFile loads a desired-state document (JSON); the gateway's
+	// sink node runs the self-healing controller against it, reconciling
+	// the live UDP mesh over the same downlink path readings ride up.
+	controlFile string
 }
 
 func main() {
@@ -59,6 +64,7 @@ func main() {
 	flag.DurationVar(&o.hello, "hello", 2*time.Second, "HELLO beacon period (protocol time)")
 	flag.StringVar(&o.metrics, "metrics", "", "serve gateway /metrics and /healthz on this address")
 	flag.BoolVar(&o.downlink, "downlink", true, "demonstrate a backend->mesh downlink command")
+	flag.StringVar(&o.controlFile, "control", "", "reconcile the mesh toward this desired-state JSON document (controller at the sink)")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "meshgw: %v\n", err)
@@ -174,6 +180,71 @@ func run(w io.Writer, o options) error {
 	}
 	fmt.Fprintf(w, "mesh converged; %d sources reporting every %v\n", o.n-1, o.interval)
 
+	// The self-healing controller rides the sink like the gateway does:
+	// commands go out as ordinary downlink datagrams, and acks come back
+	// as deliveries — intercepted in front of the gateway's uplink hook
+	// so a control report is never spooled to the backend as telemetry.
+	var ctl *control.Controller
+	if o.controlFile != "" {
+		desired, err := control.LoadFile(o.controlFile)
+		if err != nil {
+			return err
+		}
+		addrs := make([]packet.Address, o.n)
+		for i := range addrs {
+			addrs[i] = hosts[i].MeshAddress()
+		}
+		ctl, err = control.New(control.Config{
+			State: desired,
+			Nodes: addrs,
+			Self:  sink.MeshAddress(),
+			Send: func(to packet.Address, payload []byte, reliable bool) error {
+				if reliable {
+					_, err := sink.SendReliable(to, payload)
+					return err
+				}
+				return sink.Send(to, payload)
+			},
+			Local: func(cmd control.Command) control.Report {
+				var rep control.Report
+				sink.Do(func(n *core.Node) { rep = n.ApplyControl(cmd) })
+				return rep
+			},
+			// The chain's rollout distance is its hop count from the
+			// sink, which address order encodes.
+			Distance: func(a packet.Address) float64 { return float64(a) },
+			// Wall-clock pacing: the controller is outside the mesh's
+			// compressed protocol time, like a real operator's would be.
+			PollInterval:  250 * time.Millisecond,
+			RetryInterval: 2 * time.Second,
+			Cooldown:      30 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		sink.SetOnMessage(func(m core.AppMessage) {
+			if control.IsReport(m.Payload) && ctl.ObserveReport(time.Now(), m.From, m.Payload) {
+				return
+			}
+			g.OfferMessage(m)
+		})
+		ctlStop := make(chan struct{})
+		defer close(ctlStop)
+		go func() {
+			tick := time.NewTicker(ctl.PollInterval())
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctlStop:
+					return
+				case now := <-tick.C:
+					ctl.Poll(now)
+				}
+			}
+		}()
+		fmt.Fprintf(w, "controller reconciling toward %s (state version %d)\n", o.controlFile, desired.Version)
+	}
+
 	// Sources: every non-sink node emits readings toward the sink.
 	stop := make(chan struct{})
 	for idx, h := range hosts[1:] {
@@ -242,6 +313,18 @@ func run(w io.Writer, o options) error {
 			}
 		}
 		fmt.Fprintf(w, "downlink to %v delivered: %v\n", far.MeshAddress(), got)
+	}
+	if ctl != nil {
+		snap := ctl.Metrics().Snapshot()
+		state := "still reconciling"
+		if ctl.Converged() {
+			state = "converged"
+		}
+		fmt.Fprintf(w, "controller: %s  commands sent %d  acks %d\n",
+			state, int64(snap["ctl.commands.sent"]), int64(snap["ctl.acks.ok"]))
+		for _, a := range ctl.Actions() {
+			fmt.Fprintf(w, "  %s\n", a)
+		}
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/control"
 	"repro/internal/energy"
 	"repro/internal/faults"
 	"repro/internal/geo"
@@ -68,6 +69,11 @@ type options struct {
 	// health runs the always-on mesh health monitor at this virtual-time
 	// poll interval, printing the verdict after the run.
 	health time.Duration
+	// controlFile loads a desired-state document (JSON) and attaches the
+	// self-healing controller at node 0, reconciling the mesh toward it
+	// and running the recovery playbooks off the health monitor's
+	// violation feed. Implies -health (30s) when not set explicitly.
+	controlFile string
 }
 
 func main() {
@@ -91,6 +97,7 @@ func main() {
 	flag.StringVar(&o.seckey, "seckey", "", "network key as 32 hex digits; enables link-layer security (mesher only)")
 	flag.IntVar(&o.spanCap, "spans", 0, "capture hop-level spans in a ring of this many segments (streamed to -trace-out as span events)")
 	flag.DurationVar(&o.health, "health", 0, "poll the mesh health monitor at this interval (0 disables)")
+	flag.StringVar(&o.controlFile, "control", "", "reconcile the mesh toward this desired-state JSON document (self-healing controller at node 0; implies -health 30s)")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "meshsim: %v\n", err)
@@ -170,6 +177,23 @@ func run(w io.Writer, o options) error {
 	}
 	cfg.SpanCapacity = o.spanCap
 	cfg.HealthInterval = o.health
+	var desired *control.State
+	if o.controlFile != "" {
+		if desired, err = control.LoadFile(o.controlFile); err != nil {
+			return err
+		}
+		if cfg.HealthInterval <= 0 {
+			// The playbooks are driven by the health monitor's violation
+			// feed; a controller without one would only do config pushes.
+			// The silent detector's window (3 polls) must exceed the HELLO
+			// period, or a healthy-but-quiet node gets "recovered" with a
+			// reboot every time a beacon misses the window.
+			cfg.HealthInterval = 30 * time.Second
+			if min := o.hello / 2; cfg.HealthInterval < min {
+				cfg.HealthInterval = min
+			}
+		}
+	}
 	if cfg.TraceCapacity == 0 && (o.traceOut != "" || o.tracePacket != "") {
 		// Tracing is implied; the sink sees everything regardless of the
 		// ring size, and journeys need a reasonable window.
@@ -205,6 +229,15 @@ func run(w io.Writer, o options) error {
 			return fmt.Errorf("mesh did not converge in 12 h — check density vs radio range")
 		}
 		fmt.Fprintf(w, "mesh converged in %v\n\n", conv.Round(time.Second))
+	}
+
+	var ctl *control.Controller
+	if desired != nil {
+		if ctl, err = sim.AttachController(netsim.ControllerConfig{State: desired}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "self-healing controller attached at %v (state version %d, poll %v)\n\n",
+			sim.Handle(0).Addr, desired.Version, ctl.PollInterval())
 	}
 
 	if o.faultsFile != "" {
@@ -302,6 +335,23 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "\nmesh health: %v (%v polls, %v violations)\n", v["status"], v["polls"], v["violations"])
 		for _, viol := range sim.Health.Violations() {
 			fmt.Fprintf(w, "  %v\n", viol)
+		}
+	}
+	if ctl != nil {
+		snap := ctl.Metrics().Snapshot()
+		state := "reconciling"
+		if ctl.Converged() {
+			state = "converged"
+		}
+		fmt.Fprintf(w, "\ncontroller: %s (version acked fleet-wide: %v)  commands sent %d  acks %d  escalations %d  key epoch %d\n",
+			state, ctl.Converged(),
+			int64(snap["ctl.commands.sent"]), int64(snap["ctl.acks.ok"]),
+			int64(snap["ctl.escalations"]), ctl.KeyEpoch())
+		if acts := ctl.Actions(); len(acts) > 0 {
+			fmt.Fprintln(w, "controller journal:")
+			for _, a := range acts {
+				fmt.Fprintf(w, "  %s\n", a)
+			}
 		}
 	}
 	if o.traceN > 0 && sim.Tracer != nil {

@@ -1,0 +1,387 @@
+package control
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/meshsec"
+	"repro/internal/packet"
+)
+
+var ct0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// fakeNode mimics the node-side command semantics of core.ApplyControl
+// closely enough to exercise every controller path without a mesh.
+type fakeNode struct {
+	epoch, keyEpoch uint32
+	key, staged     meshsec.Key
+	hasStaged       bool
+	committed       bool
+	hello           time.Duration
+	reboots         int
+	hellosForced    int
+	unsupported     bool // the host cannot perform anything host-side
+	deaf            bool // commands vanish: no report ever comes back
+}
+
+func (f *fakeNode) apply(cmd Command) Report {
+	rep := Report{Op: cmd.Op, Seq: cmd.Seq, Status: StatusOK}
+	switch cmd.Op {
+	case OpSetConfig:
+		if cmd.HelloPeriod > 0 {
+			f.hello = cmd.HelloPeriod
+		}
+		if cmd.Epoch > f.epoch {
+			f.epoch = cmd.Epoch
+		}
+	case OpTriggerHello:
+		f.hellosForced++
+	case OpReboot:
+		if f.unsupported {
+			rep.Status = StatusUnsupported
+		} else {
+			f.reboots++
+		}
+	case OpRekey:
+		switch {
+		case cmd.Stage:
+			f.staged, f.hasStaged = cmd.Key, true
+		case cmd.Commit:
+			if f.key != cmd.Key {
+				rep.Status = StatusError
+				break
+			}
+			f.committed = true
+			if cmd.KeyEpoch > f.keyEpoch {
+				f.keyEpoch = cmd.KeyEpoch
+			}
+		default:
+			if f.key != cmd.Key {
+				f.key = cmd.Key
+				f.committed = false
+			}
+			if cmd.KeyEpoch > f.keyEpoch {
+				f.keyEpoch = cmd.KeyEpoch
+			}
+		}
+	}
+	rep.Epoch = f.epoch
+	rep.KeyEpoch = f.keyEpoch
+	rep.HelloPeriod = f.hello
+	return rep
+}
+
+type sentCmd struct {
+	to       packet.Address
+	cmd      Command
+	reliable bool
+}
+
+// harness wires a controller to a fleet of fake nodes with a manual
+// clock; commands sent to a non-deaf node are applied and reported back
+// synchronously, like a self-targeted local apply.
+type harness struct {
+	t     *testing.T
+	ctl   *Controller
+	nodes map[packet.Address]*fakeNode
+	sent  []sentCmd
+	now   time.Time
+}
+
+func newHarness(t *testing.T, cfg Config, addrs ...packet.Address) *harness {
+	t.Helper()
+	h := &harness{t: t, now: ct0, nodes: make(map[packet.Address]*fakeNode)}
+	for _, a := range addrs {
+		h.nodes[a] = &fakeNode{key: testKey}
+	}
+	cfg.Nodes = addrs
+	cfg.Send = func(to packet.Address, payload []byte, reliable bool) error {
+		cmd, ok := ParseCommand(payload)
+		if !ok {
+			t.Fatalf("send to %v: payload is not a command", to)
+		}
+		h.sent = append(h.sent, sentCmd{to: to, cmd: cmd, reliable: reliable})
+		if n := h.nodes[to]; n != nil && !n.deaf {
+			h.ctl.ObserveReport(h.now, to, MarshalReport(n.apply(cmd)))
+		}
+		return nil
+	}
+	if cfg.Distance == nil {
+		// Lower addresses farther away: rollout order 1, 2, 3, ...
+		cfg.Distance = func(a packet.Address) float64 { return 100 - float64(a) }
+	}
+	ctl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	return h
+}
+
+// poll advances the clock by d and runs one reconcile round.
+func (h *harness) poll(d time.Duration) int {
+	h.now = h.now.Add(d)
+	return h.ctl.Poll(h.now)
+}
+
+func (h *harness) counter(name string) float64 {
+	return h.ctl.Metrics().Snapshot()[name]
+}
+
+func TestNewValidation(t *testing.T) {
+	good := Config{
+		State: &State{Version: 1},
+		Nodes: []packet.Address{1, 2},
+		Send:  func(packet.Address, []byte, bool) error { return nil },
+	}
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Config){
+		"nil state":          func(c *Config) { c.State = nil },
+		"invalid state":      func(c *Config) { c.State = &State{KeyEpoch: 1} },
+		"nil send":           func(c *Config) { c.Send = nil },
+		"no nodes":           func(c *Config) { c.Nodes = nil },
+		"duplicate node":     func(c *Config) { c.Nodes = []packet.Address{1, 1} },
+		"self without local": func(c *Config) { c.Self = 2 },
+	} {
+		cfg := good
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReconcileConverges(t *testing.T) {
+	st := &State{Version: 2, Defaults: NodeSpec{HelloPeriod: Duration(2 * time.Minute)}}
+	h := newHarness(t, Config{State: st}, 1, 2, 3)
+
+	if h.ctl.Converged() {
+		t.Fatal("converged before any poll")
+	}
+	if n := h.poll(0); n != 3 {
+		t.Fatalf("first poll dispatched %d commands, want 3", n)
+	}
+	// Farthest first: address 1 is the far edge under the test distance.
+	for i, want := range []packet.Address{1, 2, 3} {
+		if h.sent[i].to != want || h.sent[i].cmd.Op != OpSetConfig || h.sent[i].cmd.Epoch != 2 {
+			t.Fatalf("send %d = %v %s epoch=%d, want set_config epoch=2 to %v",
+				i, h.sent[i].to, h.sent[i].cmd.Op, h.sent[i].cmd.Epoch, want)
+		}
+	}
+	if !h.ctl.Converged() {
+		t.Fatal("not converged after synchronous acks")
+	}
+	for a, n := range h.nodes {
+		if n.hello != 2*time.Minute {
+			t.Errorf("node %v hello = %v", a, n.hello)
+		}
+	}
+	// Idempotence: a converged fleet gets nothing more.
+	if n := h.poll(time.Minute); n != 0 {
+		t.Fatalf("converged fleet got %d more commands", n)
+	}
+}
+
+func TestRetryExhaustionAndEscalation(t *testing.T) {
+	st := &State{Version: 1, Defaults: NodeSpec{HelloPeriod: Duration(time.Minute)}}
+	var escalated []packet.Address
+	cfg := Config{
+		State:         st,
+		RetryInterval: 10 * time.Second,
+		MaxRetries:    2,
+		Escalate: func(a packet.Address, cmd Command) bool {
+			escalated = append(escalated, a)
+			return true
+		},
+	}
+	h := newHarness(t, cfg, 1, 2)
+	h.nodes[2].deaf = true
+
+	h.poll(0) // initial sends; node 1 acks, node 2 swallows
+	if h.ctl.Converged() {
+		t.Fatal("converged with a deaf node")
+	}
+	h.poll(10 * time.Second) // try 2 toward the deaf node
+	if got := h.counter("ctl.commands.retries"); got != 1 {
+		t.Fatalf("retries = %v, want 1", got)
+	}
+	h.poll(10 * time.Second) // exhaustion: give up and escalate
+	if got := h.counter("ctl.commands.exhausted"); got != 1 {
+		t.Fatalf("exhausted = %v, want 1", got)
+	}
+	if len(escalated) != 1 || escalated[0] != 2 {
+		t.Fatalf("escalated = %v, want [2]", escalated)
+	}
+	if got := h.counter("ctl.escalations"); got != 1 {
+		t.Fatalf("ctl.escalations = %v, want 1", got)
+	}
+
+	// The escalation "power-cycled" the node: it hears again, and the
+	// controller re-reconciles it from scratch.
+	h.nodes[2].deaf = false
+	h.poll(10 * time.Second)
+	if !h.ctl.Converged() {
+		t.Fatal("not converged after escalation recovery")
+	}
+	if h.nodes[2].hello != time.Minute {
+		t.Fatalf("recovered node hello = %v", h.nodes[2].hello)
+	}
+}
+
+func TestRekeyRunsThreeFullWaves(t *testing.T) {
+	st := &State{NetKey: "2b7e151628aed2a6abf7158809cf4f3c", KeyEpoch: 1}
+	h := newHarness(t, Config{State: st}, 1, 2, 3)
+
+	for i := 0; i < 12 && !h.ctl.Converged(); i++ {
+		h.poll(time.Second)
+	}
+	if !h.ctl.Converged() {
+		t.Fatalf("rekey never converged; sent %d commands", len(h.sent))
+	}
+	// Exactly nine commands: stage/rotate/commit, each a complete
+	// farthest-first wave (1, 2, 3) before the next begins.
+	if len(h.sent) != 9 {
+		t.Fatalf("sent %d commands, want 9", len(h.sent))
+	}
+	type phase struct {
+		stage, commit bool
+	}
+	wantPhase := []phase{{true, false}, {true, false}, {true, false},
+		{false, false}, {false, false}, {false, false},
+		{false, true}, {false, true}, {false, true}}
+	for i, s := range h.sent {
+		if s.cmd.Op != OpRekey || !s.reliable {
+			t.Fatalf("send %d: %s reliable=%v", i, s.cmd.Op, s.reliable)
+		}
+		if (phase{s.cmd.Stage, s.cmd.Commit}) != wantPhase[i] {
+			t.Fatalf("send %d: stage=%v commit=%v, want %+v", i, s.cmd.Stage, s.cmd.Commit, wantPhase[i])
+		}
+		if want := []packet.Address{1, 2, 3}[i%3]; s.to != want {
+			t.Fatalf("send %d went to %v, want %v (farthest-first wave)", i, s.to, want)
+		}
+	}
+	want := KeyForEpoch(testKey, 1)
+	for a, n := range h.nodes {
+		if n.key != want || !n.committed || n.keyEpoch != 1 {
+			t.Errorf("node %v: key rotated=%v committed=%v epoch=%d", a, n.key == want, n.committed, n.keyEpoch)
+		}
+	}
+}
+
+func TestPlaybooksAndCooldown(t *testing.T) {
+	st := &State{NetKey: "2b7e151628aed2a6abf7158809cf4f3c"}
+	h := newHarness(t, Config{State: st, Cooldown: time.Minute}, 1, 2, 3)
+
+	// Blackhole at node 1: purge-and-beacon, dispatched by the NEXT poll
+	// (never directly from the violation hook), unreliable.
+	h.ctl.OnViolation(h.now, health.Violation{Seq: 1, Node: 1, Kind: health.KindBlackhole, Dst: 3, Via: 2})
+	if len(h.sent) != 0 {
+		t.Fatal("violation hook sent directly")
+	}
+	h.poll(time.Second)
+	if len(h.sent) != 1 || h.sent[0].cmd.Op != OpTriggerHello || h.sent[0].reliable ||
+		h.sent[0].cmd.Dst != 3 || h.sent[0].cmd.Via != 2 {
+		t.Fatalf("blackhole playbook sent %+v", h.sent)
+	}
+	if h.nodes[1].hellosForced != 1 {
+		t.Fatal("forced HELLO not applied")
+	}
+
+	// The detector re-fires every health poll; the cooldown absorbs it.
+	h.ctl.OnViolation(h.now, health.Violation{Seq: 2, Node: 1, Kind: health.KindBlackhole, Dst: 3, Via: 2})
+	h.poll(time.Second)
+	if len(h.sent) != 1 {
+		t.Fatalf("cooldown leaked: %d sends", len(h.sent))
+	}
+	if got := h.counter("ctl.playbook.suppressed"); got != 1 {
+		t.Fatalf("suppressed = %v, want 1", got)
+	}
+
+	// Silent node: a reliable reboot.
+	h.ctl.OnViolation(h.now, health.Violation{Seq: 3, Node: 2, Kind: health.KindSilent})
+	h.poll(time.Second)
+	last := h.sent[len(h.sent)-1]
+	if last.cmd.Op != OpReboot || !last.reliable || last.to != 2 || h.nodes[2].reboots != 1 {
+		t.Fatalf("silent playbook sent %+v", last)
+	}
+
+	// Replay anomaly: the desired key epoch advances once; a second
+	// violation mid-rollout is suppressed (one rollout at a time).
+	h.ctl.OnViolation(h.now, health.Violation{Seq: 4, Node: 3, Kind: health.KindReplay})
+	if h.ctl.KeyEpoch() != 1 {
+		t.Fatalf("key epoch = %d, want 1", h.ctl.KeyEpoch())
+	}
+	h.ctl.OnViolation(h.now, health.Violation{Seq: 5, Node: 3, Kind: health.KindReplay})
+	if h.ctl.KeyEpoch() != 1 {
+		t.Fatal("concurrent replay violation double-bumped the key epoch")
+	}
+
+	// Violation sequence gap: seq jumps 5 -> 9, three lost.
+	h.ctl.OnViolation(h.now, health.Violation{Seq: 9, Node: 3, Kind: health.KindDutyStuck})
+	if got := h.counter("ctl.violations.gap"); got != 3 {
+		t.Fatalf("ctl.violations.gap = %v, want 3", got)
+	}
+	if got := h.counter("ctl.playbook.duty_stuck"); got != 1 {
+		t.Fatalf("duty_stuck observed = %v, want 1", got)
+	}
+}
+
+func TestUnsupportedIsTerminal(t *testing.T) {
+	h := newHarness(t, Config{State: &State{}, Cooldown: time.Minute}, 1)
+	h.nodes[1].unsupported = true
+	h.ctl.OnViolation(h.now, health.Violation{Seq: 1, Node: 1, Kind: health.KindSilent})
+	h.poll(time.Second)
+	if got := h.counter("ctl.acks.unsupported"); got != 1 {
+		t.Fatalf("unsupported acks = %v, want 1", got)
+	}
+	// Terminal: no retries for a command the node cannot ever perform.
+	h.poll(10 * time.Minute)
+	if got := h.counter("ctl.commands.retries"); got != 0 {
+		t.Fatalf("retried an unsupported command %v times", got)
+	}
+}
+
+func TestSelfAppliesLocally(t *testing.T) {
+	st := &State{Version: 1, Defaults: NodeSpec{HelloPeriod: Duration(time.Minute)}}
+	self := &fakeNode{key: testKey}
+	cfg := Config{
+		State: st,
+		Self:  3,
+		Local: func(cmd Command) Report { return self.apply(cmd) },
+	}
+	h := newHarness(t, cfg, 1, 2, 3)
+	h.poll(0)
+	for _, s := range h.sent {
+		if s.to == 3 {
+			t.Fatal("self-targeted command went over the air")
+		}
+	}
+	if !h.ctl.Converged() || self.hello != time.Minute {
+		t.Fatalf("self not reconciled locally (hello=%v)", self.hello)
+	}
+}
+
+func TestActionsJournalDeterministic(t *testing.T) {
+	run := func() string {
+		st := &State{Version: 1, NetKey: "2b7e151628aed2a6abf7158809cf4f3c", KeyEpoch: 1,
+			Defaults: NodeSpec{HelloPeriod: Duration(time.Minute)}}
+		h := newHarness(t, Config{State: st, Cooldown: time.Minute}, 1, 2, 3)
+		h.nodes[3].deaf = true
+		h.ctl.OnViolation(h.now, health.Violation{Seq: 1, Node: 2, Kind: health.KindBlackhole, Dst: 1, Via: 3})
+		for i := 0; i < 20; i++ {
+			h.poll(30 * time.Second)
+		}
+		return strings.Join(h.ctl.Actions(), "\n")
+	}
+	a, b := run(), run()
+	if a == "" {
+		t.Fatal("empty action journal")
+	}
+	if a != b {
+		t.Fatalf("same scenario produced different journals:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}

@@ -1,0 +1,80 @@
+package control
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const stateDoc = `{
+  "version": 3,
+  "net_key": "2b7e151628aed2a6abf7158809cf4f3c",
+  "key_epoch": 1,
+  "defaults": {"hello_period": "2m", "duty_cycle": 0.01},
+  "nodes": {
+    "0003": {"hello_period": "30s", "sf": 9},
+    "4":    {"awake": "20s", "sleep": "40s"}
+  }
+}`
+
+func TestStateLoadAndSpec(t *testing.T) {
+	st, err := Load(strings.NewReader(stateDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 3 || st.KeyEpoch != 1 {
+		t.Fatalf("version/key_epoch = %d/%d", st.Version, st.KeyEpoch)
+	}
+	key, has, err := st.BaseKey()
+	if err != nil || !has || key != testKey {
+		t.Fatalf("BaseKey = %v has=%v err=%v", key, has, err)
+	}
+
+	// Plain node: defaults only.
+	sp := st.Spec(0x0001)
+	if sp.HelloPeriod.D() != 2*time.Minute || sp.DutyCycle != 0.01 || sp.SF != 0 {
+		t.Fatalf("default spec = %+v", sp)
+	}
+	// Overridden node: per-field merge over defaults.
+	sp = st.Spec(0x0003)
+	if sp.HelloPeriod.D() != 30*time.Second || sp.DutyCycle != 0.01 || sp.SF != 9 {
+		t.Fatalf("merged spec = %+v", sp)
+	}
+	// Unpadded lowercase key still addresses its node.
+	sp = st.Spec(0x0004)
+	if sp.Awake.D() != 20*time.Second || sp.Sleep.D() != 40*time.Second {
+		t.Fatalf("unpadded-key spec = %+v", sp)
+	}
+}
+
+func TestStateLoadRejections(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"version": 1, "helo_period": "2m"}`,
+		"bad key":          `{"version": 1, "net_key": "zz"}`,
+		"epoch sans key":   `{"version": 1, "key_epoch": 2}`,
+		"duty over 1":      `{"version": 1, "defaults": {"duty_cycle": 1.5}}`,
+		"sf out of range":  `{"version": 1, "nodes": {"0002": {"sf": 6}}}`,
+		"awake sans sleep": `{"version": 1, "defaults": {"awake": "20s"}}`,
+		"bad node key":     `{"version": 1, "nodes": {"gw": {"sf": 9}}}`,
+		"bad duration":     `{"version": 1, "defaults": {"hello_period": "fast"}}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"90s"`)); err != nil || d.D() != 90*time.Second {
+		t.Fatalf("string form: %v err=%v", d.D(), err)
+	}
+	if err := d.UnmarshalJSON([]byte(`1500000000`)); err != nil || d.D() != 1500*time.Millisecond {
+		t.Fatalf("numeric form: %v err=%v", d.D(), err)
+	}
+	b, err := Duration(2 * time.Minute).MarshalJSON()
+	if err != nil || string(b) != `"2m0s"` {
+		t.Fatalf("marshal: %s err=%v", b, err)
+	}
+}

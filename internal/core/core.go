@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/loraphy"
 	"repro/internal/meshsec"
 	"repro/internal/metrics"
@@ -274,6 +275,13 @@ type Config struct {
 	// allocation-free, so spans can remain armed on the hot path. Nil
 	// disables span capture entirely.
 	Spans *span.Recorder
+	// OnControl, when set, lets the HOST handle the control-plane
+	// commands the engine cannot perform on itself — radio (SF)
+	// reconfiguration, sleep scheduling, reboots (see internal/control).
+	// It is called from the node's execution context; returning false
+	// means the host cannot either, and the node reports the command
+	// unsupported. Nil means every host-level command is unsupported.
+	OnControl func(cmd control.Command) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -415,6 +423,15 @@ type Node struct {
 	expiryTimer Timer
 	// lastTriggered rate-limits triggered route-withdrawal HELLOs.
 	lastTriggered time.Time
+
+	// Control plane (see internal/control): the last applied desired-state
+	// document version and key epoch, echoed in command reports so the
+	// controller's convergence detection has ground truth.
+	ctlEpoch    uint32
+	ctlKeyEpoch uint32
+	// dutyCarry preserves lifetime airtime across duty-regulator swaps
+	// (an OpSetConfig changing the duty-cycle class replaces n.duty).
+	dutyCarry time.Duration
 
 	// Reliable transport.
 	nextSeqID  uint8
@@ -653,8 +670,10 @@ func (n *Node) Table() *routing.Table { return n.table }
 // Metrics exposes the node's instrument registry.
 func (n *Node) Metrics() *metrics.Registry { return n.reg }
 
-// AirtimeUsed returns the node's cumulative transmit airtime.
-func (n *Node) AirtimeUsed() time.Duration { return n.duty.LifetimeAirtime() }
+// AirtimeUsed returns the node's cumulative transmit airtime, including
+// airtime spent under duty regulators replaced by control-plane
+// reconfiguration.
+func (n *Node) AirtimeUsed() time.Duration { return n.dutyCarry + n.duty.LifetimeAirtime() }
 
 // Start begins beaconing and route maintenance. The first HELLO is sent
 // after a random fraction of the hello period, which desynchronizes nodes

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/meshsec"
 	"repro/internal/packet"
 	"repro/internal/span"
@@ -131,20 +132,14 @@ func (n *Node) maxPayloadFor(t packet.Type) int {
 	return m
 }
 
-// deliver hands a message to the application, except for key-rotation
-// payloads (gateway downlink provisioning), which a secured node applies
-// to its own link instead.
+// deliver hands a message to the application, except for control-plane
+// commands (gateway downlink reconfiguration, recovery playbooks, key
+// rotation), which the node applies to itself and answers with a report
+// instead.
 func (n *Node) deliver(msg AppMessage) {
-	if n.sec != nil {
-		if k, ok := meshsec.ParseRekey(msg.Payload); ok {
-			n.sec.Rotate(k)
-			n.ins.secRekeys.Inc()
-			if n.cfg.Tracer != nil {
-				n.cfg.Tracer.Emit(n.env.Now(), n.cfg.Address.String(), trace.KindApp,
-					"sec: network key rotated (from %v)", msg.From)
-			}
-			return
-		}
+	if cmd, ok := control.ParseCommand(msg.Payload); ok {
+		n.handleControl(cmd, msg.From)
+		return
 	}
 	n.env.Deliver(msg)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/meshsec"
 	"repro/internal/packet"
 	"repro/internal/simtime"
@@ -208,16 +209,22 @@ func TestSecuredMeshIgnoresPlaintextNode(t *testing.T) {
 	}
 }
 
-// TestRekeyDelivery exercises the in-band rotation path: a rekey payload
-// sent under the old key rotates the receiver, which keeps accepting
-// old-key frames (prev-key fallback) until the sender rotates too.
+// TestRekeyDelivery exercises the in-band rotation path: a typed rekey
+// command sent under the old key rotates the receiver, which keeps
+// accepting old-key frames (prev-key fallback) until the sender rotates
+// too.
 func TestRekeyDelivery(t *testing.T) {
 	b := newSecBus(t, fastConfig(), &testNetKey, nil, 1, 2)
 	b.run(20 * time.Second)
 	src, dst := b.env(1), b.env(2)
 
 	newKey := meshsec.Key{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6}
-	if err := src.node.Send(2, meshsec.RekeyPayload(newKey)); err != nil {
+	// Stage the new key on the sender first — the controller's stage wave
+	// does this mesh-wide — so the receiver's report, sealed under the
+	// key it just rotated to, still authenticates here.
+	src.node.Config().Security.Stage(newKey)
+	cmd := control.Command{Op: control.OpRekey, Seq: 7, KeyEpoch: 1, Key: newKey}
+	if err := src.node.Send(2, control.MarshalCommand(cmd)); err != nil {
 		t.Fatalf("Send rekey: %v", err)
 	}
 	b.run(10 * time.Second)
@@ -226,10 +233,23 @@ func TestRekeyDelivery(t *testing.T) {
 		t.Fatalf("sec.rekey.applied = %d, want 1", got)
 	}
 	if len(dst.msgs) != 0 {
-		t.Fatalf("rekey payload leaked to the app (%d deliveries)", len(dst.msgs))
+		t.Fatalf("rekey command leaked to the app (%d deliveries)", len(dst.msgs))
 	}
 	if dst.node.Config().Security.NetKey() != newKey {
 		t.Fatal("receiver did not install the new key")
+	}
+	// The node answered with a control report carrying the command's seq
+	// and its new key epoch; with no controller chained it surfaces as an
+	// ordinary app delivery at the sender.
+	if len(src.msgs) != 1 {
+		t.Fatalf("sender got %d deliveries, want 1 control report", len(src.msgs))
+	}
+	rep, ok := control.ParseReport(src.msgs[0].Payload)
+	if !ok {
+		t.Fatalf("sender delivery is not a control report: %x", src.msgs[0].Payload)
+	}
+	if rep.Op != control.OpRekey || rep.Seq != 7 || rep.Status != control.StatusOK || rep.KeyEpoch != 1 {
+		t.Fatalf("report = %+v, want ok rekey ack seq=7 keyepoch=1", rep)
 	}
 
 	// Old-key traffic still flows (prev-key fallback) until the sender

@@ -117,6 +117,7 @@ func All() []Spec {
 		{"E12", "Chaos matrix: delivery under injected faults", E12ChaosMatrix},
 		{"E13", "Link-layer security overhead (on vs off)", E13Security},
 		{"E14", "Observer overhead: spans and health monitor (on vs off)", E14Observer},
+		{"E16", "Self-healing MTTR: controller off vs on", E16SelfHealing},
 		{"A1", "Ablation: route poisoning vs expiry-only", A1Poisoning},
 		{"A2", "Ablation: HELLO period trade-off", A2HelloPeriod},
 		{"A3", "Ablation: ARQ window (stop-and-wait vs go-back-N)", A3ARQWindow},

@@ -170,6 +170,11 @@ type Attacker struct {
 	Period Duration `json:"period"`
 	// Count caps the number of injections; <= 0 means no cap.
 	Count int `json:"count,omitempty"`
+	// CaptureUntil freezes the attacker's capture ring that long after
+	// the plan epoch (zero = keep capturing forever). A frozen ring
+	// models an attacker replaying a previously sniffed corpus — the
+	// corpus a network key rotation is supposed to kill.
+	CaptureUntil Duration `json:"capture_until,omitempty"`
 
 	Replay     bool `json:"replay,omitempty"`
 	ForgeHello bool `json:"forge_hello,omitempty"`
@@ -315,6 +320,9 @@ func (p *Plan) Validate(n int) error {
 		}
 		if a.Period.D() <= 0 {
 			return fmt.Errorf("faults: %s period must be positive", what)
+		}
+		if a.CaptureUntil.D() < 0 {
+			return fmt.Errorf("faults: %s has negative capture_until", what)
 		}
 		if len(a.behaviors()) == 0 {
 			return fmt.Errorf("faults: %s enables no behavior (replay, forge_hello, bit_flip)", what)

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/meshsec"
 	"repro/internal/metrics"
@@ -147,13 +148,17 @@ type Downlink struct {
 	Payload []byte `json:"payload"`
 	// Reliable selects the stream transport over a plain datagram.
 	Reliable bool `json:"reliable,omitempty"`
-	// Rekey carries a replacement network key as 32 hex digits. When
-	// set, Payload is ignored: the gateway synthesizes the in-band rekey
-	// command (meshsec.RekeyPayload) and forces the reliable transport —
-	// a lost key rotation partitions the mesh, so it always rides the
-	// acknowledged stream. Rotate the backend's nodes farthest-first and
-	// the gateway's own link (host side) last: receivers keep the prior
-	// key live, so the mesh stays connected mid-rollout.
+	// Command, when set, is a typed control-plane command (see
+	// internal/control); Payload is ignored and synthesized from it. Key
+	// rotations (control.OpRekey) always ride the reliable transport —
+	// a lost rotation partitions the mesh. Rotate the fleet
+	// farthest-first and the gateway's own node last: receivers keep the
+	// prior key live, so the mesh stays connected mid-rollout.
+	Command *control.Command `json:"command,omitempty"`
+	// Rekey carries a replacement network key as 32 hex digits — the
+	// backend-facing shorthand for Command{Op: OpRekey, Key: ...} kept
+	// for wire compatibility with PR 5 backends. When set, Payload and
+	// Command are ignored.
 	Rekey string `json:"rekey,omitempty"`
 }
 
@@ -394,6 +399,13 @@ func (g *Gateway) BreakerOpen() bool {
 // reading was admitted, false when it was recognized as a duplicate or
 // rejected by the DropNewest policy. Offer never blocks on the network.
 func (g *Gateway) Offer(r Reading) bool {
+	if control.IsReport(r.Payload) {
+		// Control-plane feedback reaching the spool means no reconciler
+		// observer is chained in front of the gateway (or the controller
+		// runs elsewhere); count it so the miswiring is visible, then
+		// spool it like any reading — the backend sees the raw report.
+		g.reg.Counter("gw.reports.observed").Inc()
+	}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -609,37 +621,53 @@ func (g *Gateway) injectDownlinks(cmds []Downlink) {
 		return
 	}
 	g.reg.Counter("gw.downlink.received").Add(uint64(len(cmds)))
+	for _, d := range cmds {
+		g.Inject(d) // errors are counted and emitted inside
+	}
+}
+
+// Inject pushes one downlink command into the mesh immediately — the
+// path both backend-returned downlinks and a locally attached
+// control-plane reconciler (internal/control) share.
+func (g *Gateway) Inject(d Downlink) error {
 	g.mu.Lock()
 	sender := g.sender
 	g.mu.Unlock()
 	if sender == nil {
-		g.reg.Counter("gw.downlink.errors").Add(uint64(len(cmds)))
-		g.emit("%d downlink commands dropped: no mesh sender attached", len(cmds))
-		return
+		g.reg.Counter("gw.downlink.errors").Inc()
+		g.emit("downlink to %v dropped: no mesh sender attached", d.To)
+		return fmt.Errorf("gateway: no mesh sender attached")
 	}
-	for _, d := range cmds {
-		if d.Rekey != "" {
-			k, err := meshsec.ParseKey(d.Rekey)
-			if err != nil {
-				g.reg.Counter("gw.downlink.errors").Inc()
-				g.emit("rekey downlink to %v rejected: %v", d.To, err)
-				continue
-			}
-			d.Payload = meshsec.RekeyPayload(k)
+	if d.Rekey != "" {
+		// Backend shorthand: expand into the typed command.
+		k, err := meshsec.ParseKey(d.Rekey)
+		if err != nil {
+			g.reg.Counter("gw.downlink.errors").Inc()
+			g.emit("rekey downlink to %v rejected: %v", d.To, err)
+			return err
+		}
+		d.Command = &control.Command{Op: control.OpRekey, Key: k}
+	}
+	if d.Command != nil {
+		d.Payload = control.MarshalCommand(*d.Command)
+		if d.Command.Op == control.OpRekey {
+			// A lost key rotation partitions the mesh: always reliable.
 			d.Reliable = true
 		}
-		if err := sender(d); err != nil {
-			g.reg.Counter("gw.downlink.errors").Inc()
-			g.emit("downlink to %v failed: %v", d.To, err)
-			continue
-		}
-		g.reg.Counter("gw.downlink.injected").Inc()
-		if d.Rekey != "" {
-			g.emit("rekey downlink injected toward %v (reliable)", d.To)
-		} else {
-			g.emit("downlink %d bytes injected toward %v (reliable=%v)", len(d.Payload), d.To, d.Reliable)
-		}
+		g.reg.Counter("gw.downlink.commands").Inc()
 	}
+	if err := sender(d); err != nil {
+		g.reg.Counter("gw.downlink.errors").Inc()
+		g.emit("downlink to %v failed: %v", d.To, err)
+		return err
+	}
+	g.reg.Counter("gw.downlink.injected").Inc()
+	if d.Command != nil {
+		g.emit("control downlink %s injected toward %v (reliable=%v)", d.Command.Op, d.To, d.Reliable)
+	} else {
+		g.emit("downlink %d bytes injected toward %v (reliable=%v)", len(d.Payload), d.To, d.Reliable)
+	}
+	return nil
 }
 
 // backoff computes the exponential, jittered delay for the nth

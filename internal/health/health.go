@@ -66,6 +66,10 @@ type Source func() []NodeStatus
 
 // Violation is one detected health fault.
 type Violation struct {
+	// Seq is a monotonic sequence number (1, 2, 3, ...) stamped by the
+	// monitor, so a consumer can detect dropped or reordered violations
+	// across a sink restart. It restarts at 1 with a fresh Monitor.
+	Seq uint64
 	// At is the poll time the violation was observed.
 	At time.Time
 	// Node is the node the violation is attributed to.
@@ -73,6 +77,12 @@ type Violation struct {
 	// Kind classifies the fault: loop, blackhole, silent, duty_stuck,
 	// or replay.
 	Kind string
+	// Dst, when non-zero, is the destination whose path the violation
+	// concerns (loop and blackhole kinds) — the address a recovery
+	// playbook needs to purge the faulty route.
+	Dst packet.Address
+	// Via, when non-zero, is the faulty next hop (blackhole kind).
+	Via packet.Address
 	// Detail is the human-readable specifics.
 	Detail string
 }
@@ -168,8 +178,11 @@ type Monitor struct {
 	recent     []Violation // bounded tail of detections
 	total      uint64
 	polls      uint64
+	seq        uint64 // monotonic Violation.Seq source
 	lastPoll   time.Time
 	lastStatus string
+	subs       map[int]func(Violation)
+	nextSub    int
 }
 
 // recentCap bounds the violation tail kept for Verdict.
@@ -184,6 +197,7 @@ func New(cfg Config, src Source) *Monitor {
 		hist:       make(map[packet.Address]*history),
 		scores:     make(map[packet.Address]int),
 		lastStatus: "unknown",
+		subs:       make(map[int]func(Violation)),
 	}
 	// Pre-register the stable schema so a scrape before the first poll
 	// sees zeros, not absence.
@@ -206,6 +220,24 @@ func (m *Monitor) Interval() time.Duration { return m.cfg.Interval }
 // Metrics exposes the monitor's health.* instruments for aggregation.
 func (m *Monitor) Metrics() *metrics.Registry { return m.reg }
 
+// Subscribe registers fn to observe every violation as it is detected
+// (after Config.OnViolation, in subscription order), called from Poll's
+// goroutine. The returned function cancels the subscription. This is the
+// attachment point for consumers added after construction — notably the
+// internal/control reconciler.
+func (m *Monitor) Subscribe(fn func(Violation)) (cancel func()) {
+	m.mu.Lock()
+	id := m.nextSub
+	m.nextSub++
+	m.subs[id] = fn
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.subs, id)
+		m.mu.Unlock()
+	}
+}
+
 // Poll snapshots the mesh, runs every detector, updates scores and
 // gauges, and returns the violations detected this round.
 func (m *Monitor) Poll(now time.Time) []Violation {
@@ -216,11 +248,24 @@ func (m *Monitor) Poll(now time.Time) []Violation {
 	m.mu.Lock()
 	vs = append(vs, m.deltaDetectors(nodes)...)
 	for i := range vs {
+		m.seq++
+		vs[i].Seq = m.seq
 		vs[i].At = now
 	}
 	m.score(now, nodes, vs)
 	tracer := m.cfg.Tracer
 	onV := m.cfg.OnViolation
+	// Snapshot subscribers in id (= subscription) order so every run
+	// notifies in the same deterministic order.
+	ids := make([]int, 0, len(m.subs))
+	for id := range m.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	subs := make([]func(Violation), len(ids))
+	for i, id := range ids {
+		subs[i] = m.subs[id]
+	}
 	m.mu.Unlock()
 
 	for _, v := range vs {
@@ -230,6 +275,9 @@ func (m *Monitor) Poll(now time.Time) []Violation {
 		}
 		if onV != nil {
 			onV(v)
+		}
+		for _, fn := range subs {
+			fn(v)
 		}
 	}
 	return vs
@@ -444,7 +492,7 @@ func RouteFaults(nodes []NodeStatus) []Violation {
 			cur := src.Addr
 			for cur != dst.Addr {
 				if visited[cur] {
-					vs = append(vs, Violation{Node: src.Addr, Kind: KindLoop,
+					vs = append(vs, Violation{Node: src.Addr, Kind: KindLoop, Dst: dst.Addr,
 						Detail: fmt.Sprintf("routing loop: %v -> %v revisits node %v", src.Addr, dst.Addr, cur)})
 					break
 				}
@@ -455,12 +503,12 @@ func RouteFaults(nodes []NodeStatus) []Violation {
 				}
 				next, known := byAddr[via]
 				if !known {
-					vs = append(vs, Violation{Node: cur, Kind: KindBlackhole,
+					vs = append(vs, Violation{Node: cur, Kind: KindBlackhole, Dst: dst.Addr, Via: via,
 						Detail: fmt.Sprintf("blackhole: %v routes %v via unknown address %v", cur, dst.Addr, via)})
 					break
 				}
 				if !next.Alive {
-					vs = append(vs, Violation{Node: cur, Kind: KindBlackhole,
+					vs = append(vs, Violation{Node: cur, Kind: KindBlackhole, Dst: dst.Addr, Via: via,
 						Detail: fmt.Sprintf("blackhole: %v routes %v via dead node %v", cur, dst.Addr, via)})
 					break
 				}

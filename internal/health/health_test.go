@@ -286,3 +286,68 @@ func TestDeadNodeHistoryDropped(t *testing.T) {
 		t.Fatalf("restart inherited the silent streak: %v", vs)
 	}
 }
+
+// TestViolationSeqMonotonic is the regression contract for
+// Violation.Seq: every violation the monitor emits carries a strictly
+// increasing sequence number with no gaps, across polls and detector
+// kinds — what lets a consumer (the control plane) distinguish "no
+// violations" from "violations I never saw".
+func TestViolationSeqMonotonic(t *testing.T) {
+	// A loop and a blackhole every poll, plus a replay burst on node 4:
+	// several violations per poll, from both detector families.
+	p := &poller{nodes: []NodeStatus{
+		{Addr: addr(1), Alive: true, Routes: []Route{{Dst: addr(3), Via: addr(2)}}},
+		{Addr: addr(2), Alive: true, Routes: []Route{{Dst: addr(3), Via: addr(1)}}},
+		{Addr: addr(3), Alive: false},
+		{Addr: addr(4), Alive: true, Stats: stats(1, 1, 0, 0, 0)},
+	}}
+	m := New(Config{}, p.source)
+
+	var seen []uint64
+	m.Subscribe(func(v Violation) { seen = append(seen, v.Seq) })
+
+	now := t0
+	for i := 1; i <= 3; i++ {
+		now = now.Add(time.Minute)
+		p.nodes[3].Stats = stats(float64(i+1), 1, float64(i*10), 0, 0)
+		for _, v := range m.Poll(now) {
+			if v.Seq == 0 {
+				t.Fatalf("poll %d: violation without a sequence number: %v", i, v)
+			}
+			if !v.At.Equal(now) {
+				t.Fatalf("poll %d: violation not stamped with the poll time", i)
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("subscriber saw no violations")
+	}
+	for i, s := range seen {
+		if s != uint64(i+1) {
+			t.Fatalf("violation %d carried seq %d: want a gapless 1..n sequence (got %v)", i, s, seen)
+		}
+	}
+}
+
+// TestSubscribeCancel verifies subscriber lifecycle: both the
+// Config.OnViolation hook and Subscribe observers fire per violation,
+// and a canceled subscription stops immediately.
+func TestSubscribeCancel(t *testing.T) {
+	p := &poller{nodes: []NodeStatus{
+		{Addr: addr(1), Alive: true, Routes: []Route{{Dst: addr(2), Via: addr(9)}}},
+		{Addr: addr(2), Alive: true},
+	}}
+	var hook, subbed int
+	m := New(Config{OnViolation: func(Violation) { hook++ }}, p.source)
+	cancel := m.Subscribe(func(Violation) { subbed++ })
+
+	m.Poll(t0.Add(time.Minute))
+	if hook != 1 || subbed != 1 {
+		t.Fatalf("after one poll: hook=%d sub=%d, want 1/1", hook, subbed)
+	}
+	cancel()
+	m.Poll(t0.Add(2 * time.Minute))
+	if hook != 2 || subbed != 1 {
+		t.Fatalf("after cancel: hook=%d sub=%d, want 2/1", hook, subbed)
+	}
+}

@@ -88,9 +88,10 @@ type session struct {
 type Link struct {
 	addr packet.Address
 
-	cur, prev       Key
-	hasPrev         bool
-	curGen, prevGen uint32 // bumped by Rotate; keys session cache entries
+	cur, prev, next          Key
+	hasPrev, hasNext         bool
+	curGen, prevGen, nextGen uint32 // allocated by genSeq; key session cache entries
+	genSeq                   uint32 // generation allocator (never reused)
 
 	counter uint32
 
@@ -113,9 +114,18 @@ func NewLink(key Key, addr packet.Address) *Link {
 		addr:     addr,
 		cur:      key,
 		curGen:   1,
+		genSeq:   1,
 		sessions: make(map[sessKey]*session),
 		windows:  make(map[packet.Address]*window),
 	}
+}
+
+// newGen allocates a session-cache generation that has never been used
+// by this link, so retired generations' cache entries can never alias a
+// live key's.
+func (l *Link) newGen() uint32 {
+	l.genSeq++
+	return l.genSeq
 }
 
 // Addr returns the owning node's address.
@@ -149,27 +159,78 @@ func (l *Link) NextCounter() uint32 {
 	return l.counter
 }
 
-// Rotate installs a new network key. The old key is kept as a fallback
-// for Open so a mesh can be re-keyed node by node (far-to-near from the
-// gateway) without partitioning itself mid-rotation; Seal switches to
-// the new key immediately. The frame counter is NOT reset: it keeps
-// climbing across rotations, so a nonce is never reused even if a key
-// is ever re-installed. Replay windows are kept for the same reason.
+// Stage installs key for ACCEPTANCE only: frames sealed under it open,
+// but Seal keeps using the current key. Staging is phase one of a
+// loss-free three-phase rotation (stage everywhere, Rotate everywhere,
+// RetirePrev everywhere): once the whole mesh has the new key staged,
+// nodes can switch their seal key in any order without a single frame —
+// in either direction — failing authentication mid-rollout. Staging the
+// current key is a no-op; staging a different key replaces any earlier
+// staged key. Idempotent.
+func (l *Link) Stage(key Key) {
+	if key == l.cur || (l.hasNext && key == l.next) {
+		return
+	}
+	if l.hasNext {
+		l.evictGen(l.nextGen)
+	}
+	l.next, l.nextGen, l.hasNext = key, l.newGen(), true
+}
+
+// Rotate installs a new network key as the seal key. The old key is
+// kept as a fallback for Open so a mesh can be re-keyed node by node
+// (far-to-near from the gateway) without partitioning itself
+// mid-rotation; Seal switches to the new key immediately. A previously
+// Staged key is promoted in place (its cached sessions carry over). The
+// frame counter is NOT reset: it keeps climbing across rotations, so a
+// nonce is never reused even if a key is ever re-installed. Replay
+// windows are kept for the same reason.
 func (l *Link) Rotate(key Key) {
 	if key == l.cur {
 		return
 	}
 	l.prev, l.prevGen, l.hasPrev = l.cur, l.curGen, true
-	l.cur = key
-	l.curGen++
-	if l.prevGen == l.curGen { // prev entries must not alias cur's
-		l.curGen++
+	if l.hasNext && key == l.next {
+		l.cur, l.curGen = l.next, l.nextGen
+	} else {
+		if l.hasNext {
+			// Rotating to an unrelated key supersedes the staged one.
+			l.evictGen(l.nextGen)
+		}
+		l.cur, l.curGen = key, l.newGen()
 	}
+	l.next, l.nextGen, l.hasNext = Key{}, 0, false
 }
 
 // NetKey returns the current network key (for host-side provisioning of
 // additional nodes).
 func (l *Link) NetKey() Key { return l.cur }
+
+// RetirePrev drops the previous network key kept by Rotate, ending the
+// rollout grace period: frames sealed under the old key stop
+// authenticating from this moment. A control plane calls this on every
+// node once the whole mesh has rotated (the commit phase of a two-phase
+// rekey) — until then a captured old-key corpus still authenticates and
+// burns replay-window checks; after it, replayed old traffic is plain
+// garbage (sec.drop.auth). Idempotent.
+func (l *Link) RetirePrev() {
+	if !l.hasPrev {
+		return
+	}
+	l.evictGen(l.prevGen)
+	l.prev = Key{}
+	l.prevGen = 0
+	l.hasPrev = false
+}
+
+// evictGen drops a retired generation's cached cipher state.
+func (l *Link) evictGen(gen uint32) {
+	for sk := range l.sessions {
+		if sk.gen == gen {
+			delete(l.sessions, sk)
+		}
+	}
+}
 
 // session returns (caching) the cipher state for frames originated by
 // addr under the given key generation.
@@ -303,6 +364,17 @@ func (l *Link) Open(p *packet.Packet) error {
 				s, ok = ps, true
 			}
 		}
+		if !ok && l.hasNext {
+			// A staged (not yet active) key accepts too: peers that have
+			// already rotated stay readable mid-rollout.
+			ns, err := l.session(p.Src, l.next, l.nextGen)
+			if err != nil {
+				return err
+			}
+			if l.mic(ns, p, p.Payload) == p.MIC {
+				s, ok = ns, true
+			}
+		}
 		if !ok {
 			return ErrAuth
 		}
@@ -311,6 +383,16 @@ func (l *Link) Open(p *packet.Packet) error {
 	if w == nil {
 		w = &window{}
 		l.windows[p.Src] = w
+	}
+	if p.Type == packet.TypeHello && p.Counter <= w.top {
+		// Beacons get strict freshness, not the reordering window: a
+		// HELLO carries topology state, and an old-but-never-seen one
+		// replayed out of position would install routes to wherever the
+		// origin used to be (a wormhole: the attacker teleports a stale
+		// beacon past its one-hop reach). Beacons are broadcast once and
+		// never forwarded or retransmitted, so a legitimate one always
+		// arrives with the highest counter yet heard from its origin.
+		return ErrReplay
 	}
 	if !w.admit(p.Counter) {
 		return ErrReplay
@@ -350,30 +432,8 @@ func (l *Link) ReplayCheck(src packet.Address, counter uint32) bool {
 	return w.admit(counter)
 }
 
-// Rekey payloads: key provisioning/rotation rides the gateway downlink
-// channel as an ordinary (secured) application payload with a magic
-// prefix; core intercepts it on delivery and rotates the node's Link
-// instead of handing it to the application.
-
-// rekeyMagic prefixes a key-rotation payload. The collision risk with
-// application data is one in 2^32 per 20-byte payload and only matters
-// on secured meshes, where application payloads are already opaque to
-// outsiders.
-var rekeyMagic = [4]byte{0xA5, 'R', 'K', 0x01}
-
-// RekeyPayload builds the over-the-air payload that installs key k.
-func RekeyPayload(k Key) []byte {
-	out := make([]byte, 0, len(rekeyMagic)+len(k))
-	out = append(out, rekeyMagic[:]...)
-	return append(out, k[:]...)
-}
-
-// ParseRekey reports whether b is a rekey payload and extracts the key.
-func ParseRekey(b []byte) (Key, bool) {
-	var k Key
-	if len(b) != len(rekeyMagic)+len(k) || [4]byte(b[:4]) != rekeyMagic {
-		return k, false
-	}
-	copy(k[:], b[4:])
-	return k, true
-}
+// Key rotation rides the gateway downlink channel as a typed
+// internal/control command (OpRekey); core intercepts it on delivery and
+// rotates the node's Link instead of handing it to the application. The
+// ad-hoc magic-prefixed rekey payload this package used to define was
+// promoted into that codec.

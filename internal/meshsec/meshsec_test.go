@@ -232,17 +232,35 @@ func TestRotateAcceptsPreviousKey(t *testing.T) {
 	}
 }
 
-func TestRekeyPayload(t *testing.T) {
-	k := testKey(0x7A)
-	pl := RekeyPayload(k)
-	got, ok := ParseRekey(pl)
-	if !ok || got != k {
-		t.Fatalf("ParseRekey(RekeyPayload(k)) = %v, %v", got, ok)
+// TestRetirePrev: the rotate grace period ends when the previous key is
+// retired — old-key frames flip from accepted to ErrAuth, which is what
+// the control plane's two-phase rekey commit relies on.
+func TestRetirePrev(t *testing.T) {
+	oldKey, newKey := testKey(0x11), testKey(0x22)
+	tx := NewLink(oldKey, 0x0001) // still on the old key
+	rxl := NewLink(oldKey, 0x0002)
+	rxl.Rotate(newKey)
+
+	p := securedPacket(tx, []byte("grace period"))
+	rx, _ := sealUnmarshal(t, tx, p)
+	if err := rxl.Open(rx); err != nil {
+		t.Fatalf("old-key frame during grace: %v", err)
 	}
-	for _, bad := range [][]byte{nil, {}, pl[:10], append(append([]byte(nil), pl...), 0), []byte("twenty bytes of data")} {
-		if _, ok := ParseRekey(bad); ok {
-			t.Errorf("ParseRekey(%x): want !ok", bad)
-		}
+
+	rxl.RetirePrev()
+	p2 := securedPacket(tx, []byte("after commit"))
+	rx2, _ := sealUnmarshal(t, tx, p2)
+	if err := rxl.Open(rx2); err != ErrAuth {
+		t.Fatalf("old-key frame after RetirePrev: got %v, want ErrAuth", err)
+	}
+
+	// Idempotent, and new-key traffic is unaffected.
+	rxl.RetirePrev()
+	tx.Rotate(newKey)
+	p3 := securedPacket(tx, []byte("new key"))
+	rx3, _ := sealUnmarshal(t, tx, p3)
+	if err := rxl.Open(rx3); err != nil {
+		t.Fatalf("new-key frame after RetirePrev: %v", err)
 	}
 }
 
@@ -386,5 +404,79 @@ func TestVerifyOnlyAndReplayCheck(t *testing.T) {
 	rx.MIC[0] ^= 1
 	if _, ok := dump.VerifyOnly(rx); ok {
 		t.Error("VerifyOnly accepted a flipped MIC")
+	}
+}
+
+func TestHelloStrictFreshness(t *testing.T) {
+	// Beacons are admitted only when strictly fresher than anything yet
+	// heard from their origin. The reordering window still applies to
+	// data: an old-but-unseen DATA frame opens; the same-age HELLO is a
+	// stale topology claim (a replayed beacon would install routes to
+	// where the origin used to be) and must be rejected.
+	key := testKey(0x42)
+	tx := NewLink(key, 0x0001)
+	rxl := NewLink(key, 0x0002)
+
+	hello := func(c uint32) *packet.Packet {
+		return &packet.Packet{
+			Dst: packet.Broadcast, Src: tx.Addr(), Type: packet.TypeHello,
+			Payload: []byte("beacon"), Secured: true, Counter: c,
+		}
+	}
+	data := func(c uint32) *packet.Packet {
+		return &packet.Packet{
+			Dst: 0x0002, Src: tx.Addr(), Type: packet.TypeData, Via: 0x0002,
+			Payload: []byte("payload"), Secured: true, Counter: c,
+		}
+	}
+
+	// Capture frames with counters 1..5 but deliver only counter 5,
+	// leaving 1..4 unseen-in-window — the wormhole corpus. Each replay
+	// re-parses the captured bytes, the way a fresh reception would.
+	raw := make(map[uint32][]byte)
+	for c := uint32(1); c <= 5; c++ {
+		tx.NextCounter()
+		var p *packet.Packet
+		if c%2 == 1 {
+			p = hello(c)
+		} else {
+			p = data(c)
+		}
+		_, raw[c] = sealUnmarshal(t, tx, p)
+	}
+	replay := func(c uint32) *packet.Packet {
+		rx, err := packet.Unmarshal(raw[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rx
+	}
+	if err := rxl.Open(replay(5)); err != nil {
+		t.Fatalf("fresh HELLO (ctr 5): %v", err)
+	}
+
+	// Unseen in-window DATA still opens (reordering tolerance)...
+	if err := rxl.Open(replay(2)); err != nil {
+		t.Fatalf("in-window DATA (ctr 2): %v", err)
+	}
+	// ...but the equally unseen HELLO does not: it is stale by counter.
+	if err := rxl.Open(replay(3)); err != ErrReplay {
+		t.Fatalf("stale HELLO (ctr 3): got %v, want ErrReplay", err)
+	}
+
+	// A receiver that has never heard the origin live accepts the first
+	// replayed beacon — freshness has no baseline yet. That residual
+	// exposure is the documented limit of counter-based freshness.
+	fresh := NewLink(key, 0x0003)
+	if err := fresh.Open(replay(1)); err != nil {
+		t.Fatalf("first-contact HELLO (ctr 1): %v", err)
+	}
+	// The corpus cannot re-poison it afterwards, even with later HELLOs
+	// replayed in capture order below the newly heard top.
+	if err := fresh.Open(replay(5)); err != nil {
+		t.Fatalf("fresher HELLO (ctr 5): %v", err)
+	}
+	if err := fresh.Open(replay(3)); err != ErrReplay {
+		t.Fatalf("re-poisoning HELLO (ctr 3): got %v, want ErrReplay", err)
 	}
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/airmedium"
 	"repro/internal/faults"
@@ -34,9 +35,10 @@ type attacker struct {
 	phy     loraphy.Params
 	rng     *rand.Rand
 
-	captured [][]byte
-	next     int // ring write index
-	sent     int
+	captured   [][]byte
+	next       int // ring write index
+	sent       int
+	captureOff time.Time // frames after this are overheard but not retained (zero = never)
 }
 
 // OnFrame implements airmedium.Receiver: capture everything overheard.
@@ -44,6 +46,12 @@ type attacker struct {
 // ledger still reconciles (the attacker is a radio, not an engine).
 func (a *attacker) OnFrame(d airmedium.Delivery) {
 	a.sim.reg.Counter("attacker.rx.frames").Inc()
+	if !a.captureOff.IsZero() && !a.sim.Sched.Now().Before(a.captureOff) {
+		// Corpus frozen (CaptureUntil passed): the attacker keeps
+		// replaying what it already holds but learns nothing new — in
+		// particular, nothing sealed under a rotated key.
+		return
+	}
 	data := append([]byte(nil), d.Data...)
 	if len(a.captured) < attackerRing {
 		a.captured = append(a.captured, data)
@@ -146,6 +154,9 @@ func (s *Sim) applyAttackers(specs []faults.Attacker) error {
 			return fmt.Errorf("netsim: attacker %d: %w", i, err)
 		}
 		a.station = station
+		if spec.CaptureUntil.D() > 0 {
+			a.captureOff = s.Sched.Now().Add(spec.CaptureUntil.D())
+		}
 		s.Sched.MustAfter(spec.Start.D(), a.tick)
 		s.Tracer.Emit(s.Sched.Now(), "attacker", trace.KindFailure,
 			"attacker armed near node %v (behaviors %v, period %v)",

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/loraphy"
 	"repro/internal/packet"
 	"repro/internal/reactive"
 	"repro/internal/span"
@@ -33,6 +35,17 @@ func (s *Sim) buildEngine(h *Handle) error {
 		// The handle's link (not a fresh one) goes into every rebuilt
 		// engine: the frame counter must survive restarts.
 		nc.Security = h.Sec
+		if nc.OnControl == nil {
+			// The simulated host side of the control plane (reboots,
+			// radio reconfiguration, sleep scheduling) — inert until a
+			// controller issues commands, so plain runs are unaffected.
+			nc.OnControl = func(cmd control.Command) bool { return s.hostControl(h, cmd) }
+		}
+		if h.sfOverride != 0 {
+			// A control-plane radio reconfiguration outlives rebuilds.
+			nc.Phy = nc.EffectivePhy()
+			nc.Phy.SpreadingFactor = loraphy.SpreadingFactor(h.sfOverride)
+		}
 		if h.helloScale > 0 && h.helloScale != 1 {
 			// Clock skew: this node's crystal runs fast or slow, so its
 			// HELLO cadence drifts from what neighbors expect.

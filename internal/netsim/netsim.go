@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/airmedium"
 	"repro/internal/baseline"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/geo"
@@ -137,7 +138,22 @@ type Handle struct {
 	// down marks a fault-plan crash: the engine is stopped and the radio
 	// off, but — unlike killed — the node may restart cold later.
 	down bool
-	env  *nodeEnv
+	// hung marks a wedged engine (Sim.Hang): powered and apparently up,
+	// but making no progress — the silent-node failure mode. Cleared by
+	// a power-cycle (rebootNode).
+	hung bool
+	// sfOverride, when nonzero, is the spreading factor a control-plane
+	// reconfiguration pinned for this node; every engine rebuild keeps
+	// it.
+	sfOverride int
+	// lastRebootSeq is the highest reboot-command seq the host has
+	// honored; stale re-deliveries of it are acked without power-cycling
+	// again (the host outlives the engine, so this survives reboots).
+	lastRebootSeq uint32
+	// sleepArmed records that a control-plane sleep schedule is already
+	// running (StartSleepCycle cannot be re-phased once armed).
+	sleepArmed bool
+	env        *nodeEnv
 	// addrStr and prefix cache Addr's rendered forms ("0001" and
 	// "node.0001."), computed once at handle creation: tracer emits and
 	// metric aggregation would otherwise re-run fmt per node per call.
@@ -197,6 +213,8 @@ type Sim struct {
 	stationIdx map[airmedium.StationID]int
 	// injector evaluates the applied fault plan; nil without one.
 	injector *faults.Injector
+	// control is the attached self-healing controller; nil without one.
+	control *control.Controller
 }
 
 // New builds and starts a simulation: all nodes are placed, started, and
@@ -433,6 +451,10 @@ func (s *Sim) AggregateMetrics() *metrics.Registry {
 		}
 	}
 	agg.Merge("sim.", s.reg)
+	if s.control != nil {
+		// Controller instruments are already namespaced ctl.*.
+		agg.Merge("", s.control.Metrics())
+	}
 	if s.Health != nil {
 		// Health instruments are already namespaced health.*; merge them
 		// unprefixed so dashboards see the same names the live runtimes

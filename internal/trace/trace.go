@@ -47,6 +47,10 @@ const (
 	// violation detections (loops, blackholes, silent nodes, stuck duty
 	// budgets, replay anomalies) with the violation kind in Event.Seg.
 	KindHealth Kind = "health"
+	// KindControl marks control-plane events (see internal/control):
+	// reconcile decisions, command dispatches, acks, playbook actions,
+	// and escalations from the self-healing controller.
+	KindControl Kind = "control"
 )
 
 // TraceID identifies one datagram end to end. It is derived from the

@@ -45,7 +45,27 @@ echo "==> go test -race (concurrent packages)"
 # along for the injector its plans arm across the live harness.
 # span and health are here because their recorder/monitor are written
 # from engine goroutines and read by scrape/verdict endpoints.
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./cmd/meshgw/...
+# control is here because the live deployment (meshgw) drives Poll from
+# a wall-clock ticker goroutine while acks arrive on the host's event
+# loop — the controller's lock discipline is load-bearing, not theory.
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./internal/control/... ./cmd/meshgw/...
+echo "==> meshsim -control smoke"
+# End-to-end: the simulator reconciles toward a real desired-state
+# document and must report convergence — guards the CLI wiring (flag,
+# state loading, controller attach) that unit tests cannot see.
+cat > /tmp/check_control_state.json <<'EOF'
+{
+  "version": 1,
+  "defaults": {"hello_period": "2m0s"}
+}
+EOF
+# grep without -q drains meshsim's stdout to EOF — -q would exit at the
+# first match and kill the still-printing simulator with SIGPIPE.
+if ! go run ./cmd/meshsim -n 4 -duration 12m -control /tmp/check_control_state.json | grep "controller: converged" >/dev/null; then
+    echo "meshsim -control did not converge on the desired state" >&2
+    exit 1
+fi
+rm -f /tmp/check_control_state.json
 echo "==> coverage ratchet"
 # The ratchet: total statement coverage may not drop more than 1 point
 # below scripts/coverage_floor.txt. Raise the floor when coverage grows.
