@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/citysim"
 	"repro/internal/experiments"
 	"repro/internal/span"
 )
@@ -50,6 +51,7 @@ func BenchmarkE11GatewayUplink(b *testing.B)  { benchExperiment(b, "E11") }
 func BenchmarkE12ChaosMatrix(b *testing.B)    { benchExperiment(b, "E12") }
 func BenchmarkE13Security(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14Observer(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15CityMesh(b *testing.B)       { benchExperiment(b, "E15") }
 func BenchmarkE16SelfHealing(b *testing.B)    { benchExperiment(b, "E16") }
 func BenchmarkA1SplitHorizon(b *testing.B)    { benchExperiment(b, "A1") }
 func BenchmarkA2HelloPeriod(b *testing.B)     { benchExperiment(b, "A2") }
@@ -62,6 +64,31 @@ func BenchmarkX3Mobility(b *testing.B)        { benchExperiment(b, "X3") }
 func BenchmarkX4SNRRouting(b *testing.B)      { benchExperiment(b, "X4") }
 func BenchmarkX5Partition(b *testing.B)       { benchExperiment(b, "X5") }
 func BenchmarkX6Reactive(b *testing.B)        { benchExperiment(b, "X6") }
+
+// benchCity runs one city simulation per iteration: the same 2000-node
+// telemetry workload on the serial reference executor and on four shards.
+// The committed snapshot pair is the scale gate's paper trail — the
+// sharded executor must hold at least a 2x events/sec advantage (in
+// practice far more; the win is algorithmic, not goroutine parallelism).
+func benchCity(b *testing.B, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := citysim.New(citysim.Config{Nodes: 2000, Shards: shards, Seed: int64(i%4 + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(2 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		if st := sim.Stats(); st.FramesDelivered == 0 {
+			b.Fatalf("no deliveries: %+v", st)
+		}
+	}
+}
+
+func BenchmarkE15CitySerial(b *testing.B)  { benchCity(b, 0) }
+func BenchmarkE15CityShards4(b *testing.B) { benchCity(b, 4) }
 
 // BenchmarkSpanRecordNoSink is the observer's hot-path guard: recording
 // a span segment with no trace sink attached must stay allocation-free

@@ -34,6 +34,8 @@ type options struct {
 	list       bool
 	format     string
 	parallel   int
+	nodes      int
+	shards     int
 	cpuprofile string
 	// seckey, 32 hex digits, replaces the built-in network key in the
 	// security-aware experiments (E13).
@@ -49,6 +51,8 @@ func main() {
 	flag.StringVar(&o.format, "format", "table", "table | csv | json")
 	flag.IntVar(&o.parallel, "parallel", 0,
 		"worker goroutines per sweep (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
+	flag.IntVar(&o.nodes, "nodes", 0, "override the city-scale experiment's node sweep with one size (E15)")
+	flag.IntVar(&o.shards, "shards", 0, "restrict the city-scale experiment to this shard count (E15; 0 = default sweep)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.seckey, "seckey", "", "network key as 32 hex digits for the security experiments (default: built-in key)")
 	flag.Parse()
@@ -95,7 +99,7 @@ func run(w, ew io.Writer, o options) error {
 		}
 	}
 
-	opt := experiments.Options{Seed: o.seed, Quick: o.quick, Parallel: o.parallel}
+	opt := experiments.Options{Seed: o.seed, Quick: o.quick, Parallel: o.parallel, Nodes: o.nodes, Shards: o.shards}
 	if o.seckey != "" {
 		key, err := meshsec.ParseKey(o.seckey)
 		if err != nil {

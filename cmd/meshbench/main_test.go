@@ -113,3 +113,33 @@ func TestMeshbenchSecKey(t *testing.T) {
 		t.Fatal("malformed -seckey must fail")
 	}
 }
+
+// TestMeshbenchCityFlags pins the -nodes/-shards overrides: E15 collapses
+// to one size with a serial baseline plus the requested shard count.
+func TestMeshbenchCityFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	o := options{exp: "E15", quick: true, seed: 1, format: "csv", nodes: 300, shards: 2}
+	if err := run(&out, &errOut, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, errOut.String())
+	}
+	cr := csv.NewReader(strings.NewReader(out.String()))
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%s", err, out.String())
+	}
+	// Comment, header, then exactly two rows: serial and 2-shard.
+	if len(recs) != 4 {
+		t.Fatalf("want 2 data rows, got %d: %v", len(recs)-2, recs)
+	}
+	if recs[2][0] != "300" || recs[2][1] != "serial" {
+		t.Errorf("first row not the 300-node serial baseline: %v", recs[2])
+	}
+	if recs[3][1] != "2-shard" {
+		t.Errorf("second row not the 2-shard run: %v", recs[3])
+	}
+	// The digest column (last) is the determinism witness across rows.
+	if d0, d1 := recs[2][len(recs[2])-1], recs[3][len(recs[3])-1]; d0 != d1 {
+		t.Errorf("digest diverged between executors: %s vs %s", d0, d1)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/citysim"
 	"repro/internal/control"
 	"repro/internal/energy"
 	"repro/internal/faults"
@@ -37,6 +38,11 @@ import (
 type options struct {
 	topology string
 	n        int
+	// shards >= 0 routes the run to the city-scale sharded engine
+	// (internal/citysim) instead of the per-node protocol stack: 0 is the
+	// serial reference executor, k >= 1 runs k column-stripe shards. -1
+	// keeps the default per-node engine.
+	shards   int
 	spacing  float64
 	protocol string
 	duration time.Duration
@@ -81,6 +87,7 @@ func main() {
 	flag.StringVar(&o.topology, "topology", "line", "line | grid | star | random")
 	flag.IntVar(&o.n, "n", 5, "number of nodes")
 	flag.Float64Var(&o.spacing, "spacing", 8000, "node spacing / radius in meters")
+	flag.IntVar(&o.shards, "shards", -1, "run the city-scale sharded engine with -n nodes and this many shards (0 = serial reference executor; -1 = per-node engine)")
 	flag.StringVar(&o.protocol, "protocol", "mesher", "mesher | flooding | reactive")
 	flag.DurationVar(&o.duration, "duration", time.Hour, "simulated duration after convergence")
 	flag.StringVar(&o.traffic, "traffic", "pairs", "none | pairs | sink")
@@ -126,6 +133,9 @@ func buildTopology(kind string, n int, spacing float64, seed int64) (*geo.Topolo
 }
 
 func run(w io.Writer, o options) error {
+	if o.shards >= 0 {
+		return runCity(w, o)
+	}
 	var topo *geo.Topology
 	var err error
 	if o.topoFile != "" {
@@ -429,4 +439,39 @@ func printMap(w io.Writer, topo *geo.Topology) {
 		fmt.Fprintf(w, "  %s\n", row)
 	}
 	fmt.Fprintf(w, "  (field %.1f x %.1f km)\n", spanX/1000, spanY/1000)
+}
+
+// runCity drives the city-scale sharded engine: same seed-deterministic
+// contract as the per-node path, but a compact telemetry-profile workload
+// that scales to 10k-100k nodes. The digest line is the determinism
+// witness — identical across -shards settings for a given seed.
+func runCity(w io.Writer, o options) error {
+	sim, err := citysim.New(citysim.Config{
+		Nodes:         o.n,
+		Shards:        o.shards,
+		Seed:          o.seed,
+		HelloPeriod:   o.hello,
+		ShadowSigmaDB: o.shadow,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sim.Run(o.duration); err != nil {
+		return err
+	}
+	st := sim.Stats()
+	executor := "serial reference"
+	if o.shards > 0 {
+		executor = fmt.Sprintf("%d shards", st.Shards)
+	}
+	fmt.Fprintf(w, "== city mesh: %d nodes, %s ==\n", st.Nodes, executor)
+	fmt.Fprintf(w, "cells %d  sinks %d  simulated %v  wall %v\n", st.Cells, st.Sinks, o.duration, st.Wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "frames sent %d  delivered %d  collisions %d  below-sens %d  half-duplex %d\n",
+		st.FramesSent, st.FramesDelivered, st.LostCollision, st.LostBelowSensitivity, st.LostHalfDuplex)
+	fmt.Fprintf(w, "telemetry offered %d  delivered %d  PDR %.1f%%  mean latency %v\n",
+		st.Offered, st.Delivered, 100*st.PDR(), st.MeanLatency().Round(time.Millisecond))
+	fmt.Fprintf(w, "windows %d  fast-forwards %d  events %d  events/sec %.0f  state %.1fMB\n",
+		st.Windows, st.FastForwards, st.EventsFired, st.EventsPerSec(), float64(st.StateBytes)/(1<<20))
+	fmt.Fprintf(w, "digest %016x\n", sim.Digest())
+	return nil
 }

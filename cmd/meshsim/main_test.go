@@ -49,7 +49,7 @@ func opts() options {
 	return options{
 		topology: "line", n: 3, spacing: 8000, protocol: "mesher",
 		duration: 600e9, traffic: "pairs", interval: 300e9, hello: 120e9,
-		seed: 1,
+		seed: 1, shards: -1,
 	}
 }
 
@@ -214,5 +214,30 @@ func TestRunSecuredSmoke(t *testing.T) {
 	o.protocol, o.traffic, o.duration = "flooding", "none", 60e9
 	if err := run(&out, o); err == nil {
 		t.Error("-seckey with flooding protocol: want error")
+	}
+}
+
+// TestRunCitySmoke drives the -shards path: the city-scale engine runs
+// serial and sharded on the same seed and must report the same digest.
+func TestRunCitySmoke(t *testing.T) {
+	digest := func(shards int) string {
+		var out bytes.Buffer
+		o := opts()
+		o.n, o.shards, o.duration = 200, shards, 300e9
+		if err := run(&out, o); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		for _, want := range []string{"city mesh: 200 nodes", "PDR", "digest "} {
+			if !strings.Contains(s, want) {
+				t.Fatalf("city report missing %q:\n%s", want, s)
+			}
+		}
+		i := strings.Index(s, "digest ")
+		return strings.TrimSpace(s[i+len("digest "):])
+	}
+	serial := digest(0)
+	if sharded := digest(2); sharded != serial {
+		t.Errorf("sharded digest %s != serial %s", sharded, serial)
 	}
 }

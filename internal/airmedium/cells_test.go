@@ -1,0 +1,227 @@
+package airmedium
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/loraphy"
+	"repro/internal/simtime"
+)
+
+// recorder captures deliveries in arrival order.
+type recorder struct {
+	got []string
+}
+
+func (r *recorder) OnFrame(d Delivery) {
+	r.got = append(r.got, fmt.Sprintf("%d@%d:%s rssi=%.6f snr=%.6f",
+		d.From, d.At.UnixNano(), string(d.Data), d.RSSIDBm, d.SNRDB))
+}
+
+// buildField creates a medium with n stations scattered over a square
+// field, returning the per-station recorders.
+func buildField(t *testing.T, cfg Config, n int, fieldMeters float64, seed int64) (*simtime.Scheduler, *Medium, []*recorder) {
+	t.Helper()
+	sched := simtime.NewScheduler(time.Unix(0, 0).UTC())
+	m, err := New(sched, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := geo.RandomGeometric(n, fieldMeters, fieldMeters, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*recorder, n)
+	for i, p := range topo.Positions {
+		recs[i] = &recorder{}
+		if _, err := m.AddStation(p, recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sched, m, recs
+}
+
+// driveTraffic runs a deterministic transmission schedule: every station
+// transmits a few frames at staggered, partially overlapping instants so
+// collisions, half-duplex misses, and clean deliveries all occur.
+func driveTraffic(t *testing.T, sched *simtime.Scheduler, m *Medium, n int) {
+	t.Helper()
+	p := loraphy.DefaultParams()
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			id := StationID(i)
+			at := time.Duration(round)*time.Second + time.Duration(rng.Intn(200))*time.Millisecond
+			payload := []byte(fmt.Sprintf("r%d-s%d", round, i))
+			sched.MustAfter(at, func() {
+				// Half-duplex clashes are part of the workload: ignore
+				// already-transmitting errors.
+				_, _ = m.Transmit(id, payload, p)
+			})
+		}
+	}
+	sched.RunUntil(sched.Now().Add(10 * time.Second))
+}
+
+// TestIndexedMatchesFullScan is the core exactness contract: with
+// MaxRangeMeters at the link-budget maximum, the indexed medium delivers
+// exactly the frames the full scan delivers — same receivers, instants,
+// RSSI/SNR — and agrees on the delivered/collision counters.
+func TestIndexedMatchesFullScan(t *testing.T) {
+	const n = 60
+	p := loraphy.DefaultParams()
+	maxRange, err := loraphy.MaxRangeMeters(p, loraphy.DefaultLinkBudget(), loraphy.DefaultLogDistance(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Field several cells wide so the index actually prunes.
+	field := 3 * maxRange
+	base := Config{Seed: 7}
+	run := func(cfg Config) (Stats, []*recorder) {
+		sched, m, recs := buildField(t, cfg, n, field, 21)
+		driveTraffic(t, sched, m, n)
+		return m.Stats(), recs
+	}
+	idxCfg := base
+	idxCfg.MaxRangeMeters = maxRange
+	full, fullRecs := run(base)
+	idx, idxRecs := run(idxCfg)
+
+	for i := range fullRecs {
+		a, b := fullRecs[i].got, idxRecs[i].got
+		if len(a) != len(b) {
+			t.Fatalf("station %d: full scan got %d frames, indexed %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("station %d frame %d: full %q vs indexed %q", i, j, a[j], b[j])
+			}
+		}
+	}
+	if full.FramesDelivered != idx.FramesDelivered || full.LostCollision != idx.LostCollision ||
+		full.FramesSent != idx.FramesSent {
+		t.Fatalf("stats diverge: full %+v vs indexed %+v", full, idx)
+	}
+	// Loss-bucket attribution for skipped far stations is approximate (a
+	// far station that was itself transmitting counts half-duplex in the
+	// full scan, below-sensitivity in bulk), but the total losses are
+	// conserved.
+	fullLost := full.LostBelowSensitivity + full.LostHalfDuplex + full.LostNotListening
+	idxLost := idx.LostBelowSensitivity + idx.LostHalfDuplex + idx.LostNotListening
+	if fullLost != idxLost {
+		t.Fatalf("total losses diverge: full %d vs indexed %d", fullLost, idxLost)
+	}
+	if idx.NeighborhoodRebuilds == 0 {
+		t.Fatal("indexed run never built a neighborhood cache")
+	}
+}
+
+// TestIndexedMatchesFullScanUnderChurn repeats the equivalence with
+// mobility, sleep, removal, and link blocking interleaved with traffic —
+// the index's incremental maintenance must track all of it.
+func TestIndexedMatchesFullScanUnderChurn(t *testing.T) {
+	const n = 40
+	p := loraphy.DefaultParams()
+	maxRange, err := loraphy.MaxRangeMeters(p, loraphy.DefaultLinkBudget(), loraphy.DefaultLogDistance(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := 3 * maxRange
+	run := func(cfg Config) (Stats, []*recorder) {
+		sched, m, recs := buildField(t, cfg, n, field, 5)
+		churn := func() {
+			// Deterministic churn: move a station across the field, block
+			// a link, silence a station, remove another.
+			if err := m.SetPosition(3, geo.Point{X: field * 0.9, Y: field * 0.1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetLinkBlocked(1, 2, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetListening(4, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Remove(5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched.MustAfter(1500*time.Millisecond, churn)
+		driveTraffic(t, sched, m, n)
+		return m.Stats(), recs
+	}
+	idxCfg := Config{Seed: 7, MaxRangeMeters: maxRange}
+	full, fullRecs := run(Config{Seed: 7})
+	idx, idxRecs := run(idxCfg)
+	for i := range fullRecs {
+		a, b := fullRecs[i].got, idxRecs[i].got
+		if len(a) != len(b) {
+			t.Fatalf("station %d: full scan got %d frames, indexed %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("station %d frame %d: full %q vs indexed %q", i, j, a[j], b[j])
+			}
+		}
+	}
+	if full.FramesDelivered != idx.FramesDelivered || full.LostCollision != idx.LostCollision {
+		t.Fatalf("stats diverge: full %+v vs indexed %+v", full, idx)
+	}
+}
+
+// TestPerCellInvalidation pins the satellite fix: one SetPosition must not
+// cold the whole medium's caches. Two senders far apart warm their
+// neighborhoods; moving a third station near sender A rebuilds only A's.
+func TestPerCellInvalidation(t *testing.T) {
+	sched := simtime.NewScheduler(time.Unix(0, 0).UTC())
+	const cell = 1000.0
+	m, err := New(sched, Config{MaxRangeMeters: cell, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A-cluster around the origin, B-cluster ten cells away, a mover.
+	add := func(x, y float64) StationID {
+		id, err := m.AddStation(geo.Point{X: x, Y: y}, &recorder{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a := add(100, 100)
+	add(300, 200)
+	b := add(10*cell+100, 100)
+	add(10*cell+300, 200)
+	mover := add(5*cell, 5*cell)
+
+	p := loraphy.DefaultParams()
+	both := func() {
+		if _, err := m.Transmit(a, []byte("a"), p); err != nil {
+			t.Fatal(err)
+		}
+		sched.RunFor(time.Second)
+		if _, err := m.Transmit(b, []byte("b"), p); err != nil {
+			t.Fatal(err)
+		}
+		sched.RunFor(time.Second)
+	}
+	both()
+	warm := m.Stats().NeighborhoodRebuilds
+	if warm != 2 {
+		t.Fatalf("first transmissions built %d neighborhoods, want 2", warm)
+	}
+	both()
+	if got := m.Stats().NeighborhoodRebuilds; got != warm {
+		t.Fatalf("steady-state transmissions rebuilt caches: %d -> %d", warm, got)
+	}
+	// Move the mover next to A: only A's neighborhood overlaps the
+	// touched cells, so exactly one rebuild follows.
+	if err := m.SetPosition(mover, geo.Point{X: 500, Y: 500}); err != nil {
+		t.Fatal(err)
+	}
+	both()
+	if got := m.Stats().NeighborhoodRebuilds; got != warm+1 {
+		t.Fatalf("after a move near A: rebuilds %d -> %d, want exactly one more", warm, got)
+	}
+}

@@ -1,0 +1,560 @@
+// Package citysim is the city-scale sharded discrete-event simulator: a
+// compact telemetry-profile mesh engine (periodic HELLOs building
+// Bellman-Ford sink trees, bounded queues, CSMA with deterministic
+// backoff, EU868 duty budgets) over the loraphy channel model, designed to
+// run 10k-100k nodes where the full per-node engine in internal/netsim
+// tops out at tens.
+//
+// # Spatial sharding
+//
+// The field is partitioned into a geo.CellGrid whose cell side is at least
+// the maximum radio-relevant distance (delivery or interference range plus
+// the shadowing margin), so everything a transmission can touch lies in
+// the 3x3 cell neighborhood of its sender. Cells are grouped into
+// contiguous column stripes balanced by node count; each stripe is a shard
+// with its own simtime event wheel. A shard additionally tracks in-flight
+// transmissions in its one-column halo so interference and carrier sense
+// at its border nodes see foreign traffic.
+//
+// # Conservative windowed synchronization
+//
+// Shards run in lockstep windows of width W <= the minimum frame airtime
+// (the conservative lookahead: no transmission can start and finish inside
+// one window). Each window has two phases with a barrier between them:
+// phase A runs every shard's wheel through the window with
+// simtime.RunBefore; the barrier merges all shards' transmission outboxes
+// into one globally sorted list (by start instant, then sender); phase B
+// has every shard integrate that list into its cell tx-index and schedule
+// reception evaluations. A frame ending at e is evaluated at e+W, by which
+// point every transmission that could overlap it has crossed a barrier —
+// the interferer set is exact, at the cost of one extra window of receive
+// latency per hop (a documented, mode-independent model semantic, not an
+// approximation). Carrier sense is window-quantized the same way: a node
+// senses only transmissions that started before the current window.
+//
+// # Byte-identical determinism contract
+//
+// For a fixed Config (including Seed) the final Digest is identical for
+// the serial reference (Shards: 0, a single wheel doing full O(n) station
+// scans) and any sharded run, regardless of shard count or goroutine
+// interleaving. The load-bearing rules: all cross-shard effects flow
+// through the sorted barrier list; per-cell tx indexes are read-only
+// during phases and mutated only at integration in merged order; every
+// random draw is a splitmix64 hash of (seed, purpose, node/pair, counter)
+// — there is no shared rand.Rand to race on ordering; and both eval paths
+// share one linkLoss function so cached and recomputed budgets are
+// bit-identical. Unlike airmedium, reception checks sensitivity before
+// half-duplex so out-of-range stations land in the same loss bucket
+// whether they were scanned individually (serial) or skipped in bulk
+// (sharded).
+package citysim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/loraphy"
+)
+
+// Frame sizes for the two telemetry-profile frame kinds. Fixed sizes keep
+// airtimes constant, which gives the windowed synchronizer its minimum
+// airtime bound without per-frame bookkeeping.
+const (
+	helloFrameBytes = 16
+	dataFrameBytes  = 24
+)
+
+const noRoute = ^uint16(0) // hop-count sentinel: no usable route to a sink
+
+// Config describes one city simulation. The zero value of every field
+// selects a sensible default; Nodes is required.
+type Config struct {
+	// Nodes is the station count (required).
+	Nodes int
+	// Shards selects the execution mode: 0 is the serial reference — one
+	// event wheel and full O(n) station scans per transmission, the
+	// design that caps internal/netsim at demo scale — and any k >= 1
+	// runs k column-stripe shards over the cell index (clamped to the
+	// grid's column count). All modes produce the same Digest.
+	Shards int
+	// Seed drives placement, jitter, backoff, shadowing, and erasures.
+	Seed int64
+	// Sinks is the number of data collection points, placed on a uniform
+	// grid and snapped to the nearest node. 0 means max(1, Nodes/640).
+	Sinks int
+	// FieldMeters is the square field side. 0 derives it from Nodes and
+	// TargetDegree so mean radio degree stays constant as Nodes grows.
+	FieldMeters float64
+	// TargetDegree is the mean number of neighbors within delivery range
+	// used when deriving the field size. 0 means 30.
+	TargetDegree float64
+	// HelloPeriod is the mean beacon interval (0 = 60s); DataPeriod the
+	// mean telemetry generation interval per node (0 = 90s). Both get
+	// +-1/8 period of per-node hash jitter.
+	HelloPeriod time.Duration
+	DataPeriod  time.Duration
+	// RouteTTL expires sink routes not refreshed by a beacon. 0 means
+	// 3*HelloPeriod + HelloPeriod/2.
+	RouteTTL time.Duration
+	// QueueCap bounds each node's forwarding queue (0 = 8; oldest drops).
+	QueueCap int
+	// TTLHops bounds forwarding depth (0 = 32).
+	TTLHops int
+	// Window overrides the synchronization window. 0 means the minimum
+	// frame airtime; larger values are rejected (the conservative bound).
+	Window time.Duration
+	// PathLossExponent tunes the log-distance model (0 = 3.8, urban).
+	PathLossExponent float64
+	// ShadowSigmaDB adds per-link log-normal shadowing, truncated at
+	// +-2 sigma so the cell size bound stays finite.
+	ShadowSigmaDB float64
+	// ExtraFrameLossRate injects i.i.d. per-(frame,receiver) erasures.
+	ExtraFrameLossRate float64
+	// Params and LinkBudget follow loraphy defaults when zero.
+	Params     loraphy.Params
+	LinkBudget loraphy.LinkBudget
+}
+
+// Stats is the merged outcome of a run. Every field except EventsFired,
+// Wall, and StateBytes is identical across execution modes per Config.
+type Stats struct {
+	Nodes, Shards, Cells, Sinks int
+	Windows, FastForwards       uint64
+
+	// Radio-level outcomes, airmedium bucket semantics (see package doc
+	// for the sensitivity-first ordering).
+	FramesSent           uint64
+	FramesDelivered      uint64
+	LostBelowSensitivity uint64
+	LostCollision        uint64
+	LostHalfDuplex       uint64
+	LostRandom           uint64
+	HelloSkips           uint64
+	AirtimeTotal         time.Duration
+
+	// Application-level outcomes.
+	Offered    uint64 // telemetry readings generated
+	Delivered  uint64 // readings arrived at a sink
+	DropQueue  uint64
+	DropTTL    uint64
+	LatencySum time.Duration // sum over delivered readings
+
+	// Machine/mode-dependent (excluded from the digest).
+	EventsFired uint64
+	Wall        time.Duration
+	StateBytes  uint64
+}
+
+// PDR returns the delivery ratio of offered telemetry.
+func (s Stats) PDR() float64 {
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Offered)
+}
+
+// MeanLatency returns the mean end-to-end latency of delivered readings.
+func (s Stats) MeanLatency() time.Duration {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.LatencySum / time.Duration(s.Delivered)
+}
+
+// EventsPerSec returns fired scheduler events per wall second.
+func (s Stats) EventsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.EventsFired) / s.Wall.Seconds()
+}
+
+// resolved carries the validated, defaulted configuration plus every
+// derived physical constant the hot paths need.
+type resolved struct {
+	Config
+	params        loraphy.Params
+	budget        loraphy.LinkBudget
+	model         loraphy.LogDistance
+	field         float64
+	eirpDBm       float64 // tx power + both antenna gains
+	maxLossDel    float64 // max path loss that still delivers
+	maxLossRel    float64 // max radio-relevant loss (delivery or interference + shadow margin)
+	noiseDBm      float64
+	captureThDB   float64
+	helloAirNs    int64
+	dataAirNs     int64
+	maxAirNs      int64
+	winNs         int64
+	helloNs       int64
+	dataNs        int64
+	routeTTLNs    int64
+	csmaSlotNs    int64
+	noRouteWaitNs int64
+}
+
+func (cfg Config) resolve() (resolved, error) {
+	r := resolved{Config: cfg}
+	if cfg.Nodes < 2 {
+		return r, fmt.Errorf("citysim: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Shards < 0 {
+		return r, fmt.Errorf("citysim: negative shard count %d", cfg.Shards)
+	}
+	if cfg.ExtraFrameLossRate < 0 || cfg.ExtraFrameLossRate >= 1 {
+		return r, fmt.Errorf("citysim: ExtraFrameLossRate %v out of [0,1)", cfg.ExtraFrameLossRate)
+	}
+	if cfg.ShadowSigmaDB < 0 {
+		return r, fmt.Errorf("citysim: negative ShadowSigmaDB %v", cfg.ShadowSigmaDB)
+	}
+	r.params = cfg.Params
+	if r.params == (loraphy.Params{}) {
+		r.params = loraphy.DefaultParams()
+	}
+	if err := r.params.Validate(); err != nil {
+		return r, fmt.Errorf("citysim: %w", err)
+	}
+	r.budget = cfg.LinkBudget
+	if r.budget == (loraphy.LinkBudget{}) {
+		r.budget = loraphy.DefaultLinkBudget()
+	}
+	exp := cfg.PathLossExponent
+	if exp == 0 {
+		exp = 3.8 // urban canyon; the default suburban 2.7 gives km-scale cells
+	}
+	base := loraphy.DefaultLogDistance()
+	base.Exponent = exp
+	r.model = base
+
+	helloAir, err := r.params.Airtime(helloFrameBytes)
+	if err != nil {
+		return r, fmt.Errorf("citysim: %w", err)
+	}
+	dataAir, err := r.params.Airtime(dataFrameBytes)
+	if err != nil {
+		return r, fmt.Errorf("citysim: %w", err)
+	}
+	r.helloAirNs = helloAir.Nanoseconds()
+	r.dataAirNs = dataAir.Nanoseconds()
+	r.maxAirNs = r.dataAirNs
+	minAir := r.helloAirNs
+	if r.dataAirNs < minAir {
+		minAir = r.dataAirNs
+		r.maxAirNs = r.helloAirNs
+	}
+	if cfg.Window < 0 || cfg.Window.Nanoseconds() > minAir {
+		return r, fmt.Errorf("citysim: window %v exceeds the minimum airtime %v (conservative lookahead bound)",
+			cfg.Window, time.Duration(minAir))
+	}
+	r.winNs = cfg.Window.Nanoseconds()
+	if r.winNs == 0 {
+		r.winNs = minAir
+	}
+
+	sens, err := r.params.SensitivityDBm()
+	if err != nil {
+		return r, fmt.Errorf("citysim: %w", err)
+	}
+	snrFloor, err := r.params.SpreadingFactor.SNRFloorDB()
+	if err != nil {
+		return r, fmt.Errorf("citysim: %w", err)
+	}
+	r.noiseDBm = r.params.NoiseFloorDBm()
+	th, err := loraphy.CaptureThresholdDB(r.params.SpreadingFactor, r.params.SpreadingFactor)
+	if err != nil {
+		return r, fmt.Errorf("citysim: %w", err)
+	}
+	r.captureThDB = th
+	r.eirpDBm = r.budget.RSSI(0)
+	effSens := math.Max(sens, r.noiseDBm+snrFloor)
+	r.maxLossDel = r.eirpDBm - effSens
+	maxLossInterf := r.eirpDBm - (r.noiseDBm - 10)
+	r.maxLossRel = math.Max(r.maxLossDel, maxLossInterf) + 2*cfg.ShadowSigmaDB
+	if r.maxLossDel <= 0 {
+		return r, fmt.Errorf("citysim: link budget closes at zero range")
+	}
+
+	deg := cfg.TargetDegree
+	if deg == 0 {
+		deg = 30
+	}
+	if deg <= 0 {
+		return r, fmt.Errorf("citysim: TargetDegree %v must be positive", deg)
+	}
+	delRange := rangeAtLoss(r.model, r.params.FrequencyHz, r.maxLossDel)
+	r.field = cfg.FieldMeters
+	if r.field == 0 {
+		r.field = delRange * math.Sqrt(float64(cfg.Nodes)*math.Pi/deg)
+	}
+	if r.field <= 0 {
+		return r, fmt.Errorf("citysim: field %v must be positive", r.field)
+	}
+
+	if r.HelloPeriod == 0 {
+		r.HelloPeriod = 60 * time.Second
+	}
+	if r.DataPeriod == 0 {
+		r.DataPeriod = 90 * time.Second
+	}
+	if r.RouteTTL == 0 {
+		r.RouteTTL = 3*r.HelloPeriod + r.HelloPeriod/2
+	}
+	if r.HelloPeriod <= 0 || r.DataPeriod <= 0 || r.RouteTTL <= 0 {
+		return r, fmt.Errorf("citysim: periods must be positive")
+	}
+	r.helloNs = r.HelloPeriod.Nanoseconds()
+	r.dataNs = r.DataPeriod.Nanoseconds()
+	r.routeTTLNs = r.RouteTTL.Nanoseconds()
+	r.csmaSlotNs = r.helloAirNs
+	r.noRouteWaitNs = r.helloNs / 2
+	if r.QueueCap == 0 {
+		r.QueueCap = 8
+	}
+	if r.QueueCap < 1 || r.QueueCap > 255 {
+		return r, fmt.Errorf("citysim: QueueCap %d out of [1,255]", r.QueueCap)
+	}
+	if r.TTLHops == 0 {
+		r.TTLHops = 32
+	}
+	if r.TTLHops < 1 || r.TTLHops > 254 {
+		return r, fmt.Errorf("citysim: TTLHops %d out of [1,254]", r.TTLHops)
+	}
+	if r.Sinks == 0 {
+		r.Sinks = cfg.Nodes / 640
+		if r.Sinks < 1 {
+			r.Sinks = 1
+		}
+	}
+	if r.Sinks < 1 || r.Sinks > cfg.Nodes {
+		return r, fmt.Errorf("citysim: Sinks %d out of [1,%d]", r.Sinks, cfg.Nodes)
+	}
+	return r, nil
+}
+
+// rangeAtLoss inverts the monotone log-distance model: the largest
+// distance whose base path loss stays within lossDB.
+func rangeAtLoss(m loraphy.LogDistance, freqHz, lossDB float64) float64 {
+	lo, hi := 1.0, 1.0
+	for m.PathLossDB(hi, freqHz) <= lossDB && hi < 1e7 {
+		hi *= 2
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.PathLossDB(mid, freqHz) <= lossDB {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sim is one city simulation. Build with New, drive with Run, read with
+// Stats and Digest. Not safe for concurrent use.
+type Sim struct {
+	r    resolved
+	grid geo.CellGrid
+	// fullScan marks the serial reference mode (Config.Shards == 0).
+	fullScan bool
+	nodes    nodeState
+	// cellStations lists node ids per cell, ascending (static topology).
+	cellStations [][]int32
+	// pop3x3 is the station count of each cell's 3x3 neighborhood, for
+	// bulk loss accounting in sharded mode.
+	pop3x3 []int32
+	// shardOfCol maps a grid column to its owning shard.
+	shardOfCol []int32
+	shards     []*shard
+	// winTxs is the barrier-merged, globally sorted transmission list of
+	// the current window, read-only during phase B.
+	winTxs []txRec
+	ran    bool
+	stats  Stats
+}
+
+// New builds the simulation: placement, sink election, link slabs, and
+// shard stripes. Memory and build time are O(Nodes * degree), never
+// O(Nodes^2).
+func New(cfg Config) (*Sim, error) {
+	r, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cellSide := rangeAtLoss(r.model, r.params.FrequencyHz, r.maxLossRel)
+	grid, err := geo.NewCellGrid(0, 0, r.field, r.field, cellSide)
+	if err != nil {
+		return nil, fmt.Errorf("citysim: %w", err)
+	}
+	s := &Sim{r: r, grid: grid, fullScan: cfg.Shards == 0}
+
+	topo, err := geo.RandomGeometric(cfg.Nodes, r.field, r.field, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("citysim: %w", err)
+	}
+	s.buildNodes(topo)
+	s.electSinks()
+	s.buildShards()
+	if !s.fullScan {
+		s.buildLinks()
+	}
+	s.scheduleInitialEvents()
+	return s, nil
+}
+
+// buildNodes fills the position slabs and the static cell membership.
+func (s *Sim) buildNodes(topo *geo.Topology) {
+	n := s.r.Nodes
+	ns := &s.nodes
+	ns.alloc(n, s.r.QueueCap)
+	s.cellStations = make([][]int32, s.grid.NumCells())
+	for i, p := range topo.Positions {
+		ns.x[i], ns.y[i] = p.X, p.Y
+		c := int32(s.grid.CellOf(p))
+		ns.cell[i] = c
+		s.cellStations[c] = append(s.cellStations[c], int32(i))
+	}
+	s.pop3x3 = make([]int32, s.grid.NumCells())
+	for c := range s.pop3x3 {
+		var pop int32
+		s.grid.ForNeighbors(c, func(nc int) { pop += int32(len(s.cellStations[nc])) })
+		s.pop3x3[c] = pop
+	}
+}
+
+// electSinks snaps a uniform sink grid to the nearest nodes: sinks are
+// ordinary stations that terminate telemetry and beacon hop 0.
+func (s *Sim) electSinks() {
+	k := s.r.Sinks
+	g := int(math.Ceil(math.Sqrt(float64(k))))
+	placed := 0
+	for gy := 0; gy < g && placed < k; gy++ {
+		for gx := 0; gx < g && placed < k; gx++ {
+			px := (float64(gx) + 0.5) * s.r.field / float64(g)
+			py := (float64(gy) + 0.5) * s.r.field / float64(g)
+			best, bestD := -1, math.MaxFloat64
+			for i := 0; i < s.r.Nodes; i++ {
+				d := math.Hypot(s.nodes.x[i]-px, s.nodes.y[i]-py)
+				if d < bestD {
+					best, bestD = i, d
+				}
+			}
+			if best >= 0 && !s.nodes.isSink[best] {
+				s.nodes.isSink[best] = true
+				s.nodes.hop[best] = 0
+				s.stats.Sinks++
+			}
+			placed++
+		}
+	}
+}
+
+// buildShards partitions grid columns into contiguous stripes balanced by
+// node count and creates the per-shard wheels.
+func (s *Sim) buildShards() {
+	cols := s.grid.Cols()
+	nsh := s.r.Shards
+	if s.fullScan {
+		nsh = 1
+	}
+	if nsh > cols {
+		nsh = cols
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
+	// Node count per column.
+	colPop := make([]int, cols)
+	for c, st := range s.cellStations {
+		col, _ := s.grid.ColRow(c)
+		colPop[col] += len(st)
+	}
+	s.shardOfCol = make([]int32, cols)
+	cum, next := 0, 0
+	for col := 0; col < cols; col++ {
+		// Advance to the next stripe when the cumulative count passes the
+		// proportional boundary, keeping stripes contiguous and non-empty.
+		if next < nsh-1 && cum >= (next+1)*s.r.Nodes/nsh && col > next {
+			next++
+		}
+		s.shardOfCol[col] = int32(next)
+		cum += colPop[col]
+	}
+	actual := int(s.shardOfCol[cols-1]) + 1
+	s.shards = make([]*shard, actual)
+	for i := range s.shards {
+		s.shards[i] = newShard(s, int32(i))
+	}
+	s.stats.Nodes = s.r.Nodes
+	s.stats.Shards = actual
+	s.stats.Cells = s.grid.NumCells()
+}
+
+// shardOfCell returns the shard owning a cell.
+func (s *Sim) shardOfCell(cell int32) int32 {
+	col, _ := s.grid.ColRow(int(cell))
+	return s.shardOfCol[col]
+}
+
+// shardOfNode returns the shard owning a node.
+func (s *Sim) shardOfNode(i int32) *shard {
+	return s.shards[s.shardOfCell(s.nodes.cell[i])]
+}
+
+// Run executes the simulation for d of virtual time (rounded up to whole
+// synchronization windows). It may be called once.
+func (s *Sim) Run(d time.Duration) error {
+	if s.ran {
+		return fmt.Errorf("citysim: Run called twice")
+	}
+	if d <= 0 {
+		return fmt.Errorf("citysim: non-positive duration %v", d)
+	}
+	s.ran = true
+	start := time.Now()
+	s.runWindows(d.Nanoseconds())
+	s.stats.Wall = time.Since(start)
+	for _, sh := range s.shards {
+		s.stats.EventsFired += sh.wheel.Fired()
+	}
+	s.stats.StateBytes = s.stateBytes()
+	return nil
+}
+
+// Stats returns the merged run outcome.
+func (s *Sim) Stats() Stats {
+	out := s.stats
+	for _, sh := range s.shards {
+		out.merge(&sh.stats)
+	}
+	return out
+}
+
+func (dst *Stats) merge(src *shardStats) {
+	dst.FramesSent += src.framesSent
+	dst.FramesDelivered += src.framesDelivered
+	dst.LostBelowSensitivity += src.lostBelowSens
+	dst.LostCollision += src.lostCollision
+	dst.LostHalfDuplex += src.lostHalfDuplex
+	dst.LostRandom += src.lostRandom
+	dst.HelloSkips += src.helloSkips
+	dst.AirtimeTotal += time.Duration(src.airtimeNs)
+	dst.Offered += src.offered
+	dst.Delivered += src.delivered
+	dst.DropQueue += src.dropQueue
+	dst.DropTTL += src.dropTTL
+	dst.LatencySum += time.Duration(src.latencySumNs)
+}
+
+// stateBytes approximates the resident engine footprint: node slabs, link
+// slabs, queues, and packet pools. Reporting only — not digest material.
+func (s *Sim) stateBytes() uint64 {
+	b := uint64(s.r.Nodes) * nodeStateBytesPer
+	b += uint64(len(s.nodes.qBuf)) * 4
+	b += uint64(len(s.nodes.nbrID))*4 + uint64(len(s.nodes.nbrLoss))*8
+	for _, sh := range s.shards {
+		b += uint64(cap(sh.pkts)) * pktBytes
+	}
+	return b
+}

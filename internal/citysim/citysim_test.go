@@ -1,0 +1,171 @@
+package citysim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// runOnce builds and runs one simulation, returning stats and digest.
+func runOnce(t *testing.T, cfg Config, d time.Duration) (Stats, uint64) {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	return sim.Stats(), sim.Digest()
+}
+
+// TestCityBasics checks that a small city forms routes and delivers
+// telemetry to its sinks within a few hello periods.
+func TestCityBasics(t *testing.T) {
+	cfg := Config{Nodes: 300, Seed: 1, Shards: 2, Sinks: 2}
+	st, _ := runOnce(t, cfg, 10*time.Minute)
+	if st.Sinks != 2 {
+		t.Fatalf("elected %d sinks, want 2", st.Sinks)
+	}
+	if st.FramesSent == 0 || st.FramesDelivered == 0 {
+		t.Fatalf("no radio traffic: %+v", st)
+	}
+	if st.Offered == 0 {
+		t.Fatal("no telemetry offered")
+	}
+	if st.PDR() < 0.5 {
+		t.Fatalf("PDR %.3f below 0.5 (delivered %d / offered %d)", st.PDR(), st.Delivered, st.Offered)
+	}
+	if st.MeanLatency() <= 0 {
+		t.Fatalf("mean latency %v not positive", st.MeanLatency())
+	}
+	if st.Windows == 0 || st.FastForwards == 0 {
+		t.Fatalf("window loop never fast-forwarded: %+v", st)
+	}
+	if st.StateBytes == 0 || st.EventsFired == 0 {
+		t.Fatalf("missing resource accounting: %+v", st)
+	}
+}
+
+// TestCityRunTwiceRejected pins the one-shot Run contract.
+func TestCityRunTwiceRejected(t *testing.T) {
+	sim, err := New(Config{Nodes: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(time.Second); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+// TestCityConfigValidation walks the rejection paths.
+func TestCityConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1},
+		{Nodes: 10, Shards: -1},
+		{Nodes: 10, ExtraFrameLossRate: 1.0},
+		{Nodes: 10, ShadowSigmaDB: -1},
+		{Nodes: 10, Window: time.Hour},
+		{Nodes: 10, Sinks: 11},
+		{Nodes: 10, QueueCap: 300},
+		{Nodes: 10, TTLHops: 255},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestCityDeterminism is the tentpole acceptance: the digest — routing
+// tables, per-node counters, queue contents, the delivery log, merged
+// stats — is byte-identical between the serial reference (Shards: 0) and
+// every sharded execution, per (config, seed), including with shadowing
+// and erasures switched on.
+func TestCityDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := Config{
+				Nodes:              240,
+				Seed:               seed,
+				Sinks:              2,
+				ShadowSigmaDB:      4,
+				ExtraFrameLossRate: 0.02,
+			}
+			const d = 8 * time.Minute
+			serial, want := runOnce(t, base, d)
+			if serial.Shards != 1 {
+				t.Fatalf("serial mode ran %d shards", serial.Shards)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				cfg := base
+				cfg.Shards = shards
+				st, got := runOnce(t, cfg, d)
+				if got != want {
+					t.Errorf("shards=%d digest %016x, serial %016x (stats %+v vs %+v)",
+						shards, got, want, st, serial)
+				}
+				if st.Windows != serial.Windows || st.FastForwards != serial.FastForwards {
+					t.Errorf("shards=%d window sequence diverged: %d/%d vs serial %d/%d",
+						shards, st.Windows, st.FastForwards, serial.Windows, serial.FastForwards)
+				}
+			}
+		})
+	}
+}
+
+// TestCityShardBarrierRace exercises the multi-goroutine barrier under the
+// race detector (scripts/check.sh runs this package with -race): a real
+// multi-shard run with enough traffic that every phase and the pruning
+// path execute concurrently.
+func TestCityShardBarrierRace(t *testing.T) {
+	cfg := Config{Nodes: 400, Seed: 3, Shards: 4, Sinks: 2, ShadowSigmaDB: 3}
+	st, _ := runOnce(t, cfg, 6*time.Minute)
+	if st.Shards < 2 {
+		t.Fatalf("wanted a multi-shard run, got %d shards", st.Shards)
+	}
+	if st.FramesDelivered == 0 {
+		t.Fatalf("no deliveries: %+v", st)
+	}
+}
+
+// TestScaleSmoke is the CI scale-regression gate (satellite #1), gated
+// behind SCALE_SMOKE=1 because it simulates a 10k-node city. It fails on
+// either (a) serial-vs-sharded trace divergence — digest mismatch — or
+// (b) an events/sec speedup below SCALE_FLOOR (default 2.0; the sharded
+// executor must beat the full-scan design by at least that factor even on
+// one core, because its win is algorithmic: cell-bounded neighbor scans
+// instead of O(n) per transmission).
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") == "" {
+		t.Skip("set SCALE_SMOKE=1 to run the 10k-node scale gate")
+	}
+	floor := 2.0
+	if v := os.Getenv("SCALE_FLOOR"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("bad SCALE_FLOOR %q: %v", v, err)
+		}
+		floor = f
+	}
+	cfg := Config{Nodes: 10000, Seed: 1}
+	const d = 2 * time.Minute
+	serial, serialDigest := runOnce(t, cfg, d)
+	cfg.Shards = 4
+	sharded, shardedDigest := runOnce(t, cfg, d)
+
+	t.Logf("serial:  events=%d wall=%v events/sec=%.0f", serial.EventsFired, serial.Wall, serial.EventsPerSec())
+	t.Logf("sharded: events=%d wall=%v events/sec=%.0f shards=%d", sharded.EventsFired, sharded.Wall, sharded.EventsPerSec(), sharded.Shards)
+	if shardedDigest != serialDigest {
+		t.Fatalf("trace divergence: sharded digest %016x != serial %016x", shardedDigest, serialDigest)
+	}
+	if ratio := sharded.EventsPerSec() / serial.EventsPerSec(); ratio < floor {
+		t.Fatalf("scale regression: sharded/serial events/sec ratio %.2f below floor %.2f", ratio, floor)
+	}
+}

@@ -1,0 +1,105 @@
+// digest.go — the byte-identical determinism witness. The digest folds
+// every mode-independent piece of final state: per-node routing and
+// counters, queue contents, the full delivery log, and the merged
+// statistics (minus the three machine/mode-dependent fields). Equal
+// digests across Shards settings are the acceptance test for the sharded
+// executor.
+
+package citysim
+
+import "sort"
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type digester uint64
+
+func (d *digester) u64(v uint64) {
+	h := uint64(*d)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	*d = digester(h)
+}
+
+func (d *digester) i64(v int64) { d.u64(uint64(v)) }
+
+// Digest returns the FNV-1a fold of the run's mode-independent final
+// state. Call after Run; calling before folds the initial state.
+func (s *Sim) Digest() uint64 {
+	d := digester(fnvOffset)
+	ns := &s.nodes
+	for i := 0; i < s.r.Nodes; i++ {
+		d.u64(uint64(ns.hop[i]))
+		d.i64(int64(ns.next[i]))
+		d.i64(ns.routeAt[i])
+		d.u64(uint64(ns.txSeq[i]))
+		d.u64(uint64(ns.helloSeq[i]))
+		d.u64(uint64(ns.dataSeq[i]))
+		d.u64(uint64(ns.cHelloTx[i]))
+		d.u64(uint64(ns.cDataTx[i]))
+		d.u64(uint64(ns.cFwd[i]))
+		d.u64(uint64(ns.cDelivered[i]))
+		// Queue contents, oldest first. Packet slab indexes are
+		// mode-dependent; the packets they name are not.
+		sh := s.shardOfNode(int32(i))
+		d.u64(uint64(ns.qLen[i]))
+		for k := 0; k < int(ns.qLen[i]); k++ {
+			slot := (int(ns.qHead[i]) + k) % ns.qCap
+			p := sh.pkts[ns.qBuf[i*ns.qCap+slot]]
+			d.i64(int64(p.origin))
+			d.i64(p.born)
+			d.u64(uint64(p.hops))
+		}
+	}
+
+	// The delivery log, sorted into its global order (per-shard append
+	// order is a mode-dependent interleaving; the multiset is not).
+	var recs []deliveryRec
+	for _, sh := range s.shards {
+		recs = append(recs, sh.deliveries...)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.atNs != b.atNs {
+			return a.atNs < b.atNs
+		}
+		if a.sink != b.sink {
+			return a.sink < b.sink
+		}
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		return a.bornNs < b.bornNs
+	})
+	for _, rec := range recs {
+		d.i64(rec.atNs)
+		d.i64(rec.bornNs)
+		d.i64(int64(rec.sink))
+		d.i64(int64(rec.origin))
+	}
+
+	st := s.Stats()
+	d.u64(uint64(st.Nodes))
+	d.u64(uint64(st.Sinks))
+	d.u64(st.Windows)
+	d.u64(st.FastForwards)
+	d.u64(st.FramesSent)
+	d.u64(st.FramesDelivered)
+	d.u64(st.LostBelowSensitivity)
+	d.u64(st.LostCollision)
+	d.u64(st.LostHalfDuplex)
+	d.u64(st.LostRandom)
+	d.u64(st.HelloSkips)
+	d.i64(int64(st.AirtimeTotal))
+	d.u64(st.Offered)
+	d.u64(st.Delivered)
+	d.u64(st.DropQueue)
+	d.u64(st.DropTTL)
+	d.i64(int64(st.LatencySum))
+	return uint64(d)
+}

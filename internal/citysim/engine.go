@@ -1,0 +1,513 @@
+// engine.go — the compact telemetry-profile mesh engine: slab/SoA node
+// state and the protocol handlers (beaconing, sink-tree routing, queueing,
+// CSMA, duty budgets). Handlers run on the wheel of the shard owning the
+// node and only ever write that node's slots; everything cross-node rides
+// the barrier as a txRec.
+
+package citysim
+
+import "math"
+
+// nodeStateBytesPer is the approximate fixed SoA footprint per node, for
+// the memory column of the scaling curve.
+const nodeStateBytesPer = 8 + 8 + 4 + 1 + // x, y, cell, isSink
+	2 + 4 + 8 + // hop, next, routeAt
+	8 + 4*16 + 1 + // txEnd, txHist, txHistPos
+	1 + 1 + // qHead, qLen
+	8 + 8 + // dutyBudget, dutyAt
+	1 + 1 + 4 + 4 + 4 + // backoff, pumpArmed, txSeq, helloSeq, dataSeq
+	4*8 // counters
+
+// pktBytes is the slab footprint of one queued packet.
+const pktBytes = 4 + 8 + 1 + 3 // origin, born, hops, padding
+
+// pkt is one queued telemetry reading. Packets live in per-shard slabs
+// with freelists; a reading crossing a shard boundary travels as txRec
+// fields and re-materializes in the receiving shard's slab.
+type pkt struct {
+	origin int32
+	born   int64
+	hops   uint8
+}
+
+// nodeState is the struct-of-arrays engine state. Each slot is written
+// only by the shard owning the node; slices are shared read-only maps of
+// the whole city.
+type nodeState struct {
+	// Static placement.
+	x, y   []float64
+	cell   []int32
+	isSink []bool
+
+	// Distance-vector routing toward the nearest sink.
+	hop     []uint16 // hops to a sink; noRoute when none
+	next    []int32  // next-hop node id; -1 when none
+	routeAt []int64  // ns of last refresh; -1 when never/poisoned
+
+	// Radio state. txHist keeps the last txHistLen own transmissions for
+	// half-duplex checks (a receiver deaf during its own airtime).
+	txEnd     []int64
+	txHist    []int64 // flat [node][txHistLen]{start,end} pairs
+	txHistPos []uint8
+
+	// Bounded FIFO queue of pkt slab indexes (per owning shard's slab).
+	qBuf  []int32
+	qHead []uint8
+	qLen  []uint8
+	qCap  int
+
+	// EU868 1% duty budget as a token bucket (ns of airtime).
+	dutyBudget []int64
+	dutyAt     []int64
+
+	backoff   []uint8
+	pumpArmed []bool
+	txSeq     []uint32
+	helloSeq  []uint32
+	dataSeq   []uint32
+
+	// Per-node outcome counters (digest material).
+	cHelloTx   []uint32
+	cDataTx    []uint32
+	cFwd       []uint32
+	cDelivered []uint32
+
+	// Link slabs (sharded modes): per-node sorted neighbor ids with
+	// precomputed symmetric link loss. nbrOff has n+1 entries.
+	nbrOff  []int32
+	nbrID   []int32
+	nbrLoss []float64
+}
+
+const txHistLen = 4
+
+func (ns *nodeState) alloc(n, qcap int) {
+	ns.x = make([]float64, n)
+	ns.y = make([]float64, n)
+	ns.cell = make([]int32, n)
+	ns.isSink = make([]bool, n)
+	ns.hop = make([]uint16, n)
+	ns.next = make([]int32, n)
+	ns.routeAt = make([]int64, n)
+	ns.txEnd = make([]int64, n)
+	ns.txHist = make([]int64, n*txHistLen*2)
+	ns.txHistPos = make([]uint8, n)
+	ns.qBuf = make([]int32, n*qcap)
+	ns.qHead = make([]uint8, n)
+	ns.qLen = make([]uint8, n)
+	ns.qCap = qcap
+	ns.dutyBudget = make([]int64, n)
+	ns.dutyAt = make([]int64, n)
+	ns.backoff = make([]uint8, n)
+	ns.pumpArmed = make([]bool, n)
+	ns.txSeq = make([]uint32, n)
+	ns.helloSeq = make([]uint32, n)
+	ns.dataSeq = make([]uint32, n)
+	ns.cHelloTx = make([]uint32, n)
+	ns.cDataTx = make([]uint32, n)
+	ns.cFwd = make([]uint32, n)
+	ns.cDelivered = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		ns.hop[i] = noRoute
+		ns.next[i] = -1
+		ns.routeAt[i] = -1
+	}
+}
+
+// recordTx pushes an own-transmission interval into the half-duplex ring.
+func (ns *nodeState) recordTx(i int32, startNs, endNs int64) {
+	p := int32(ns.txHistPos[i])
+	base := (i*txHistLen + p) * 2
+	ns.txHist[base] = startNs
+	ns.txHist[base+1] = endNs
+	ns.txHistPos[i] = uint8((p + 1) % txHistLen)
+}
+
+// transmittedDuring reports whether node i had an own transmission
+// overlapping [startNs, endNs).
+func (ns *nodeState) transmittedDuring(i int32, startNs, endNs int64) bool {
+	base := i * txHistLen * 2
+	for k := int32(0); k < txHistLen; k++ {
+		s, e := ns.txHist[base+2*k], ns.txHist[base+2*k+1]
+		if e > startNs && s < endNs {
+			return true
+		}
+	}
+	return false
+}
+
+// splitmix64 is the avalanche finalizer behind every deterministic draw:
+// order-independent (keyed purely on identity and counters, never on
+// event ordering), so serial and sharded runs sample identical values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash purposes, mixed into the key so streams never collide.
+const (
+	purposeHelloJit uint64 = 1
+	purposeDataJit  uint64 = 2
+	purposeBackoff  uint64 = 3
+	purposeShadow   uint64 = 4
+	purposeErasure  uint64 = 5
+)
+
+func (s *Sim) hash(purpose uint64, a, b, c uint64) uint64 {
+	h := splitmix64(uint64(s.r.Seed) ^ purpose*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ a)
+	h = splitmix64(h ^ b)
+	return splitmix64(h ^ c)
+}
+
+// hash01 maps a hash to a uniform in [0,1).
+func hash01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// jitter returns a deterministic offset in [-period/8, period/8).
+func (s *Sim) jitter(purpose uint64, node int32, seq uint32, periodNs int64) int64 {
+	span := periodNs / 4
+	if span <= 0 {
+		return 0
+	}
+	h := s.hash(purpose, uint64(node), uint64(seq), 0)
+	return int64(h%uint64(span)) - span/2
+}
+
+// linkLoss is the single path-loss formula both execution modes share:
+// symmetric (unordered pair key), truncated-shadowed log-distance. The
+// precomputed link slabs memoize exactly this function, so serial
+// recomputation is bit-identical.
+func (s *Sim) linkLoss(a, b int32) float64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	dx := s.nodes.x[a] - s.nodes.x[b]
+	dy := s.nodes.y[a] - s.nodes.y[b]
+	loss := s.r.model.PathLossDB(math.Hypot(dx, dy), s.r.params.FrequencyHz)
+	if sigma := s.r.ShadowSigmaDB; sigma > 0 {
+		u1 := hash01(s.hash(purposeShadow, uint64(lo), uint64(hi), 1))
+		u2 := hash01(s.hash(purposeShadow, uint64(lo), uint64(hi), 2))
+		g := math.Sqrt(-2*math.Log(1-u1)) * math.Cos(2*math.Pi*u2)
+		// Truncate at +-2 sigma so maxLossRel's margin is a hard bound,
+		// not a tail probability (documented model deviation).
+		if g > 2 {
+			g = 2
+		} else if g < -2 {
+			g = -2
+		}
+		loss += g * sigma
+	}
+	return loss
+}
+
+// buildLinks precomputes each node's radio-relevant neighbor list (ids
+// ascending, with link loss) by scanning only the 3x3 cell neighborhood —
+// the O(n*degree) substitute for airmedium's O(n^2) loss matrix.
+func (s *Sim) buildLinks() {
+	n := s.r.Nodes
+	ns := &s.nodes
+	ns.nbrOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		ns.nbrOff[i] = int32(len(ns.nbrID))
+		s.grid.ForNeighbors(int(ns.cell[i]), func(c int) {
+			for _, j := range s.cellStations[c] {
+				if j == int32(i) {
+					continue
+				}
+				if loss := s.linkLoss(int32(i), j); loss <= s.r.maxLossRel {
+					ns.nbrID = append(ns.nbrID, j)
+					ns.nbrLoss = append(ns.nbrLoss, loss)
+				}
+			}
+		})
+		// Cells are visited row-major, so ids within the segment are not
+		// globally sorted; sort the segment for binary-search lookups.
+		seg := ns.nbrID[ns.nbrOff[i]:]
+		segLoss := ns.nbrLoss[ns.nbrOff[i]:]
+		insertionSortPairs(seg, segLoss)
+	}
+	ns.nbrOff[n] = int32(len(ns.nbrID))
+}
+
+// insertionSortPairs sorts ids ascending, carrying losses along. Segments
+// are small (mean = radio degree), where insertion sort beats sort.Slice
+// and allocates nothing.
+func insertionSortPairs(ids []int32, loss []float64) {
+	for i := 1; i < len(ids); i++ {
+		id, l := ids[i], loss[i]
+		j := i - 1
+		for j >= 0 && ids[j] > id {
+			ids[j+1], loss[j+1] = ids[j], loss[j]
+			j--
+		}
+		ids[j+1], loss[j+1] = id, l
+	}
+}
+
+// lossBetween resolves the link budget between a node and a peer: slab
+// lookup in sharded mode, direct recomputation in the serial full scan.
+// ok=false means the pair is beyond radio relevance.
+func (s *Sim) lossBetween(node, peer int32) (float64, bool) {
+	if s.fullScan {
+		loss := s.linkLoss(node, peer)
+		return loss, loss <= s.r.maxLossRel
+	}
+	lo, hi := s.nodes.nbrOff[node], s.nodes.nbrOff[node+1]
+	ids := s.nodes.nbrID[lo:hi]
+	// Manual binary search: this is the hottest lookup in the simulator.
+	i, j := 0, len(ids)
+	for i < j {
+		m := (i + j) / 2
+		if ids[m] < peer {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	if i < len(ids) && ids[i] == peer {
+		return s.nodes.nbrLoss[int(lo)+i], true
+	}
+	return 0, false
+}
+
+// effHop returns node i's effective hop count: sinks are always 0, stale
+// or poisoned routes read as noRoute.
+func (s *Sim) effHop(i int32, nowNs int64) uint16 {
+	if s.nodes.isSink[i] {
+		return 0
+	}
+	at := s.nodes.routeAt[i]
+	if at < 0 || nowNs-at > s.r.routeTTLNs {
+		return noRoute
+	}
+	return s.nodes.hop[i]
+}
+
+// accrueDuty advances node i's 1% duty token bucket to nowNs.
+func (s *Sim) accrueDuty(i int32, nowNs int64) {
+	ns := &s.nodes
+	elapsed := nowNs - ns.dutyAt[i]
+	if elapsed > 0 {
+		ns.dutyBudget[i] += elapsed / 100
+		if cap := 10 * s.r.maxAirNs; ns.dutyBudget[i] > cap {
+			ns.dutyBudget[i] = cap
+		}
+		ns.dutyAt[i] = nowNs
+	}
+}
+
+// enqueue appends a reading to node i's bounded FIFO, dropping the oldest
+// on overflow. pktIdx indexes the owning shard's slab.
+func (sh *shard) enqueue(i int32, pktIdx int32) {
+	ns := &sh.sim.nodes
+	if int(ns.qLen[i]) == ns.qCap {
+		head := ns.qBuf[int(i)*ns.qCap+int(ns.qHead[i])]
+		sh.freePkt(head)
+		ns.qHead[i] = uint8((int(ns.qHead[i]) + 1) % ns.qCap)
+		ns.qLen[i]--
+		sh.stats.dropQueue++
+	}
+	slot := (int(ns.qHead[i]) + int(ns.qLen[i])) % ns.qCap
+	ns.qBuf[int(i)*ns.qCap+slot] = pktIdx
+	ns.qLen[i]++
+}
+
+// dequeue pops the oldest queued reading; ok=false when empty.
+func (sh *shard) dequeue(i int32) (int32, bool) {
+	ns := &sh.sim.nodes
+	if ns.qLen[i] == 0 {
+		return 0, false
+	}
+	idx := ns.qBuf[int(i)*ns.qCap+int(ns.qHead[i])]
+	ns.qHead[i] = uint8((int(ns.qHead[i]) + 1) % ns.qCap)
+	ns.qLen[i]--
+	return idx, true
+}
+
+// scheduleInitialEvents arms every node's first hello and first telemetry
+// reading, hash-staggered across their periods, in ascending node order so
+// wheel sequence numbers are deterministic.
+func (s *Sim) scheduleInitialEvents() {
+	for i := 0; i < s.r.Nodes; i++ {
+		i := int32(i)
+		sh := s.shardOfNode(i)
+		helloAt := int64(s.hash(purposeHelloJit, uint64(i), 0, 1) % uint64(s.r.helloNs))
+		sh.at(helloAt, func() { sh.helloFire(i) })
+		if !s.nodes.isSink[i] {
+			dataAt := s.r.dataNs/2 + int64(s.hash(purposeDataJit, uint64(i), 0, 1)%uint64(s.r.dataNs))
+			sh.at(dataAt, func() { sh.dataFire(i) })
+		}
+	}
+}
+
+// helloFire beacons node i's hop count and re-arms the next beacon. A busy
+// radio, channel, or duty budget skips the beacon (no retry: the next
+// period comes soon enough for routing).
+func (sh *shard) helloFire(i int32) {
+	s := sh.sim
+	now := sh.nowNs()
+	ns := &s.nodes
+	s.accrueDuty(i, now)
+	ns.helloSeq[i]++
+	if ns.txEnd[i] > now || ns.dutyBudget[i] < s.r.helloAirNs || sh.channelBusy(i, now) {
+		sh.stats.helloSkips++
+	} else {
+		sh.startTx(i, txRec{
+			kind:   kindHello,
+			dst:    -1,
+			hopSrc: s.effHop(i, now),
+		}, s.r.helloAirNs)
+		ns.cHelloTx[i]++
+	}
+	next := s.r.helloNs + s.jitter(purposeHelloJit, i, ns.helloSeq[i], s.r.helloNs)
+	sh.at(now+next, func() { sh.helloFire(i) })
+}
+
+// dataFire generates one telemetry reading, queues it, and re-arms.
+func (sh *shard) dataFire(i int32) {
+	s := sh.sim
+	now := sh.nowNs()
+	ns := &s.nodes
+	ns.dataSeq[i]++
+	sh.stats.offered++
+	sh.enqueue(i, sh.allocPkt(pkt{origin: i, born: now, hops: 0}))
+	sh.pump(i)
+	next := s.r.dataNs + s.jitter(purposeDataJit, i, ns.dataSeq[i], s.r.dataNs)
+	sh.at(now+next, func() { sh.dataFire(i) })
+}
+
+// pump tries to transmit the head of node i's queue, observing the radio,
+// route freshness, duty budget, and CSMA. Blocked attempts arm exactly one
+// deterministic retry.
+func (sh *shard) pump(i int32) {
+	s := sh.sim
+	ns := &s.nodes
+	now := sh.nowNs()
+	if ns.txEnd[i] > now || ns.qLen[i] == 0 {
+		return // busy radio pumps again from txDone; empty queue has nothing to do
+	}
+	if s.effHop(i, now) == noRoute {
+		sh.armPump(i, s.r.noRouteWaitNs)
+		return
+	}
+	s.accrueDuty(i, now)
+	if ns.dutyBudget[i] < s.r.dataAirNs {
+		// Wait exactly until the bucket refills at the 1% rate.
+		sh.armPump(i, (s.r.dataAirNs-ns.dutyBudget[i])*100)
+		return
+	}
+	if sh.channelBusy(i, now) {
+		if ns.backoff[i] < 6 {
+			ns.backoff[i]++
+		}
+		window := uint64(1) << ns.backoff[i]
+		slots := 1 + s.hash(purposeBackoff, uint64(i), uint64(ns.txSeq[i]), uint64(ns.backoff[i]))%window
+		sh.armPump(i, int64(slots)*s.r.csmaSlotNs)
+		return
+	}
+	idx, ok := sh.dequeue(i)
+	if !ok {
+		return
+	}
+	p := sh.pkts[idx]
+	sh.freePkt(idx)
+	ns.backoff[i] = 0
+	sh.startTx(i, txRec{
+		kind:   kindData,
+		dst:    ns.next[i],
+		origin: p.origin,
+		born:   p.born,
+		hops:   p.hops,
+	}, s.r.dataAirNs)
+	if p.origin == i {
+		ns.cDataTx[i]++
+	} else {
+		ns.cFwd[i]++
+	}
+}
+
+// armPump schedules a single pump retry after d; duplicate arms collapse.
+func (sh *shard) armPump(i int32, dNs int64) {
+	ns := &sh.sim.nodes
+	if ns.pumpArmed[i] {
+		return
+	}
+	ns.pumpArmed[i] = true
+	sh.at(sh.nowNs()+dNs, func() {
+		ns.pumpArmed[i] = false
+		sh.pump(i)
+	})
+}
+
+// startTx puts a frame on the air: records radio state, spends duty
+// budget, emits the txRec to the barrier outbox, and arms txDone.
+func (sh *shard) startTx(i int32, tx txRec, airNs int64) {
+	s := sh.sim
+	ns := &s.nodes
+	now := sh.nowNs()
+	tx.sender = i
+	tx.startNs = now
+	tx.endNs = now + airNs
+	tx.seq = ns.txSeq[i]
+	ns.txSeq[i]++
+	ns.txEnd[i] = tx.endNs
+	ns.recordTx(i, tx.startNs, tx.endNs)
+	ns.dutyBudget[i] -= airNs
+	sh.stats.framesSent++
+	sh.stats.airtimeNs += airNs
+	sh.outbox = append(sh.outbox, tx)
+	sh.at(tx.endNs, func() { sh.pump(i) })
+}
+
+// onHello applies a received beacon to node r's sink route.
+func (sh *shard) onHello(r int32, tx *txRec) {
+	s := sh.sim
+	ns := &s.nodes
+	if ns.isSink[r] {
+		return
+	}
+	now := sh.nowNs()
+	if tx.hopSrc == noRoute {
+		// A routeless beacon from the current next hop poisons the route.
+		if ns.next[r] == tx.sender {
+			ns.routeAt[r] = -1
+		}
+		return
+	}
+	cand := tx.hopSrc + 1
+	if ns.next[r] == tx.sender || cand < s.effHop(r, now) {
+		ns.hop[r] = cand
+		ns.next[r] = tx.sender
+		ns.routeAt[r] = now
+		if ns.qLen[r] > 0 {
+			sh.pump(r)
+		}
+	}
+}
+
+// onData handles a data frame addressed to node r: terminate at sinks,
+// forward otherwise.
+func (sh *shard) onData(r int32, tx *txRec) {
+	s := sh.sim
+	ns := &s.nodes
+	now := sh.nowNs()
+	if ns.isSink[r] {
+		ns.cDelivered[r]++
+		sh.stats.delivered++
+		sh.stats.latencySumNs += now - tx.born
+		sh.deliveries = append(sh.deliveries, deliveryRec{
+			atNs: now, sink: r, origin: tx.origin, bornNs: tx.born,
+		})
+		return
+	}
+	nh := tx.hops + 1
+	if int(nh) > s.r.TTLHops {
+		sh.stats.dropTTL++
+		return
+	}
+	sh.enqueue(r, sh.allocPkt(pkt{origin: tx.origin, born: tx.born, hops: nh}))
+	sh.pump(r)
+}

@@ -1,0 +1,165 @@
+// radio.go — reception evaluation and carrier sense. Both execution modes
+// share every gate here; the serial full scan simply resolves links by
+// recomputation where the sharded mode uses slab lookups and cell pruning.
+//
+// Cross-mode exactness relies on the radio-relevance bound: a node outside
+// the sender's 3x3 cell neighborhood is farther than one cell side, so its
+// base path loss exceeds maxLossRel and even a -2 sigma shadowing draw
+// leaves the link above every threshold used below (delivery, carrier
+// sense, the interferer floor). The sharded mode may therefore skip such
+// nodes in bulk and the serial mode reject them individually — same
+// outcome, same loss bucket.
+
+package citysim
+
+// evaluateTx evaluates one transmission at every candidate receiver this
+// shard owns. Fired at tx.endNs + W, when every transmission that can
+// overlap tx has crossed a barrier — the interferer set is exact.
+func (sh *shard) evaluateTx(tx txRec) {
+	s := sh.sim
+	if s.fullScan {
+		for r := int32(0); r < int32(s.r.Nodes); r++ {
+			if r != tx.sender {
+				sh.evalAt(r, &tx)
+			}
+		}
+		return
+	}
+	scell := s.nodes.cell[tx.sender]
+	if s.shardOfCell(scell) == sh.id {
+		// Bulk-account everything outside the 3x3 neighborhood (which
+		// holds the sender itself) as below sensitivity, exactly once per
+		// transmission (by the cell owner).
+		sh.stats.lostBelowSens += uint64(s.r.Nodes) - uint64(s.pop3x3[scell])
+	}
+	s.grid.ForNeighbors(int(scell), func(c int) {
+		if s.shardOfCell(int32(c)) != sh.id {
+			return
+		}
+		for _, r := range s.cellStations[c] {
+			if r != tx.sender {
+				sh.evalAt(r, &tx)
+			}
+		}
+	})
+}
+
+// evalAt decides one (transmission, receiver) outcome. Gate order is part
+// of the determinism contract: sensitivity first (so bulk-skipped and
+// individually-rejected far nodes share a bucket), then half-duplex,
+// interference, and the erasure channel.
+func (sh *shard) evalAt(r int32, tx *txRec) {
+	s := sh.sim
+	loss, ok := s.lossBetween(r, tx.sender)
+	if !ok || loss > s.r.maxLossDel {
+		sh.stats.lostBelowSens++
+		return
+	}
+	if s.nodes.transmittedDuring(r, tx.startNs, tx.endNs) {
+		sh.stats.lostHalfDuplex++
+		return
+	}
+	if !sh.clearOfInterference(r, tx, s.r.eirpDBm-loss) {
+		sh.stats.lostCollision++
+		return
+	}
+	if rate := s.r.ExtraFrameLossRate; rate > 0 &&
+		hash01(s.hash(purposeErasure, uint64(tx.sender), uint64(tx.seq), uint64(r))) < rate {
+		sh.stats.lostRandom++
+		return
+	}
+	sh.stats.framesDelivered++
+	switch tx.kind {
+	case kindHello:
+		sh.onHello(r, tx)
+	case kindData:
+		if tx.dst == r {
+			sh.onData(r, tx)
+		}
+	}
+}
+
+// clearOfInterference reports whether the frame survives every concurrent
+// transmission at receiver r under the capture model. Interferers weaker
+// than 10 dB below the noise floor are ignored in both modes (the uniform
+// relevance floor that makes cell pruning exact).
+func (sh *shard) clearOfInterference(r int32, tx *txRec, rssiDBm float64) bool {
+	s := sh.sim
+	survives := func(rec *airRec) bool {
+		if rec.sender == tx.sender || rec.sender == r {
+			return true // own frame; own transmissions are half-duplex's job
+		}
+		if rec.endNs <= tx.startNs || rec.startNs >= tx.endNs {
+			return true // no overlap
+		}
+		il, ok := s.lossBetween(r, rec.sender)
+		if !ok {
+			return true
+		}
+		irssi := s.r.eirpDBm - il
+		if irssi < s.r.noiseDBm-10 {
+			return true
+		}
+		return rssiDBm-irssi >= s.r.captureThDB
+	}
+	if s.fullScan {
+		for i := range sh.flightAll {
+			if !survives(&sh.flightAll[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	clear := true
+	s.grid.ForNeighbors(int(s.nodes.cell[r]), func(c int) {
+		if !clear {
+			return
+		}
+		recs := sh.cellTx[c]
+		for i := range recs {
+			if !survives(&recs[i]) {
+				clear = false
+				return
+			}
+		}
+	})
+	return clear
+}
+
+// channelBusy is the CSMA listen: node i senses energy from any
+// transmission within delivery range that started before the current
+// window and is still on the air. Window quantization (startNs <
+// winStartNs) is applied in both modes so carrier sense never depends on
+// same-window cross-shard traffic that hasn't crossed a barrier yet.
+func (sh *shard) channelBusy(i int32, nowNs int64) bool {
+	s := sh.sim
+	busy := false
+	sense := func(rec *airRec) bool {
+		if rec.sender == i || rec.startNs >= sh.winStartNs || rec.endNs <= nowNs {
+			return false
+		}
+		loss, ok := s.lossBetween(i, rec.sender)
+		return ok && loss <= s.r.maxLossDel
+	}
+	if s.fullScan {
+		for k := range sh.flightAll {
+			if sense(&sh.flightAll[k]) {
+				return true
+			}
+		}
+		return false
+	}
+	s.grid.ForNeighbors(int(s.nodes.cell[i]), func(c int) {
+		if busy {
+			return
+		}
+		recs := sh.cellTx[c]
+		for k := range recs {
+			if sense(&recs[k]) {
+				busy = true
+				return
+			}
+		}
+	})
+	return busy
+}

@@ -33,6 +33,13 @@ type Options struct {
 	// security-aware experiments (E13). Nil keeps the fixed default so
 	// published tables reproduce without flags.
 	SecKey *meshsec.Key
+	// Nodes, when positive, replaces the node-count sweep of the
+	// city-scale experiment (E15) with this single size.
+	Nodes int
+	// Shards, when positive, restricts E15's sharded rows to this shard
+	// count (the serial baseline always runs for the speedup column).
+	// Zero keeps the default shard sweep.
+	Shards int
 }
 
 // Result is one regenerated table/figure as rows of text cells.
@@ -117,6 +124,7 @@ func All() []Spec {
 		{"E12", "Chaos matrix: delivery under injected faults", E12ChaosMatrix},
 		{"E13", "Link-layer security overhead (on vs off)", E13Security},
 		{"E14", "Observer overhead: spans and health monitor (on vs off)", E14Observer},
+		{"E15", "City mesh: sharded-simulator scaling curve", E15CityMesh},
 		{"E16", "Self-healing MTTR: controller off vs on", E16SelfHealing},
 		{"A1", "Ablation: route poisoning vs expiry-only", A1Poisoning},
 		{"A2", "Ablation: HELLO period trade-off", A2HelloPeriod},

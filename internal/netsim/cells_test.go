@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/airmedium"
+	"repro/internal/geo"
+	"repro/internal/loraphy"
+)
+
+// TestIndexedMediumMatchesFullEngine runs the complete LoRaMesher engine —
+// hellos, routing, datagram traffic — over both the full-scan and the
+// cell-indexed medium and requires identical protocol outcomes: the
+// spatial index is a pure execution optimization, invisible above the PHY.
+func TestIndexedMediumMatchesFullEngine(t *testing.T) {
+	maxRange, err := loraphy.MaxRangeMeters(loraphy.DefaultParams(),
+		loraphy.DefaultLinkBudget(), loraphy.DefaultLogDistance(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := geo.RandomGeometric(12, 2*maxRange, 2*maxRange, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(medium airmedium.Config) (uint64, map[string]float64) {
+		sim, err := New(Config{Topology: topo, Node: fastNode(), Seed: 4, Medium: medium})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(2 * time.Minute)
+		if err := sim.SendTagged(0, sim.N()-1, 16); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run(3 * time.Minute)
+		return sim.EventsFired(), sim.AggregateMetrics().Snapshot()
+	}
+	fullEvents, fullCounters := run(airmedium.Config{Seed: 9})
+	idxEvents, idxCounters := run(airmedium.Config{Seed: 9, MaxRangeMeters: maxRange})
+	if fullEvents != idxEvents {
+		t.Errorf("event counts diverge: full scan %d vs indexed %d", fullEvents, idxEvents)
+	}
+	if len(fullCounters) != len(idxCounters) {
+		t.Fatalf("counter sets diverge: %d vs %d", len(fullCounters), len(idxCounters))
+	}
+	for name, v := range fullCounters {
+		if idxCounters[name] != v {
+			t.Errorf("counter %s: full scan %v vs indexed %v", name, v, idxCounters[name])
+		}
+	}
+}

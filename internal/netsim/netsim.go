@@ -354,6 +354,10 @@ func (s *Sim) Run(d time.Duration) { s.Sched.RunFor(d) }
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Time { return s.Sched.Now() }
 
+// EventsFired returns the total scheduler events executed so far — the
+// throughput numerator experiments report as events/sec.
+func (s *Sim) EventsFired() uint64 { return s.Sched.Fired() }
+
 // Elapsed returns virtual time since the simulation start.
 func (s *Sim) Elapsed() time.Duration { return s.Sched.Now().Sub(s.Cfg.Start) }
 

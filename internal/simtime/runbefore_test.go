@@ -1,0 +1,56 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunBeforeExcludesBoundary pins the window semantics: an event at
+// exactly t stays pending across RunBefore(t), while RunUntil(t) fires it.
+func TestRunBeforeExcludesBoundary(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	s := NewScheduler(start)
+	var fired []string
+	s.MustAfter(5*time.Millisecond, func() { fired = append(fired, "early") })
+	s.MustAfter(10*time.Millisecond, func() { fired = append(fired, "boundary") })
+	s.MustAfter(15*time.Millisecond, func() { fired = append(fired, "late") })
+
+	s.RunBefore(start.Add(10 * time.Millisecond))
+	if len(fired) != 1 || fired[0] != "early" {
+		t.Fatalf("after RunBefore fired %v, want [early]", fired)
+	}
+	if got := s.Now(); !got.Equal(start.Add(10 * time.Millisecond)) {
+		t.Fatalf("clock at %v, want boundary", got)
+	}
+	// Scheduling exactly at the boundary from barrier code must be legal.
+	if _, err := s.At(s.Now(), func() { fired = append(fired, "at-now") }); err != nil {
+		t.Fatalf("schedule at boundary: %v", err)
+	}
+
+	s.RunBefore(start.Add(20 * time.Millisecond))
+	want := []string{"early", "boundary", "at-now", "late"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestRunBeforeIdleAdvancesClock checks the empty-window fast path: no
+// events means the clock still lands on the window edge.
+func TestRunBeforeIdleAdvancesClock(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	s := NewScheduler(start)
+	s.RunBefore(start.Add(time.Second))
+	if got := s.Now(); !got.Equal(start.Add(time.Second)) {
+		t.Fatalf("idle clock at %v, want +1s", got)
+	}
+	// A second RunBefore with an earlier target must not rewind.
+	s.RunBefore(start.Add(500 * time.Millisecond))
+	if got := s.Now(); !got.Equal(start.Add(time.Second)) {
+		t.Fatalf("clock rewound to %v", got)
+	}
+}

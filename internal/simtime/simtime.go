@@ -217,6 +217,26 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 	}
 }
 
+// RunBefore executes events in order while they are scheduled strictly
+// before t, then advances the clock to t. It is the windowed-execution
+// primitive for the sharded simulator: a window [a, b) is processed with
+// RunBefore(b), so an event landing exactly on the boundary belongs to the
+// next window — after the barrier at b — never to this one. Leaving the
+// clock at t lets barrier-time integration schedule events at >= t without
+// tripping the schedule-in-the-past guard.
+func (s *Scheduler) RunBefore(t time.Time) {
+	for {
+		next, ok := s.peek()
+		if !ok || !next.at.Before(t) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
 // RunFor advances the simulation by d. See RunUntil.
 func (s *Scheduler) RunFor(d time.Duration) {
 	s.RunUntil(s.now.Add(d))

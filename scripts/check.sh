@@ -48,7 +48,11 @@ echo "==> go test -race (concurrent packages)"
 # control is here because the live deployment (meshgw) drives Poll from
 # a wall-clock ticker goroutine while acks arrive on the host's event
 # loop — the controller's lock discipline is load-bearing, not theory.
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./internal/control/... ./cmd/meshgw/...
+# citysim is here for the shard barrier: persistent shard goroutines
+# exchange outboxes and the merged window list through channel handoffs,
+# and the read-only-during-phases discipline on cell tx-indexes is
+# exactly the kind of invariant the race detector checks.
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./internal/control/... ./internal/citysim/... ./cmd/meshgw/...
 echo "==> meshsim -control smoke"
 # End-to-end: the simulator reconciles toward a real desired-state
 # document and must report convergence — guards the CLI wiring (flag,
