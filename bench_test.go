@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/citysim"
 	"repro/internal/experiments"
+	"repro/internal/gateway"
 	"repro/internal/span"
 )
 
@@ -53,6 +54,7 @@ func BenchmarkE13Security(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14Observer(b *testing.B)       { benchExperiment(b, "E14") }
 func BenchmarkE15CityMesh(b *testing.B)       { benchExperiment(b, "E15") }
 func BenchmarkE16SelfHealing(b *testing.B)    { benchExperiment(b, "E16") }
+func BenchmarkE17Ingest(b *testing.B)         { benchExperiment(b, "E17") }
 func BenchmarkA1SplitHorizon(b *testing.B)    { benchExperiment(b, "A1") }
 func BenchmarkA2HelloPeriod(b *testing.B)     { benchExperiment(b, "A2") }
 func BenchmarkA3ARQWindow(b *testing.B)       { benchExperiment(b, "A3") }
@@ -89,6 +91,43 @@ func benchCity(b *testing.B, shards int) {
 
 func BenchmarkE15CitySerial(b *testing.B)  { benchCity(b, 0) }
 func BenchmarkE15CityShards4(b *testing.B) { benchCity(b, 4) }
+
+// benchIngest runs one ingest load pass per iteration against a live
+// HTTP backend with a simulated round trip. The committed snapshot pair
+// is the ingest gate's paper trail: the pipelined configuration must
+// hold its lead over serial — a regression in sharding, group commit,
+// or the uplink window shows up here as the pair converging.
+func benchIngest(b *testing.B, cfg gateway.LoadConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run := cfg
+		run.SpoolDir = b.TempDir()
+		run.Seed = int64(i%4 + 1)
+		rep, err := gateway.RunLoad(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.ExactlyOnce() {
+			b.Fatalf("delivery not exactly-once: %s", rep)
+		}
+	}
+}
+
+func BenchmarkE17IngestSerial(b *testing.B) {
+	benchIngest(b, gateway.LoadConfig{
+		Readings: 4000, Origins: 64, BatchSize: 64,
+		BackendLatency: 5 * time.Millisecond,
+	})
+}
+
+func BenchmarkE17IngestPipelined(b *testing.B) {
+	benchIngest(b, gateway.LoadConfig{
+		Readings: 4000, Origins: 64, BatchSize: 64,
+		Shards: 4, Pipeline: 4, GroupCommit: 2 * time.Millisecond,
+		BackendLatency: 5 * time.Millisecond,
+	})
+}
 
 // BenchmarkSpanRecordNoSink is the observer's hot-path guard: recording
 // a span segment with no trace sink attached must stay allocation-free

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/gateway"
+)
+
+func TestPlanSingleRun(t *testing.T) {
+	runs, err := plan(gateway.LoadConfig{Readings: 10}, "", "")
+	if err != nil || len(runs) != 1 || runs[0].Readings != 10 {
+		t.Fatalf("plan = %v, %v", runs, err)
+	}
+}
+
+func TestPlanSweep(t *testing.T) {
+	runs, err := plan(gateway.LoadConfig{Readings: 10}, "pipeline", "1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []int{}
+	for _, r := range runs {
+		got = append(got, r.Pipeline)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("pipeline sweep = %v", got)
+	}
+	for _, r := range runs {
+		if r.Readings != 10 {
+			t.Errorf("sweep dropped base config: %+v", r)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := plan(gateway.LoadConfig{}, "pipeline", ""); err == nil {
+		t.Error("missing values: want error")
+	}
+	if _, err := plan(gateway.LoadConfig{}, "bogus", "1"); err == nil {
+		t.Error("unknown knob: want error")
+	}
+	if _, err := plan(gateway.LoadConfig{}, "batch", "x"); err == nil {
+		t.Error("non-integer value: want error")
+	}
+}

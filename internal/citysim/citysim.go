@@ -52,6 +52,7 @@ package citysim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/geo"
@@ -557,4 +558,58 @@ func (s *Sim) stateBytes() uint64 {
 		b += uint64(cap(sh.pkts)) * pktBytes
 	}
 	return b
+}
+
+// SinkIndices returns the node indices elected as sinks, ascending. A
+// multi-gateway harness uses these to attribute deliveries to gateways.
+func (s *Sim) SinkIndices() []int {
+	var out []int
+	for i, is := range s.nodes.isSink {
+		if is {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Delivery is one reading's arrival at a sink, exported from the
+// per-shard delivery logs in the digest's deterministic global order.
+type Delivery struct {
+	// At and Born are virtual-time offsets from the run start.
+	At, Born time.Duration
+	// Sink and Origin are node indices.
+	Sink, Origin int
+}
+
+// Deliveries returns the full delivery log sorted into its global order
+// (arrival time, then sink, then origin) — the per-shard append order is
+// a mode-dependent interleaving, this ordering is not.
+func (s *Sim) Deliveries() []Delivery {
+	var recs []deliveryRec
+	for _, sh := range s.shards {
+		recs = append(recs, sh.deliveries...)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.atNs != b.atNs {
+			return a.atNs < b.atNs
+		}
+		if a.sink != b.sink {
+			return a.sink < b.sink
+		}
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		return a.bornNs < b.bornNs
+	})
+	out := make([]Delivery, len(recs))
+	for i, r := range recs {
+		out[i] = Delivery{
+			At:     time.Duration(r.atNs),
+			Born:   time.Duration(r.bornNs),
+			Sink:   int(r.sink),
+			Origin: int(r.origin),
+		}
+	}
+	return out
 }

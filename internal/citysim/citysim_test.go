@@ -169,3 +169,41 @@ func TestScaleSmoke(t *testing.T) {
 		t.Fatalf("scale regression: sharded/serial events/sec ratio %.2f below floor %.2f", ratio, floor)
 	}
 }
+
+// TestCityDeliveryExports pins the multi-gateway observability surface:
+// sink indices match the elected count, and the delivery log is in its
+// deterministic global order with every record naming a real sink.
+func TestCityDeliveryExports(t *testing.T) {
+	sim, err := New(Config{Nodes: 300, Seed: 1, Shards: 2, Sinks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	sinks := sim.SinkIndices()
+	if len(sinks) != 2 {
+		t.Fatalf("SinkIndices = %v, want 2 sinks", sinks)
+	}
+	isSink := map[int]bool{sinks[0]: true, sinks[1]: true}
+	recs := sim.Deliveries()
+	if uint64(len(recs)) != sim.Stats().Delivered {
+		t.Fatalf("Deliveries len %d != Stats().Delivered %d", len(recs), sim.Stats().Delivered)
+	}
+	perSink := map[int]int{}
+	for i, r := range recs {
+		if !isSink[r.Sink] {
+			t.Fatalf("delivery %d at non-sink node %d", i, r.Sink)
+		}
+		if r.At < r.Born {
+			t.Fatalf("delivery %d arrives before it was born: %+v", i, r)
+		}
+		if i > 0 && recs[i-1].At > r.At {
+			t.Fatalf("delivery log out of order at %d", i)
+		}
+		perSink[r.Sink]++
+	}
+	if len(perSink) != 2 {
+		t.Errorf("all deliveries landed on one sink: %v", perSink)
+	}
+}

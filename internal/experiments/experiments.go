@@ -126,6 +126,7 @@ func All() []Spec {
 		{"E14", "Observer overhead: spans and health monitor (on vs off)", E14Observer},
 		{"E15", "City mesh: sharded-simulator scaling curve", E15CityMesh},
 		{"E16", "Self-healing MTTR: controller off vs on", E16SelfHealing},
+		{"E17", "Ingest at scale: sharded, pipelined gateway fleet", E17Ingest},
 		{"A1", "Ablation: route poisoning vs expiry-only", A1Poisoning},
 		{"A2", "Ablation: HELLO period trade-off", A2HelloPeriod},
 		{"A3", "Ablation: ARQ window (stop-and-wait vs go-back-N)", A3ARQWindow},

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 
@@ -143,4 +144,111 @@ func (b *Backend) FromAddr(a packet.Address) []Reading {
 		}
 	}
 	return out
+}
+
+// ShardedBackend is N Backend collectors behind one handler — the
+// horizontally sharded ingest tier the gateway's consistent-hash
+// partitioning uploads into. Shard i listens at path "/s/<i>"; wire a
+// gateway with Config.URLs = sb.URLs(server.URL). Each shard dedups
+// independently, exactly like a real partitioned store: cross-gateway
+// exactly-once holds only if every gateway maps an origin to the same
+// shard, which is precisely what DoubleAccepted verifies.
+type ShardedBackend struct {
+	shards []*Backend
+}
+
+// NewShardedBackend returns n empty shard collectors.
+func NewShardedBackend(n int) *ShardedBackend {
+	if n < 1 {
+		n = 1
+	}
+	sb := &ShardedBackend{}
+	for i := 0; i < n; i++ {
+		sb.shards = append(sb.shards, NewBackend())
+	}
+	return sb
+}
+
+// ServeHTTP routes "/s/<i>" to shard i.
+func (sb *ShardedBackend) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	var i int
+	if _, err := fmt.Sscanf(req.URL.Path, "/s/%d", &i); err != nil || i < 0 || i >= len(sb.shards) {
+		http.Error(w, "no such shard", http.StatusNotFound)
+		return
+	}
+	sb.shards[i].ServeHTTP(w, req)
+}
+
+// URLs derives the per-shard endpoint list from the server's base URL.
+func (sb *ShardedBackend) URLs(base string) []string {
+	urls := make([]string, len(sb.shards))
+	for i := range sb.shards {
+		urls[i] = fmt.Sprintf("%s/s/%d", base, i)
+	}
+	return urls
+}
+
+// Shard exposes one shard's collector.
+func (sb *ShardedBackend) Shard(i int) *Backend { return sb.shards[i] }
+
+// Shards returns the shard count.
+func (sb *ShardedBackend) Shards() int { return len(sb.shards) }
+
+// Distinct sums the unique readings accepted across all shards. If an
+// origin's readings ever split across shards this exceeds the true
+// unique count — use DoubleAccepted to detect that directly.
+func (sb *ShardedBackend) Distinct() int {
+	total := 0
+	for _, b := range sb.shards {
+		total += b.Distinct()
+	}
+	return total
+}
+
+// Duplicates sums redundant uploads across shards — uploads whose trace
+// ID the receiving shard had already accepted. Nonzero is normal under
+// handover or crash replay (the WAL re-uploads, the shard suppresses);
+// it measures wasted uplink work, not a correctness violation.
+func (sb *ShardedBackend) Duplicates() int {
+	total := 0
+	for _, b := range sb.shards {
+		total += b.Duplicates()
+	}
+	return total
+}
+
+// DoubleAccepted counts trace IDs accepted (stored) by MORE than one
+// shard — the exactly-once violation sharded dedup must prevent: it can
+// only happen when two gateways map the same origin to different
+// shards. Zero means cross-gateway exactly-once held.
+func (sb *ShardedBackend) DoubleAccepted() int {
+	counts := make(map[trace.TraceID]int)
+	for _, b := range sb.shards {
+		for _, r := range b.Readings() {
+			counts[r.Trace]++
+		}
+	}
+	double := 0
+	for _, n := range counts {
+		if n > 1 {
+			double++
+		}
+	}
+	return double
+}
+
+// Batches sums successful uplink POSTs across shards.
+func (sb *ShardedBackend) Batches() int {
+	total := 0
+	for _, b := range sb.shards {
+		total += b.Batches()
+	}
+	return total
+}
+
+// SetFailing switches an indefinite outage on or off for every shard.
+func (sb *ShardedBackend) SetFailing(on bool) {
+	for _, b := range sb.shards {
+		b.SetFailing(on)
+	}
 }

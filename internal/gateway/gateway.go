@@ -12,15 +12,25 @@
 //     content-derived, so uplink payloads must be unique per reading (see
 //     Reading.Trace — secured meshes mix a per-send counter and have no
 //     such constraint);
-//   - an uplinker drains the spool in size- or time-triggered batches over
-//     a plain net/http POST, with exponential backoff plus jitter on
-//     failure and a circuit breaker after consecutive failures;
+//   - the ingest path is sharded: readings are partitioned across backend
+//     shards by the consistent-hashed origin address (see shard.go), each
+//     shard owning its own dedup horizon, WAL (with optional group
+//     commit), uplink window, backoff, and circuit breaker — so shards
+//     never contend on one lock, and a fleet of overlapping gateways maps
+//     any given origin to the same backend shard, whose dedup delivers
+//     cross-gateway exactly-once through handover and crash replay;
+//   - an uplinker drains each shard in size- or time-triggered batches
+//     over plain net/http POSTs, with up to Pipeline batches in flight
+//     per shard (windowed acks), exponential backoff plus jitter on
+//     failure, and a per-shard circuit breaker after consecutive
+//     failures;
 //   - the spool is a bounded queue: under sustained backend outage an
 //     explicit drop policy (oldest or newest) decides what gives, and the
 //     decision is counted, never silent;
 //   - the backend's POST responses may carry downlink commands, which the
 //     gateway injects back into the mesh through the node's normal
-//     datagram/reliable API.
+//     datagram/reliable API; versioned commands are applied idempotently,
+//     so out-of-order batch acks cannot regress controller state.
 //
 // Every decision — admission, dedup, drop, batch outcome, breaker
 // transition, downlink injection — surfaces through internal/metrics
@@ -35,6 +45,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/control"
@@ -68,7 +79,9 @@ func (p DropPolicy) String() string {
 // Reading is one spooled uplink record: an application message the mesh
 // delivered to the gateway node.
 type Reading struct {
-	// From is the originating mesh node.
+	// From is the originating mesh node — also the shard key: readings
+	// from one origin always map to the same backend shard, on every
+	// gateway in a fleet.
 	From packet.Address
 	// To is the gateway node's address (or broadcast).
 	To packet.Address
@@ -176,15 +189,26 @@ type uplinkResponse struct {
 
 // Config parameterizes a gateway.
 type Config struct {
-	// URL is the backend uplink endpoint (POST).
+	// URL is the backend uplink endpoint (POST) — the single-shard
+	// shorthand for URLs with one entry.
 	URL string
+	// URLs lists one uplink endpoint per backend shard; when set it
+	// overrides URL and fixes the shard count at len(URLs). Readings are
+	// partitioned across shards by consistent-hashed origin address, so
+	// every gateway configured with the same shard COUNT routes a given
+	// origin to the same shard index — the property cross-gateway dedup
+	// rests on. Keep the count stable across restarts of one spool
+	// directory: each shard owns its own WAL file.
+	URLs []string
 	// Addr is the gateway node's mesh address, stamped on every uplink
 	// request. Attach helpers fill it from the node when zero.
 	Addr packet.Address
 	// SpoolPath is the WAL file backing the spool; empty means a
-	// memory-only spool (no restart durability).
+	// memory-only spool (no restart durability). With multiple shards,
+	// shard i's WAL lives at SpoolPath+".s<i>".
 	SpoolPath string
-	// SpoolCapacity bounds the pending queue. Zero means 1024.
+	// SpoolCapacity bounds the pending queue, split evenly across
+	// shards. Zero means 1024.
 	SpoolCapacity int
 	// Drop selects the full-spool policy (default DropOldest).
 	Drop DropPolicy
@@ -194,6 +218,20 @@ type Config struct {
 	// FlushInterval is the time-triggered flush for partial batches.
 	// Zero means 5 s.
 	FlushInterval time.Duration
+	// Pipeline is how many uplink batches may be in flight per backend
+	// shard at once. Zero or one means stop-and-wait (the classic
+	// behavior); higher values pipeline the uplink — the next batches
+	// launch without waiting for the previous ack, multiplying
+	// throughput on long round trips.
+	Pipeline int
+	// GroupCommit bounds how long an appended WAL record may wait in the
+	// writer buffer before it is flushed to the OS. Zero flushes every
+	// record immediately (classic behavior); a small interval (1–5 ms)
+	// turns thousands of per-record write syscalls into a handful of
+	// group commits under load, at the cost of a GroupCommit-sized
+	// window a crash can lose — which a gateway fleet recovers through
+	// handover re-delivery plus origin-sharded backend dedup.
+	GroupCommit time.Duration
 	// RetryBase is the first backoff after a failed POST; it doubles per
 	// consecutive failure. Zero means 500 ms.
 	RetryBase time.Duration
@@ -205,8 +243,8 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker blocks attempts before
 	// a half-open probe. Zero means 30 s.
 	BreakerCooldown time.Duration
-	// DedupHorizon bounds how many trace IDs the spool remembers for
-	// duplicate suppression. Zero means 8192.
+	// DedupHorizon bounds how many trace IDs each shard's spool
+	// remembers for duplicate suppression. Zero means 8192.
 	DedupHorizon int
 	// Client performs the POSTs. Nil means an http.Client with a 10 s
 	// timeout.
@@ -225,6 +263,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.URLs) == 0 && c.URL != "" {
+		c.URLs = []string{c.URL}
+	}
 	if c.SpoolCapacity <= 0 {
 		c.SpoolCapacity = 1024
 	}
@@ -233,6 +274,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = 5 * time.Second
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = 500 * time.Millisecond
@@ -258,25 +302,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// dlKey identifies one command stream for idempotent downlink
+// application: per destination node, per operation.
+type dlKey struct {
+	to packet.Address
+	op control.Op
+}
+
 // Gateway is a store-and-forward bridge instance. Create with New, feed
 // with Offer (usually via AttachSim/AttachHost), and drive either with
 // Start (real time, own goroutine) or Poll (externally clocked — the
 // deterministic simulator). It is safe for concurrent use.
+//
+// Internally the gateway is a set of independent shard lanes (see
+// gwShard): Offer routes a reading to its origin's lane and touches only
+// that lane's lock; Poll walks the lanes, launches every batch whose
+// window has room, posts them concurrently, and applies the results in
+// launch order — deterministic under the simulator, pipelined in the
+// wall-clock sense either way.
 type Gateway struct {
 	cfg Config
 	reg *metrics.Registry
 
-	mu sync.Mutex
-	sp *spool
-	// lastFlush anchors the time-triggered flush.
-	lastFlush time.Time
-	// consecFails drives backoff growth and the breaker.
-	consecFails int
-	nextRetryAt time.Time
-	breakerOpen bool
-	breakerTil  time.Time
-	sender      func(Downlink) error
-	closed      bool
+	ring   *hashRing
+	shards []*gwShard
+
+	// mu guards the engine-level state below — never held across a
+	// network call, never nested with a shard lock.
+	mu      sync.Mutex
+	sender  func(Downlink) error
+	applied map[dlKey]uint32 // highest Seq injected per command stream
+
+	closed atomic.Bool
 
 	// kick wakes the real-time loop when a batch fills.
 	kick     chan struct{}
@@ -285,30 +342,53 @@ type Gateway struct {
 	wg       sync.WaitGroup
 }
 
-// New opens the spool (replaying any WAL) and returns a ready gateway.
+// launch is one batch POST decided under a shard lock and executed
+// outside it.
+type launch struct {
+	sh       *gwShard
+	batch    []Reading
+	halfOpen bool
+	resp     *uplinkResponse
+	rtt      time.Duration
+	err      error
+}
+
+// New opens the spools (replaying any WALs) and returns a ready gateway.
 // Nothing uplinks until Start or Poll drives it.
 func New(cfg Config) (*Gateway, error) {
-	if cfg.URL == "" {
+	if cfg.URL == "" && len(cfg.URLs) == 0 {
 		return nil, fmt.Errorf("gateway: config needs a backend URL")
 	}
 	cfg = cfg.withDefaults()
 	g := &Gateway{
-		cfg:  cfg,
-		reg:  metrics.NewRegistry(),
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
+		cfg:     cfg,
+		reg:     metrics.NewRegistry(),
+		applied: make(map[dlKey]uint32),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
 	}
 	g.preRegisterInstruments()
-	sp, err := openSpool(cfg.SpoolPath, cfg.SpoolCapacity, cfg.Drop, cfg.DedupHorizon, g.reg)
-	if err != nil {
-		return nil, err
+	n := len(cfg.URLs)
+	g.ring = newHashRing(n)
+	perShardCap := (cfg.SpoolCapacity + n - 1) / n
+	replayed := 0
+	for i, u := range cfg.URLs {
+		sp, err := openSpool(walShardPath(cfg.SpoolPath, i, n), perShardCap, cfg.Drop, cfg.DedupHorizon, g.reg)
+		if err != nil {
+			for _, sh := range g.shards {
+				sh.sp.close()
+			}
+			return nil, err
+		}
+		sp.groupCommit = cfg.GroupCommit
+		g.shards = append(g.shards, newGwShard(i, u, sp, g.reg))
+		replayed += sp.replayed
 	}
-	g.sp = sp
-	if sp.replayed > 0 {
-		g.reg.Counter("gw.spool.replayed").Add(uint64(sp.replayed))
-		g.emit("replayed %d pending readings from %s", sp.replayed, cfg.SpoolPath)
+	if replayed > 0 {
+		g.reg.Counter("gw.spool.replayed").Add(uint64(replayed))
+		g.emit("replayed %d pending readings from %s", replayed, cfg.SpoolPath)
 	}
-	g.reg.Gauge("gw.spool.depth").Set(float64(sp.len()))
+	g.reg.Gauge("gw.spool.depth").Set(float64(g.depth()))
 	return g, nil
 }
 
@@ -321,6 +401,7 @@ func (g *Gateway) preRegisterInstruments() {
 		"gw.uplink.batches", "gw.uplink.readings", "gw.uplink.failures",
 		"gw.breaker.opened", "gw.spool.replayed", "gw.spool.compactions",
 		"gw.downlink.received", "gw.downlink.injected", "gw.downlink.errors",
+		"gw.downlink.stale", "ingest.wal.commits",
 	} {
 		g.reg.Counter(c)
 	}
@@ -330,6 +411,8 @@ func (g *Gateway) preRegisterInstruments() {
 	g.reg.Histogram("gw.uplink.batch_size")
 	g.reg.Histogram("gw.uplink.rtt_ms")
 	g.reg.Histogram("gw.uplink.age_ms")
+	g.reg.Histogram("gw.wal.compact_ns")
+	g.reg.Histogram("ingest.wal.commit_records")
 }
 
 // emit records a gateway trace event (no-op without a tracer).
@@ -354,6 +437,13 @@ func (g *Gateway) recordSpan(at time.Time, id trace.TraceID, seg span.Seg, dur t
 
 // Metrics exposes the gateway's instrument registry.
 func (g *Gateway) Metrics() *metrics.Registry { return g.reg }
+
+// Shards returns the number of backend shards.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
+// ShardOf returns the backend shard index owning an origin address — the
+// same mapping every gateway with this shard count computes.
+func (g *Gateway) ShardOf(origin packet.Address) int { return g.ring.shard(origin) }
 
 // Addr returns the gateway's mesh address.
 func (g *Gateway) Addr() packet.Address {
@@ -381,23 +471,38 @@ func (g *Gateway) SetSender(fn func(Downlink) error) {
 	g.mu.Unlock()
 }
 
+// depth sums pending readings across shards.
+func (g *Gateway) depth() int {
+	total := 0
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		total += sh.sp.len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // Pending returns the number of spooled readings awaiting uplink.
-func (g *Gateway) Pending() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.sp.len()
-}
+func (g *Gateway) Pending() int { return g.depth() }
 
-// BreakerOpen reports whether the circuit breaker is currently open.
+// BreakerOpen reports whether any shard's circuit breaker is open.
 func (g *Gateway) BreakerOpen() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.breakerOpen
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		open := sh.breakerOpen
+		sh.mu.Unlock()
+		if open {
+			return true
+		}
+	}
+	return false
 }
 
-// Offer admits one reading into the spool. It returns true when the
-// reading was admitted, false when it was recognized as a duplicate or
-// rejected by the DropNewest policy. Offer never blocks on the network.
+// Offer admits one reading into its origin's shard. It returns true when
+// the reading was admitted, false when it was recognized as a duplicate
+// or rejected by the DropNewest policy. Offer never blocks on the
+// network, and offers for different origins contend only on their own
+// shard's lock.
 func (g *Gateway) Offer(r Reading) bool {
 	if control.IsReport(r.Payload) {
 		// Control-plane feedback reaching the spool means no reconciler
@@ -406,15 +511,15 @@ func (g *Gateway) Offer(r Reading) bool {
 		// spool it like any reading — the backend sees the raw report.
 		g.reg.Counter("gw.reports.observed").Inc()
 	}
-	g.mu.Lock()
-	if g.closed {
-		g.mu.Unlock()
+	if g.closed.Load() {
 		return false
 	}
+	sh := g.shards[g.ring.shard(r.From)]
 	g.reg.Counter("gw.offered").Inc()
-	res, evicted, err := g.sp.add(r)
-	depth := g.sp.len()
-	g.mu.Unlock()
+	sh.mu.Lock()
+	res, evicted, err := sh.sp.add(r)
+	depth := sh.sp.len()
+	sh.mu.Unlock()
 
 	if err != nil {
 		// The reading is queued in memory even when the WAL write
@@ -422,7 +527,8 @@ func (g *Gateway) Offer(r Reading) bool {
 		g.reg.Counter("gw.wal.errors").Inc()
 		g.emit("WAL append failed: %v", err)
 	}
-	g.reg.Gauge("gw.spool.depth").Set(float64(depth))
+	sh.gDepth.Set(float64(depth))
+	g.reg.Gauge("gw.spool.depth").Set(float64(g.depth()))
 	switch res {
 	case addDuplicate:
 		g.reg.Counter("gw.drop.duplicate").Inc()
@@ -456,139 +562,250 @@ func (g *Gateway) Offer(r Reading) bool {
 func (g *Gateway) OfferMessage(m core.AppMessage) bool { return g.Offer(FromAppMessage(m)) }
 
 // Poll advances the uplinker at the given time: it performs every flush
-// that is due (full batches drain eagerly; a partial batch flushes once
-// FlushInterval has passed; backoff and breaker windows are respected)
-// and returns how long until it next wants to run. Poll is the
-// externally-clocked drive used by the simulator adapter; the real-time
-// loop calls it with time.Now().
+// that is due (full batches drain eagerly, up to Pipeline batches in
+// flight per shard; a partial batch flushes once FlushInterval has
+// passed; per-shard backoff and breaker windows are respected; dirty WAL
+// buffers group-commit when their interval expires) and returns how long
+// until it next wants to run. Poll is the externally-clocked drive used
+// by the simulator adapter; the real-time loop calls it with time.Now().
+//
+// Each round launches every due batch across all shards, posts them
+// concurrently, then applies the results in launch order — so a
+// simulation's metrics and state transitions stay deterministic while
+// the POSTs themselves overlap in wall-clock time.
 func (g *Gateway) Poll(now time.Time) time.Duration {
 	for {
-		wait, attempt := g.decide(now)
-		if !attempt {
+		launches, wait := g.collect(now)
+		if len(launches) == 0 {
 			return wait
 		}
-		if !g.flushOnce(now) {
-			wait, _ := g.decide(now)
-			return wait
+		g.execute(launches)
+		for _, l := range launches {
+			g.apply(l, now)
 		}
 	}
 }
 
-// decide reports whether a flush attempt is due at now, or how long to
-// wait otherwise.
-func (g *Gateway) decide(now time.Time) (time.Duration, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return time.Hour, false
+// collect walks the shards under their locks, gathering every batch that
+// may launch now and the earliest next-wake deadline otherwise. It also
+// runs due WAL group commits — the spool flush clock rides the same
+// drive as the uplinker.
+func (g *Gateway) collect(now time.Time) ([]*launch, time.Duration) {
+	if g.closed.Load() {
+		return nil, time.Hour
 	}
-	if g.lastFlush.IsZero() {
-		g.lastFlush = now
+	minWait := time.Hour
+	var launches []*launch
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		for {
+			wait, attempt := g.decideShard(sh, now)
+			if !attempt {
+				if wait < minWait {
+					minWait = wait
+				}
+				break
+			}
+			batch := sh.sp.peekExcluding(g.cfg.BatchSize, sh.inflight)
+			if len(batch) == 0 {
+				break
+			}
+			for _, r := range batch {
+				sh.inflight[r.Trace] = struct{}{}
+			}
+			sh.inflightBatches++
+			sh.gInflight.Set(float64(sh.inflightBatches))
+			launches = append(launches, &launch{sh: sh, batch: batch, halfOpen: sh.breakerOpen})
+			if sh.breakerOpen {
+				// Half-open: exactly one probe batch.
+				break
+			}
+		}
+		if err := sh.sp.commitIfDue(now); err != nil {
+			g.reg.Counter("gw.wal.errors").Inc()
+		}
+		if dl, ok := sh.sp.commitDeadline(); ok {
+			if w := dl.Sub(now); w < minWait {
+				minWait = w
+			}
+		}
+		sh.mu.Unlock()
 	}
-	if g.breakerOpen {
-		if now.Before(g.breakerTil) {
-			return g.breakerTil.Sub(now), false
+	if minWait < 0 {
+		minWait = 0
+	}
+	return launches, minWait
+}
+
+// decideShard reports whether a flush attempt is due on one shard at
+// now, or how long to wait otherwise. Caller holds sh.mu.
+func (g *Gateway) decideShard(sh *gwShard, now time.Time) (time.Duration, bool) {
+	if sh.lastFlush.IsZero() {
+		sh.lastFlush = now
+	}
+	if sh.breakerOpen {
+		if now.Before(sh.breakerTil) {
+			return sh.breakerTil.Sub(now), false
+		}
+		if sh.inflightBatches > 0 {
+			// The half-open probe is already out; wait for its verdict.
+			return g.cfg.FlushInterval, false
 		}
 		// Half-open: one probe attempt passes straight through — the
 		// breaker supersedes the per-attempt backoff gate.
-	} else if now.Before(g.nextRetryAt) {
-		return g.nextRetryAt.Sub(now), false
+	} else if now.Before(sh.nextRetryAt) {
+		return sh.nextRetryAt.Sub(now), false
 	}
-	pending := g.sp.len()
-	if pending == 0 {
-		g.lastFlush = now
+	if sh.inflightBatches >= g.cfg.Pipeline {
+		// Window full; an ack will reopen it.
 		return g.cfg.FlushInterval, false
 	}
-	if pending >= g.cfg.BatchSize || now.Sub(g.lastFlush) >= g.cfg.FlushInterval {
+	avail := sh.sp.len() - len(sh.inflight)
+	if avail <= 0 {
+		if sh.sp.len() == 0 {
+			sh.lastFlush = now
+		}
+		return g.cfg.FlushInterval, false
+	}
+	if avail >= g.cfg.BatchSize || now.Sub(sh.lastFlush) >= g.cfg.FlushInterval {
 		return 0, true
 	}
-	return g.lastFlush.Add(g.cfg.FlushInterval).Sub(now), false
+	return sh.lastFlush.Add(g.cfg.FlushInterval).Sub(now), false
 }
 
-// flushOnce attempts one batch POST at now and reports success. State
-// (backoff, breaker, spool acks) is updated under the lock; the HTTP
-// round trip itself runs unlocked so Offer never waits on the backend.
-func (g *Gateway) flushOnce(now time.Time) bool {
-	g.mu.Lock()
-	batch := g.sp.peek(g.cfg.BatchSize)
-	addr := g.cfg.Addr
-	halfOpen := g.breakerOpen
-	g.mu.Unlock()
-	if len(batch) == 0 {
-		return true
+// execute performs the launches' POSTs — inline when there is only one
+// (the stop-and-wait fast path keeps its old single-threaded profile),
+// concurrently otherwise. All posts complete before execute returns;
+// results are applied by the caller in launch order.
+func (g *Gateway) execute(launches []*launch) {
+	if len(launches) == 1 {
+		l := launches[0]
+		l.resp, l.rtt, l.err = g.post(l.sh.url, uplinkRequest{Gateway: g.Addr(), Readings: l.batch})
+		return
 	}
+	addr := g.Addr()
+	var wg sync.WaitGroup
+	wg.Add(len(launches))
+	for _, l := range launches {
+		go func(l *launch) {
+			defer wg.Done()
+			l.resp, l.rtt, l.err = g.post(l.sh.url, uplinkRequest{Gateway: addr, Readings: l.batch})
+		}(l)
+	}
+	wg.Wait()
+}
 
-	resp, rtt, err := g.post(uplinkRequest{Gateway: addr, Readings: batch})
+// apply folds one completed launch back into its shard's state: failure
+// advances backoff and may open the breaker; success acks the WAL,
+// closes a half-open breaker, and injects any downlinks.
+func (g *Gateway) apply(l *launch, now time.Time) {
+	sh := l.sh
+	sh.mu.Lock()
+	for _, r := range l.batch {
+		delete(sh.inflight, r.Trace)
+	}
+	sh.inflightBatches--
+	sh.gInflight.Set(float64(sh.inflightBatches))
 
-	g.mu.Lock()
-	if err != nil {
-		g.consecFails++
+	if l.err != nil {
+		sh.consecFails++
 		g.reg.Counter("gw.uplink.failures").Inc()
-		backoff := g.backoff(g.consecFails)
-		g.nextRetryAt = now.Add(backoff)
+		backoff := g.backoff(sh.consecFails)
+		sh.nextRetryAt = now.Add(backoff)
 		g.reg.Gauge("gw.backoff_ms").Set(float64(backoff) / float64(time.Millisecond))
 		opened := false
-		if g.cfg.BreakerThreshold > 0 && g.consecFails >= g.cfg.BreakerThreshold {
-			g.breakerOpen = true
-			g.breakerTil = now.Add(g.cfg.BreakerCooldown)
+		if g.cfg.BreakerThreshold > 0 && sh.consecFails >= g.cfg.BreakerThreshold {
+			sh.breakerOpen = true
+			sh.breakerTil = now.Add(g.cfg.BreakerCooldown)
 			g.reg.Gauge("gw.breaker.open").Set(1)
+			sh.gBreaker.Set(1)
 			opened = true
 		}
-		fails := g.consecFails
-		g.mu.Unlock()
+		fails := sh.consecFails
+		sh.mu.Unlock()
 		if opened {
 			g.reg.Counter("gw.breaker.opened").Inc()
 			g.emit("circuit breaker OPEN after %d consecutive failures (cooldown %v): %v",
-				fails, g.cfg.BreakerCooldown, err)
+				fails, g.cfg.BreakerCooldown, l.err)
 		} else {
 			g.emit("uplink batch of %d failed (attempt %d, retry in %v): %v",
-				len(batch), fails, backoff, err)
+				len(l.batch), fails, g.backoff(fails), l.err)
 		}
-		return false
+		return
 	}
 
 	// Success: acknowledge the batch in the WAL, reset failure state.
-	if wErr := g.sp.ack(batch); wErr != nil {
+	if wErr := sh.sp.ackAt(l.batch, now); wErr != nil {
 		g.reg.Counter("gw.wal.errors").Inc()
 		g.emit("WAL ack failed: %v", wErr)
 	}
-	if halfOpen || g.breakerOpen {
-		g.breakerOpen = false
+	if l.halfOpen || sh.breakerOpen {
+		sh.breakerOpen = false
 		g.reg.Gauge("gw.breaker.open").Set(0)
+		sh.gBreaker.Set(0)
 		g.emit("circuit breaker CLOSED after successful probe")
 	}
-	g.consecFails = 0
-	g.nextRetryAt = time.Time{}
-	g.lastFlush = now
-	depth := g.sp.len()
-	g.mu.Unlock()
+	sh.consecFails = 0
+	sh.nextRetryAt = time.Time{}
+	sh.lastFlush = now
+	depth := sh.sp.len()
+	compactDue := sh.sp.compactDue()
+	sh.mu.Unlock()
 
+	sh.gDepth.Set(float64(depth))
+	sh.cUplinked.Add(uint64(len(l.batch)))
 	g.reg.Gauge("gw.backoff_ms").Set(0)
-	g.reg.Gauge("gw.spool.depth").Set(float64(depth))
+	g.reg.Gauge("gw.spool.depth").Set(float64(g.depth()))
 	g.reg.Counter("gw.uplink.batches").Inc()
-	g.reg.Counter("gw.uplink.readings").Add(uint64(len(batch)))
-	g.reg.Histogram("gw.uplink.batch_size").Observe(float64(len(batch)))
-	g.reg.Histogram("gw.uplink.rtt_ms").ObserveDuration(rtt)
-	for _, r := range batch {
+	g.reg.Counter("gw.uplink.readings").Add(uint64(len(l.batch)))
+	g.reg.Histogram("gw.uplink.batch_size").Observe(float64(len(l.batch)))
+	g.reg.Histogram("gw.uplink.rtt_ms").ObserveDuration(l.rtt)
+	for _, r := range l.batch {
 		g.reg.Histogram("gw.uplink.age_ms").ObserveDuration(now.Sub(r.At))
 		// Queue-wait is the reading's spool residency; the batch POST's
 		// round trip stands in for the uplink "airtime".
 		g.recordSpan(now, r.Trace, span.SegQueueWait, now.Sub(r.At), "gw_spool")
-		g.recordSpan(now, r.Trace, span.SegDeliver, rtt, "gw_uplink")
+		g.recordSpan(now, r.Trace, span.SegDeliver, l.rtt, "gw_uplink")
 	}
-	g.emit("uplinked batch of %d (accepted %d, depth %d)", len(batch), resp.Accepted, depth)
-	g.injectDownlinks(resp.Downlinks)
-	return true
+	g.emit("uplinked batch of %d (accepted %d, depth %d)", len(l.batch), l.resp.Accepted, depth)
+	if compactDue {
+		g.compactShard(sh)
+	}
+	g.injectDownlinks(l.resp.Downlinks)
 }
 
-// post performs the HTTP round trip.
-func (g *Gateway) post(req uplinkRequest) (*uplinkResponse, time.Duration, error) {
+// compactShard rewrites one shard's WAL off the hot path: the pending
+// snapshot is taken under the lock, the O(capacity) bulk write runs
+// unlocked (admissions and other shards proceed), and the atomic rename
+// happens back under the lock. The stall a compaction does cost is
+// observed into gw.wal.compact_ns.
+func (g *Gateway) compactShard(sh *gwShard) {
+	start := time.Now()
+	sh.mu.Lock()
+	snap, ok := sh.sp.beginCompact()
+	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	st := sh.sp.writeCompactTmp(snap)
+	sh.mu.Lock()
+	err := sh.sp.finishCompact(st)
+	sh.mu.Unlock()
+	g.reg.Histogram("gw.wal.compact_ns").Observe(float64(time.Since(start)))
+	if err != nil {
+		g.reg.Counter("gw.wal.errors").Inc()
+		g.emit("WAL compaction failed: %v", err)
+	}
+}
+
+// post performs the HTTP round trip against one shard's endpoint.
+func (g *Gateway) post(url string, req uplinkRequest) (*uplinkResponse, time.Duration, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, 0, fmt.Errorf("gateway: encode batch: %w", err)
 	}
 	start := time.Now()
-	hr, err := http.NewRequest(http.MethodPost, g.cfg.URL, bytes.NewReader(body))
+	hr, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, fmt.Errorf("gateway: %w", err)
 	}
@@ -629,6 +846,13 @@ func (g *Gateway) injectDownlinks(cmds []Downlink) {
 // Inject pushes one downlink command into the mesh immediately — the
 // path both backend-returned downlinks and a locally attached
 // control-plane reconciler (internal/control) share.
+//
+// Versioned commands (Command.Seq set) are applied idempotently per
+// (destination, op) stream: a command older than one already injected is
+// skipped, so out-of-order batch acks from the pipelined uplink cannot
+// regress controller state. Retries of the CURRENT version pass through
+// — the controller keeps Seq stable across retries, and suppressing them
+// would break its delivery loop.
 func (g *Gateway) Inject(d Downlink) error {
 	g.mu.Lock()
 	sender := g.sender
@@ -648,6 +872,19 @@ func (g *Gateway) Inject(d Downlink) error {
 		}
 		d.Command = &control.Command{Op: control.OpRekey, Key: k}
 	}
+	if d.Command != nil && d.Command.Seq != 0 {
+		key := dlKey{to: d.To, op: d.Command.Op}
+		g.mu.Lock()
+		last, seen := g.applied[key]
+		stale := seen && d.Command.Seq < last
+		g.mu.Unlock()
+		if stale {
+			g.reg.Counter("gw.downlink.stale").Inc()
+			g.emit("stale %s downlink to %v skipped (seq %d < %d)",
+				d.Command.Op, d.To, d.Command.Seq, last)
+			return nil
+		}
+	}
 	if d.Command != nil {
 		d.Payload = control.MarshalCommand(*d.Command)
 		if d.Command.Op == control.OpRekey {
@@ -660,6 +897,14 @@ func (g *Gateway) Inject(d Downlink) error {
 		g.reg.Counter("gw.downlink.errors").Inc()
 		g.emit("downlink to %v failed: %v", d.To, err)
 		return err
+	}
+	if d.Command != nil && d.Command.Seq != 0 {
+		key := dlKey{to: d.To, op: d.Command.Op}
+		g.mu.Lock()
+		if d.Command.Seq > g.applied[key] {
+			g.applied[key] = d.Command.Seq
+		}
+		g.mu.Unlock()
 	}
 	g.reg.Counter("gw.downlink.injected").Inc()
 	if d.Command != nil {
@@ -706,32 +951,73 @@ func (g *Gateway) Start() {
 	}()
 }
 
-// Close stops the loop, attempts one final best-effort flush of a full
-// or partial batch, and closes the spool WAL. Readings still pending
-// remain in the WAL for the next process to replay.
+// Close stops the loop, attempts one final best-effort flush of every
+// shard's full or partial batches, and closes the spool WALs. Readings
+// still pending remain in the WALs for the next process to replay.
 func (g *Gateway) Close() error {
-	g.mu.Lock()
-	if g.closed {
-		g.mu.Unlock()
+	if g.closed.Load() {
 		return nil
 	}
-	g.mu.Unlock()
 	g.stopOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
 
 	// Final flush outside the loop: drain what the backend will take,
-	// but do not retry — the WAL keeps the rest.
+	// but do not retry — the WAL keeps the rest. Each shard drains
+	// independently; a backed-off or open-breaker shard is left alone.
 	now := time.Now()
-	g.mu.Lock()
-	blocked := g.breakerOpen && now.Before(g.breakerTil) || now.Before(g.nextRetryAt)
-	g.mu.Unlock()
-	if !blocked {
-		for g.Pending() > 0 && g.flushOnce(now) {
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		blocked := sh.breakerOpen && now.Before(sh.breakerTil) || now.Before(sh.nextRetryAt)
+		sh.mu.Unlock()
+		if blocked {
+			continue
+		}
+		for {
+			sh.mu.Lock()
+			batch := sh.sp.peekExcluding(g.cfg.BatchSize, sh.inflight)
+			if len(batch) == 0 {
+				sh.mu.Unlock()
+				break
+			}
+			for _, r := range batch {
+				sh.inflight[r.Trace] = struct{}{}
+			}
+			sh.inflightBatches++
+			halfOpen := sh.breakerOpen
+			sh.mu.Unlock()
+			l := &launch{sh: sh, batch: batch, halfOpen: halfOpen}
+			l.resp, l.rtt, l.err = g.post(sh.url, uplinkRequest{Gateway: g.Addr(), Readings: batch})
+			g.apply(l, now)
+			if l.err != nil {
+				break
+			}
 		}
 	}
 
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.closed = true
-	return g.sp.close()
+	g.closed.Store(true)
+	var firstErr error
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		if err := sh.sp.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// crash abandons the gateway without the final drain or WAL flush —
+// test and load-harness support for modeling a process crash: buffered
+// group-commit records are lost, pending readings stay only as far as
+// the WAL's last flush, exactly as kill -9 would leave them. A successor
+// built on the same SpoolPath replays what was durable.
+func (g *Gateway) crash() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+	g.closed.Store(true)
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		sh.sp.crash()
+		sh.mu.Unlock()
+	}
 }

@@ -3,10 +3,13 @@ package gateway
 import (
 	"bufio"
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -25,12 +28,25 @@ import (
 // a bounded horizon — so a reading re-delivered by the mesh after a
 // restart is still recognized as a duplicate.
 //
-// Writes are flushed to the OS on every append (crash-of-process safe);
-// the spool does not fsync, so power-loss durability is the file system's
+// Two write modes exist. With groupCommit zero (the default), every
+// append is flushed to the OS immediately — crash-of-process safe, one
+// syscall per record. With groupCommit set, appends land in the writer
+// buffer and are flushed together once the oldest buffered record has
+// waited groupCommit — the group-commit path that turns N records into
+// one write syscall under load, at the cost of a bounded window of
+// records that a crash can lose (a fleet recovers those via handover:
+// the mesh re-delivers through another gateway and the origin-sharded
+// backend dedup suppresses whatever was already uploaded). The append
+// path is allocation-free in steady state: records are hand-encoded into
+// a reusable scratch buffer instead of going through encoding/json.
+//
+// The spool never fsyncs; power-loss durability is the file system's
 // affair — the right trade for an edge bridge whose upstream retries
 // anyway.
 
-// walRecord is one WAL line.
+// walRecord is one WAL line. It is the decode-side schema; the encode
+// side is the hand-rolled appendPut/appendDel below, which emit the same
+// shape without allocating.
 type walRecord struct {
 	// Op is "put" (reading admitted) or "del" (reading uploaded or
 	// evicted; only Trace is set).
@@ -40,7 +56,8 @@ type walRecord struct {
 }
 
 // spool is the bounded durable queue. It has no lock of its own: every
-// method runs under the owning Gateway's mutex.
+// method runs under the owning shard's mutex (compaction's bulk write is
+// the deliberate exception — see beginCompact).
 type spool struct {
 	path     string // "" = memory-only
 	capacity int
@@ -49,6 +66,13 @@ type spool struct {
 
 	f *os.File
 	w *bufio.Writer
+
+	// groupCommit bounds how long an appended record may sit unflushed;
+	// zero flushes every append. Set once, before the first add.
+	groupCommit time.Duration
+	dirty       bool
+	dirtySince  time.Time
+	unflushed   int
 
 	pending []Reading // FIFO; head is the oldest admitted reading
 	seen    map[trace.TraceID]struct{}
@@ -59,6 +83,16 @@ type spool struct {
 
 	lines    int // WAL records written since last compaction (incl. replayed)
 	replayed int // pending readings recovered at open
+
+	// encBuf is the reusable scratch buffer for WAL encoding; it grows to
+	// the largest record and stays there, making appends allocation-free.
+	encBuf []byte
+
+	// compacting marks a compaction in progress: appends keep going to
+	// the live WAL (crash safety) and are additionally captured in
+	// compactLog so finishCompact can replay them into the sidecar.
+	compacting bool
+	compactLog [][]byte
 
 	// validLen is the byte offset just past the last intact,
 	// newline-terminated record seen during replay. A torn tail (crash
@@ -82,7 +116,9 @@ const (
 )
 
 // openSpool opens (and replays) the WAL at path, or builds a memory-only
-// spool when path is empty.
+// spool when path is empty. Group commit is off until the owner sets
+// s.groupCommit; open-time appends (tail rewrite, capacity trim) are
+// always flushed immediately.
 func openSpool(path string, capacity int, policy DropPolicy, seenCap int, reg *metrics.Registry) (*spool, error) {
 	s := &spool{
 		path:     path,
@@ -116,7 +152,7 @@ func openSpool(path string, capacity int, policy DropPolicy, seenCap int, reg *m
 	if s.tail != nil {
 		// The final record was complete but unterminated; it was truncated
 		// with the torn bytes, so write it back properly framed.
-		if err := s.append(*s.tail); err != nil {
+		if err := s.appendJSON(*s.tail); err != nil {
 			return nil, err
 		}
 		s.tail = nil
@@ -135,7 +171,7 @@ func openSpool(path string, capacity int, policy DropPolicy, seenCap int, reg *m
 			s.pending = s.pending[1:]
 			s.reg.Counter("gw.drop.oldest").Inc()
 		}
-		if err := s.append(walRecord{Op: "del", Trace: ev.Trace.String()}); err != nil {
+		if err := s.appendJSON(walRecord{Op: "del", Trace: ev.Trace.String()}); err != nil {
 			return nil, err
 		}
 	}
@@ -254,8 +290,110 @@ func (s *spool) remember(id trace.TraceID) {
 	}
 }
 
-// append writes one WAL record and flushes it to the OS.
-func (s *spool) append(rec walRecord) error {
+// growTo extends b by n bytes, reallocating only when capacity runs out.
+func growTo(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, 2*(len(b)+n))
+	copy(nb, b)
+	return nb
+}
+
+// appendHexTrace appends the canonical 16-hex-digit trace ID.
+func appendHexTrace(dst []byte, id trace.TraceID) []byte {
+	const hexd = "0123456789abcdef"
+	v := uint64(id)
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexd[(v>>uint(shift))&0xf])
+	}
+	return dst
+}
+
+// encodePut appends one framed put record to dst. The output parses as
+// the walRecord/readingJSON schema; every field is from a JSON-safe
+// alphabet (decimal, hex, base64, RFC 3339), so no escaping pass is
+// needed and the encoder allocates nothing once dst has grown.
+func encodePut(dst []byte, r *Reading) []byte {
+	dst = append(dst, `{"op":"put","r":{"from":`...)
+	dst = strconv.AppendUint(dst, uint64(r.From), 10)
+	dst = append(dst, `,"to":`...)
+	dst = strconv.AppendUint(dst, uint64(r.To), 10)
+	dst = append(dst, `,"trace":"`...)
+	dst = appendHexTrace(dst, r.Trace)
+	dst = append(dst, `","payload":"`...)
+	n := base64.StdEncoding.EncodedLen(len(r.Payload))
+	off := len(dst)
+	dst = growTo(dst, n)
+	base64.StdEncoding.Encode(dst[off:off+n], r.Payload)
+	if r.Reliable {
+		dst = append(dst, `","reliable":true,"at":"`...)
+	} else {
+		dst = append(dst, `","at":"`...)
+	}
+	dst = r.At.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, '"', '}', '}', '\n')
+	return dst
+}
+
+// encodeDel appends one framed del record to dst.
+func encodeDel(dst []byte, id trace.TraceID) []byte {
+	dst = append(dst, `{"op":"del","trace":"`...)
+	dst = appendHexTrace(dst, id)
+	dst = append(dst, '"', '}', '\n')
+	return dst
+}
+
+// appendLine writes one pre-encoded record line: straight to the OS when
+// group commit is off, into the buffered writer (marked dirty at time at)
+// when it is on. A compaction in progress captures a copy so the sidecar
+// stays complete.
+func (s *spool) appendLine(line []byte, at time.Time) error {
+	if s.w == nil {
+		return nil
+	}
+	if s.compacting {
+		s.compactLog = append(s.compactLog, append([]byte(nil), line...))
+	}
+	if _, err := s.w.Write(line); err != nil {
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	s.lines++
+	if s.groupCommit <= 0 {
+		if err := s.w.Flush(); err != nil {
+			return fmt.Errorf("gateway: spool: %w", err)
+		}
+		return nil
+	}
+	s.unflushed++
+	if !s.dirty {
+		s.dirty = true
+		s.dirtySince = at
+	}
+	return nil
+}
+
+// appendPut hand-encodes and writes one put record (zero-alloc).
+func (s *spool) appendPut(r *Reading, at time.Time) error {
+	if s.w == nil {
+		return nil
+	}
+	s.encBuf = encodePut(s.encBuf[:0], r)
+	return s.appendLine(s.encBuf, at)
+}
+
+// appendDel hand-encodes and writes one del record (zero-alloc).
+func (s *spool) appendDel(id trace.TraceID, at time.Time) error {
+	if s.w == nil {
+		return nil
+	}
+	s.encBuf = encodeDel(s.encBuf[:0], id)
+	return s.appendLine(s.encBuf, at)
+}
+
+// appendJSON writes one record through encoding/json — the cold path used
+// only at open time (tail rewrite, capacity trim), always flushed.
+func (s *spool) appendJSON(rec walRecord) error {
 	if s.w == nil {
 		return nil
 	}
@@ -271,6 +409,44 @@ func (s *spool) append(rec walRecord) error {
 		return fmt.Errorf("gateway: spool: %w", err)
 	}
 	s.lines++
+	return nil
+}
+
+// commitDeadline reports when buffered appends must be flushed.
+func (s *spool) commitDeadline() (time.Time, bool) {
+	if !s.dirty {
+		return time.Time{}, false
+	}
+	return s.dirtySince.Add(s.groupCommit), true
+}
+
+// commitIfDue flushes buffered appends once the oldest has waited the
+// group-commit interval.
+func (s *spool) commitIfDue(now time.Time) error {
+	if !s.dirty || now.Before(s.dirtySince.Add(s.groupCommit)) {
+		return nil
+	}
+	return s.commit()
+}
+
+// commit force-flushes buffered appends and records the group size.
+func (s *spool) commit() error {
+	if !s.dirty {
+		return nil
+	}
+	recs := s.unflushed
+	s.dirty = false
+	s.unflushed = 0
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	if recs > 0 {
+		s.reg.Counter("ingest.wal.commits").Inc()
+		s.reg.Histogram("ingest.wal.commit_records").Observe(float64(recs))
+	}
 	return nil
 }
 
@@ -298,11 +474,11 @@ func (s *spool) add(r Reading) (res spoolAdd, evicted *Reading, err error) {
 	s.pending = append(s.pending, r)
 	var firstErr error
 	if evicted != nil {
-		if werr := s.append(walRecord{Op: "del", Trace: evicted.Trace.String()}); werr != nil {
+		if werr := s.appendDel(evicted.Trace, r.At); werr != nil {
 			firstErr = werr
 		}
 	}
-	if werr := s.append(walRecord{Op: "put", Reading: &r}); werr != nil && firstErr == nil {
+	if werr := s.appendPut(&r, r.At); werr != nil && firstErr == nil {
 		firstErr = werr
 	}
 	return addOK, evicted, firstErr
@@ -316,10 +492,35 @@ func (s *spool) peek(n int) []Reading {
 	return append([]Reading(nil), s.pending[:n]...)
 }
 
-// ack removes the given readings (matched by trace ID, wherever they sit:
-// an eviction may have shifted the head while an upload was in flight)
-// and logs their deletion.
-func (s *spool) ack(rs []Reading) error {
+// peekExcluding returns up to n readings from the head, skipping trace
+// IDs in excl — the pipelined uplinker's view, which must not re-launch
+// readings already riding an in-flight batch.
+func (s *spool) peekExcluding(n int, excl map[trace.TraceID]struct{}) []Reading {
+	if len(excl) == 0 {
+		return s.peek(n)
+	}
+	out := make([]Reading, 0, n)
+	for i := range s.pending {
+		if len(out) == n {
+			break
+		}
+		if _, busy := excl[s.pending[i].Trace]; busy {
+			continue
+		}
+		out = append(out, s.pending[i])
+	}
+	return out
+}
+
+// ack removes the given readings at the zero time; test convenience for
+// spools without group commit (where the dirty timestamp is unused).
+func (s *spool) ack(rs []Reading) error { return s.ackAt(rs, time.Time{}) }
+
+// ackAt removes the given readings (matched by trace ID, wherever they
+// sit: an eviction may have shifted the head while an upload was in
+// flight) and logs their deletion. Compaction is the caller's affair —
+// check compactDue afterwards and run it off the hot path.
+func (s *spool) ackAt(rs []Reading, now time.Time) error {
 	ids := make(map[trace.TraceID]struct{}, len(rs))
 	for _, r := range rs {
 		ids[r.Trace] = struct{}{}
@@ -333,68 +534,136 @@ func (s *spool) ack(rs []Reading) error {
 	s.pending = kept
 	var firstErr error
 	for _, r := range rs {
-		if err := s.append(walRecord{Op: "del", Trace: r.Trace.String()}); err != nil && firstErr == nil {
+		if err := s.appendDel(r.Trace, now); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	if firstErr != nil {
-		return firstErr
-	}
-	return s.maybeCompact()
+	return firstErr
 }
 
-// maybeCompact rewrites the WAL with only the pending readings once dead
-// records dominate, bounding the file to O(capacity) instead of O(history).
-func (s *spool) maybeCompact() error {
-	if s.f == nil {
-		return nil
+// compactDue reports whether dead records dominate the WAL enough to be
+// worth rewriting — the trigger check is cheap and runs under the lock;
+// the rewrite itself must not (see beginCompact).
+func (s *spool) compactDue() bool {
+	return s.f != nil && !s.compacting &&
+		s.lines >= 1024 && s.lines >= 4*(len(s.pending)+1)
+}
+
+// compactState carries an in-progress compaction between the unlocked
+// bulk write and finishCompact.
+type compactState struct {
+	tmp     string
+	f       *os.File
+	w       *bufio.Writer
+	written int
+	err     error
+}
+
+// beginCompact snapshots the pending queue and marks the compaction in
+// progress. Runs under the owner's lock; returns ok=false when no
+// compaction is due. From here until finishCompact, appends keep landing
+// in the live WAL (nothing is lost to a crash mid-compaction) and are
+// captured for the sidecar.
+func (s *spool) beginCompact() ([]Reading, bool) {
+	if !s.compactDue() {
+		return nil, false
 	}
-	if s.lines < 1024 || s.lines < 4*(len(s.pending)+1) {
-		return nil
-	}
-	tmp := s.path + ".compact"
-	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	s.compacting = true
+	return append([]Reading(nil), s.pending...), true
+}
+
+// writeCompactTmp bulk-writes the snapshot into the sidecar file. It
+// touches no mutable spool state, so it runs WITHOUT the owner's lock —
+// the whole point of the split: admissions and uplinks proceed while the
+// O(capacity) rewrite happens here.
+func (s *spool) writeCompactTmp(snap []Reading) *compactState {
+	st := &compactState{tmp: s.path + ".compact"}
+	nf, err := os.OpenFile(st.tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("gateway: spool compact: %w", err)
+		st.err = fmt.Errorf("gateway: spool compact: %w", err)
+		return st
 	}
-	nw := bufio.NewWriter(nf)
-	enc := json.NewEncoder(nw)
-	written := 0
-	for i := range s.pending {
-		if err := enc.Encode(walRecord{Op: "put", Reading: &s.pending[i]}); err != nil {
-			nf.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("gateway: spool compact: %w", err)
+	st.f = nf
+	st.w = bufio.NewWriter(nf)
+	var buf []byte
+	for i := range snap {
+		buf = encodePut(buf[:0], &snap[i])
+		if _, err := st.w.Write(buf); err != nil {
+			st.err = fmt.Errorf("gateway: spool compact: %w", err)
+			return st
 		}
-		written++
+		st.written++
 	}
-	if err := nw.Flush(); err != nil {
-		nf.Close()
-		os.Remove(tmp)
+	return st
+}
+
+// finishCompact appends the records logged during the bulk write, then
+// atomically renames the sidecar over the live WAL and reopens it. Runs
+// under the owner's lock; on any failure the live WAL (which kept
+// receiving every append) stays authoritative and the sidecar is
+// discarded.
+func (s *spool) finishCompact(st *compactState) error {
+	defer func() {
+		s.compacting = false
+		s.compactLog = nil
+	}()
+	fail := func(err error) error {
+		if st.f != nil {
+			st.f.Close()
+		}
+		os.Remove(st.tmp)
+		return err
+	}
+	if st.err != nil {
+		return fail(st.err)
+	}
+	for _, line := range s.compactLog {
+		if _, err := st.w.Write(line); err != nil {
+			return fail(fmt.Errorf("gateway: spool compact: %w", err))
+		}
+		st.written++
+	}
+	if err := st.w.Flush(); err != nil {
+		return fail(fmt.Errorf("gateway: spool compact: %w", err))
+	}
+	if err := st.f.Close(); err != nil {
+		st.f = nil
+		return fail(fmt.Errorf("gateway: spool compact: %w", err))
+	}
+	if err := os.Rename(st.tmp, s.path); err != nil {
+		os.Remove(st.tmp)
 		return fmt.Errorf("gateway: spool compact: %w", err)
 	}
-	if err := nf.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("gateway: spool compact: %w", err)
-	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("gateway: spool compact: %w", err)
-	}
+	// The sidecar is now the log; retire the old handle. Its buffered
+	// bytes (group commit) are superseded by the sidecar's contents.
 	s.w.Flush()
 	s.f.Close()
+	s.dirty = false
+	s.unflushed = 0
 	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		s.f = nil
+		s.w = nil
 		return fmt.Errorf("gateway: spool compact: %w", err)
 	}
 	s.f = f
 	s.w = bufio.NewWriter(f)
-	s.lines = written
+	s.lines = st.written
 	// The dedup horizon intentionally survives compaction in memory only:
 	// after a restart the horizon shrinks to the IDs still in the log,
 	// trading perfect restart-dedup for a bounded file.
 	s.reg.Counter("gw.spool.compactions").Inc()
 	return nil
+}
+
+// compactBlocking runs a due compaction start to finish — for callers
+// (and tests) that hold the spool exclusively anyway.
+func (s *spool) compactBlocking() error {
+	snap, ok := s.beginCompact()
+	if !ok {
+		return nil
+	}
+	return s.finishCompact(s.writeCompactTmp(snap))
 }
 
 // len returns the number of pending readings.
@@ -405,13 +674,33 @@ func (s *spool) close() error {
 	if s.f == nil {
 		return nil
 	}
+	s.dirty = false
+	s.unflushed = 0
 	if err := s.w.Flush(); err != nil {
 		s.f.Close()
+		s.f = nil
+		s.w = nil
 		return fmt.Errorf("gateway: spool: %w", err)
 	}
-	if err := s.f.Close(); err != nil {
+	err := s.f.Close()
+	s.f = nil
+	s.w = nil
+	if err != nil {
 		return fmt.Errorf("gateway: spool: %w", err)
+	}
+	return nil
+}
+
+// crash abandons the WAL without flushing buffered appends — test and
+// load-harness support for modeling a process crash under group commit:
+// whatever sat in the writer buffer is lost, exactly as a real crash
+// would lose it.
+func (s *spool) crash() {
+	if s.f != nil {
+		s.f.Close()
 	}
 	s.f = nil
-	return nil
+	s.w = nil
+	s.dirty = false
+	s.unflushed = 0
 }

@@ -311,12 +311,17 @@ func TestSpoolCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Push enough churn through to cross the compaction threshold.
+	// Push enough churn through to cross the compaction threshold,
+	// driving the rewrite the way the gateway does: check the trigger
+	// after each ack and run the begin/write/finish cycle when due.
 	for i := 0; i < 700; i++ {
 		if res, _, err := s.add(testReading(i)); res != addOK || err != nil {
 			t.Fatalf("add %d: res=%v err=%v", i, res, err)
 		}
 		if err := s.ack(s.peek(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.compactBlocking(); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// gatewayPair builds a 5-node chain whose two ends advertise
+// RoleGateway, a minimal multi-gateway mesh.
+func gatewayPair(t *testing.T, seed int64) *Sim {
+	t.Helper()
+	topo := mustLine(t, 5, 8000)
+	sim, err := New(Config{
+		Topology: topo,
+		Node:     fastNode(),
+		Seed:     seed,
+		NodeOverride: func(i int, cfg core.Config) core.Config {
+			if i == 0 || i == 4 {
+				cfg.Role = packet.RoleGateway
+			}
+			return cfg
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.TimeToConvergence(time.Second, 5*time.Minute); !ok {
+		t.Fatal("mesh did not converge")
+	}
+	return sim
+}
+
+func TestAnycastFlowPicksNearestGateway(t *testing.T) {
+	sim := gatewayPair(t, 41)
+	stats, err := sim.StartAnycastFlow(AnycastFlow{
+		From: 1, Role: packet.RoleGateway, Sinks: []int{0, 4},
+		Payload: 20, Interval: 15 * time.Second, Count: 8, Margin: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(4 * time.Minute)
+	if stats.Offered != 8 || stats.Delivered < 6 {
+		t.Fatalf("offered %d delivered %d, want 8 offered and most delivered",
+			stats.Offered, stats.Delivered)
+	}
+	// Node 1 is one hop from gateway 0 and three from gateway 4: every
+	// delivery should land at the near one, with no handovers.
+	near, far := sim.Handle(0).Addr, sim.Handle(4).Addr
+	if stats.PerSink[far] != 0 || stats.PerSink[near] != stats.Delivered {
+		t.Errorf("PerSink = %v, want all deliveries at %v", stats.PerSink, near)
+	}
+	if stats.Handovers != 0 {
+		t.Errorf("Handovers = %d, want 0 on a stable mesh", stats.Handovers)
+	}
+}
+
+func TestAnycastFlowHandsOverWhenGatewayDies(t *testing.T) {
+	sim := gatewayPair(t, 42)
+	stats, err := sim.StartAnycastFlow(AnycastFlow{
+		From: 1, Role: packet.RoleGateway, Sinks: []int{0, 4},
+		Payload: 20, Interval: 15 * time.Second, Margin: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, far := sim.Handle(0).Addr, sim.Handle(4).Addr
+
+	sim.Run(2 * time.Minute)
+	if stats.PerSink[near] == 0 {
+		t.Fatal("no deliveries at the near gateway before the kill")
+	}
+	beforeFar := stats.PerSink[far]
+
+	// Kill the near gateway: after its route expires (30 s TTL here) the
+	// flow must hand over to the surviving gateway.
+	if err := sim.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(5 * time.Minute)
+
+	if stats.Handovers < 1 {
+		t.Errorf("Handovers = %d, want at least 1 after gateway death", stats.Handovers)
+	}
+	if got := stats.PerSink[far] - beforeFar; got < 3 {
+		t.Errorf("deliveries at surviving gateway after kill = %d, want >= 3", got)
+	}
+	if stats.Delivered == 0 || len(stats.PerSink) != 2 {
+		t.Errorf("stats = delivered %d PerSink %v, want both gateways used",
+			stats.Delivered, stats.PerSink)
+	}
+}
+
+func TestAnycastFlowValidation(t *testing.T) {
+	sim := gatewayPair(t, 43)
+	if _, err := sim.StartAnycastFlow(AnycastFlow{From: 1, Role: packet.RoleGateway, Interval: time.Second}); err == nil {
+		t.Error("no sinks: want error")
+	}
+	if _, err := sim.StartAnycastFlow(AnycastFlow{From: 1, Role: packet.RoleGateway, Sinks: []int{1}, Interval: time.Second}); err == nil {
+		t.Error("self sink: want error")
+	}
+	if _, err := sim.StartAnycastFlow(AnycastFlow{From: 9, Role: packet.RoleGateway, Sinks: []int{0}, Interval: time.Second}); err == nil {
+		t.Error("bad source: want error")
+	}
+	if _, err := sim.StartAnycastFlow(AnycastFlow{From: 1, Role: packet.RoleGateway, Sinks: []int{0}}); err == nil {
+		t.Error("zero interval: want error")
+	}
+}

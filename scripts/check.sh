@@ -52,7 +52,9 @@ echo "==> go test -race (concurrent packages)"
 # exchange outboxes and the merged window list through channel handoffs,
 # and the read-only-during-phases discipline on cell tx-indexes is
 # exactly the kind of invariant the race detector checks.
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./internal/control/... ./internal/citysim/... ./cmd/meshgw/...
+# meshload is here because the load harness runs a gateway fleet, an
+# HTTP backend, and the drain poller concurrently in one process.
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./internal/control/... ./internal/citysim/... ./cmd/meshgw/... ./cmd/meshload/...
 echo "==> meshsim -control smoke"
 # End-to-end: the simulator reconciles toward a real desired-state
 # document and must report convergence — guards the CLI wiring (flag,
@@ -70,6 +72,21 @@ if ! go run ./cmd/meshsim -n 4 -duration 12m -control /tmp/check_control_state.j
     exit 1
 fi
 rm -f /tmp/check_control_state.json
+echo "==> meshload ingest smoke"
+# End-to-end ingest: a pipelined two-gateway fleet with WAL spools, a
+# mid-run crash/restart, and overlapping delivery must land every
+# reading exactly once — zero lost, zero double-accepted. -check makes
+# meshload exit nonzero otherwise. Guards the sharded-dedup + group-
+# commit + handover composition under real HTTP, which unit tests only
+# cover piecewise.
+spool_dir=$(mktemp -d /tmp/check_meshload.XXXXXX)
+if ! go run ./cmd/meshload -readings 3000 -origins 32 -gateways 2 -shards 2 \
+    -pipeline 2 -gc 2ms -rtt 1ms -overlap 0.2 -crash -spool "$spool_dir" -check; then
+    echo "meshload smoke: delivery was not exactly-once" >&2
+    rm -rf "$spool_dir"
+    exit 1
+fi
+rm -rf "$spool_dir"
 echo "==> coverage ratchet"
 # The ratchet: total statement coverage may not drop more than 1 point
 # below scripts/coverage_floor.txt. Raise the floor when coverage grows.
