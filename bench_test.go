@@ -66,6 +66,7 @@ func BenchmarkX3Mobility(b *testing.B)        { benchExperiment(b, "X3") }
 func BenchmarkX4SNRRouting(b *testing.B)      { benchExperiment(b, "X4") }
 func BenchmarkX5Partition(b *testing.B)       { benchExperiment(b, "X5") }
 func BenchmarkX6Reactive(b *testing.B)        { benchExperiment(b, "X6") }
+func BenchmarkX7Strategies(b *testing.B)      { benchExperiment(b, "X7") }
 
 // benchCity runs one city simulation per iteration: the same 2000-node
 // telemetry workload on the serial reference executor and on four shards.
@@ -91,6 +92,34 @@ func benchCity(b *testing.B, shards int) {
 
 func BenchmarkE15CitySerial(b *testing.B)  { benchCity(b, 0) }
 func BenchmarkE15CityShards4(b *testing.B) { benchCity(b, 4) }
+
+// benchX7Strategy runs one forwarding strategy on the 2000-node city
+// workload per iteration. The committed snapshot pair prices the
+// strategy-API dispatch at scale: the ICN engine (content store, PIT,
+// per-cell strategy state) against the proactive default — a regression
+// in either strategy's city-engine handlers shows up here, not just in
+// the X7 table.
+func benchX7Strategy(b *testing.B, strategy string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := citysim.New(citysim.Config{
+			Nodes: 2000, Shards: 2, Seed: int64(i%4 + 1), Strategy: strategy,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(2 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		if st := sim.Stats(); st.FramesDelivered == 0 {
+			b.Fatalf("no deliveries: %+v", st)
+		}
+	}
+}
+
+func BenchmarkX7CityProactive(b *testing.B) { benchX7Strategy(b, "proactive") }
+func BenchmarkX7CityICN(b *testing.B)       { benchX7Strategy(b, "icn") }
 
 // benchIngest runs one ingest load pass per iteration against a live
 // HTTP backend with a simulated round trip. The committed snapshot pair

@@ -114,6 +114,38 @@ func TestMeshbenchSecKey(t *testing.T) {
 	}
 }
 
+// TestMeshbenchStrategyFlag pins the -strategy override: X7's city
+// section collapses to the one named strategy, and malformed values fail
+// before any experiment runs.
+func TestMeshbenchStrategyFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	o := options{exp: "X7", quick: true, seed: 1, format: "csv",
+		nodes: 300, shards: 2, strategy: "icn"}
+	if err := run(&out, &errOut, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, errOut.String())
+	}
+	cr := csv.NewReader(strings.NewReader(out.String()))
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%s", err, out.String())
+	}
+	var city [][]string
+	for _, rec := range recs[2:] {
+		if len(rec) > 1 && strings.HasPrefix(rec[1], "citysim") {
+			city = append(city, rec)
+		}
+	}
+	if len(city) != 1 || city[0][0] != "icn" {
+		t.Errorf("want exactly one icn city row, got %v", city)
+	}
+
+	o.strategy = "bogus"
+	if err := run(&out, &errOut, o); err == nil || !strings.Contains(err.Error(), `unknown strategy "bogus"`) {
+		t.Errorf("malformed -strategy: got %v, want unknown-strategy error", err)
+	}
+}
+
 // TestMeshbenchCityFlags pins the -nodes/-shards overrides: E15 collapses
 // to one size with a serial baseline plus the requested shard count.
 func TestMeshbenchCityFlags(t *testing.T) {

@@ -7,6 +7,8 @@
 //	meshsim                                   # 5-node chain, defaults
 //	meshsim -topology random -n 12 -duration 2h -traffic sink
 //	meshsim -topology grid -n 9 -protocol flooding -traffic pairs
+//	meshsim -strategy icn -n 8 -topology grid     # pull workload, in-mesh caching
+//	meshsim -strategy slotted                     # TDMA schedule + latency bound
 //	meshsim -trace 50                         # show the last 50 events
 //	meshsim -trace-out events.jsonl           # stream every event as JSONL
 //	meshsim -trace-packet 9c4f...a1           # reconstruct one packet's journey
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -24,11 +27,15 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/citysim"
 	"repro/internal/control"
+	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/faults"
+	"repro/internal/forward"
 	"repro/internal/geo"
+	"repro/internal/icn"
 	"repro/internal/meshsec"
 	"repro/internal/netsim"
+	"repro/internal/slotted"
 	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/loramesher"
@@ -45,6 +52,12 @@ type options struct {
 	shards   int
 	spacing  float64
 	protocol string
+	// strategy, when set, selects the forwarding strategy by its
+	// forward.Kind name (proactive, reactive, icn, slotted, flooding),
+	// overriding -protocol. ICN runs a pull workload (interest rounds
+	// against a node-0 producer) instead of the push -traffic patterns;
+	// slotted runs under a default 3-slot superframe with node 0 as sink.
+	strategy string
 	duration time.Duration
 	traffic  string
 	interval time.Duration
@@ -89,6 +102,7 @@ func main() {
 	flag.Float64Var(&o.spacing, "spacing", 8000, "node spacing / radius in meters")
 	flag.IntVar(&o.shards, "shards", -1, "run the city-scale sharded engine with -n nodes and this many shards (0 = serial reference executor; -1 = per-node engine)")
 	flag.StringVar(&o.protocol, "protocol", "mesher", "mesher | flooding | reactive")
+	flag.StringVar(&o.strategy, "strategy", "", "forwarding strategy: proactive | reactive | icn | slotted | flooding (overrides -protocol; icn/slotted not available with -protocol)")
 	flag.DurationVar(&o.duration, "duration", time.Hour, "simulated duration after convergence")
 	flag.StringVar(&o.traffic, "traffic", "pairs", "none | pairs | sink")
 	flag.DurationVar(&o.interval, "interval", 5*time.Minute, "mean traffic interval per flow")
@@ -133,6 +147,13 @@ func buildTopology(kind string, n int, spacing float64, seed int64) (*geo.Topolo
 }
 
 func run(w io.Writer, o options) error {
+	var strat forward.Kind
+	if o.strategy != "" {
+		var err error
+		if strat, err = forward.ParseKind(o.strategy); err != nil {
+			return err
+		}
+	}
 	if o.shards >= 0 {
 		return runCity(w, o)
 	}
@@ -172,21 +193,55 @@ func run(w io.Writer, o options) error {
 		}
 		cfg.SecKey = &key
 	}
-	switch o.protocol {
-	case "mesher":
-		cfg.Protocol = netsim.KindMesher
-	case "flooding":
-		cfg.Protocol = netsim.KindFlooding
-	case "reactive":
-		cfg.Protocol = netsim.KindReactive
-	default:
-		return fmt.Errorf("unknown protocol %q", o.protocol)
+	if strat != "" {
+		pk, ok := netsim.KindForStrategy(strat)
+		if !ok {
+			return fmt.Errorf("no engine runs strategy %q", strat)
+		}
+		cfg.Protocol = pk
+	} else {
+		switch o.protocol {
+		case "mesher":
+			cfg.Protocol = netsim.KindMesher
+		case "flooding":
+			cfg.Protocol = netsim.KindFlooding
+		case "reactive":
+			cfg.Protocol = netsim.KindReactive
+		default:
+			return fmt.Errorf("unknown protocol %q", o.protocol)
+		}
+	}
+	switch cfg.Protocol {
+	case netsim.KindICN:
+		// The PIT window sits below the 40 s application re-express
+		// cadence of icnReads, so a lost round re-floods instead of
+		// aggregating against a dead pending interest.
+		cfg.ICN = icn.Config{
+			RebroadcastDelay: 200 * time.Millisecond,
+			PITTimeout:       20 * time.Second,
+		}
+		cfg.ICNProduce = func(i int, name string) []byte {
+			if i == 0 {
+				return []byte("demo(" + name + ")")
+			}
+			return nil
+		}
+	case netsim.KindSlotted:
+		sf := defaultSuperframe()
+		cfg.Slotted = slotted.Config{Superframe: sf, Sink: 0x0001}
+		cfg.FlowLatencyBound = sf.LatencyBound.D()
 	}
 	if o.traceN > 0 {
 		cfg.TraceCapacity = o.traceN
 	}
 	cfg.SpanCapacity = o.spanCap
 	cfg.HealthInterval = o.health
+	if cfg.Protocol == netsim.KindSlotted && cfg.HealthInterval <= 0 {
+		// The superframe's latency bound is enforced by the health
+		// monitor; a slotted run without one would declare a bound nobody
+		// checks.
+		cfg.HealthInterval = time.Minute
+	}
 	var desired *control.State
 	if o.controlFile != "" {
 		if desired, err = control.LoadFile(o.controlFile); err != nil {
@@ -233,7 +288,10 @@ func run(w io.Writer, o options) error {
 	if cfg.SecKey != nil {
 		fmt.Fprintf(w, "link-layer security: on (frames encrypted and authenticated)\n\n")
 	}
-	if cfg.Protocol == netsim.KindMesher {
+	if strat != "" {
+		fmt.Fprintf(w, "forwarding strategy: %s\n\n", strat)
+	}
+	if cfg.Protocol == netsim.KindMesher || cfg.Protocol == netsim.KindSlotted {
 		conv, ok := sim.TimeToConvergence(10*time.Second, 12*time.Hour)
 		if !ok {
 			return fmt.Errorf("mesh did not converge in 12 h — check density vs radio range")
@@ -262,10 +320,19 @@ func run(w io.Writer, o options) error {
 			plan.Name, o.seed)
 	}
 
-	var stats []*netsim.TrafficStats
-	switch o.traffic {
-	case "none":
-	case "pairs":
+	// MergeStats snapshots by value, so push-strategy flows are merged only
+	// after the run; the ICN accounting object is mutated in place.
+	var flows []*netsim.TrafficStats
+	var icnStats *netsim.TrafficStats
+	trafficLabel := o.traffic
+	switch {
+	case o.traffic == "none":
+	case cfg.Protocol == netsim.KindICN:
+		// ICN routes by name, not address: the push patterns cannot drive
+		// it, so every non-producer node pulls a per-round datum instead.
+		icnStats = icnReads(sim, o.duration, o.interval)
+		trafficLabel = "interest rounds"
+	case o.traffic == "pairs":
 		for i := 0; i < sim.N(); i++ {
 			st, err := sim.StartFlow(netsim.Flow{
 				From: i, To: (i + sim.N()/2) % sim.N(), Payload: 24,
@@ -274,26 +341,35 @@ func run(w io.Writer, o options) error {
 			if err != nil {
 				return err
 			}
-			stats = append(stats, st)
+			flows = append(flows, st)
 		}
-	case "sink":
+	case o.traffic == "sink":
 		all, err := sim.StartManyToOne(0, 24, o.interval, true)
 		if err != nil {
 			return err
 		}
-		stats = all
+		flows = all
 	default:
 		return fmt.Errorf("unknown traffic pattern %q", o.traffic)
 	}
 
 	sim.Run(o.duration)
 
-	if len(stats) > 0 {
-		total := netsim.MergeStats(stats)
-		fmt.Fprintf(w, "traffic (%s, mean interval %v) over %v:\n", o.traffic, o.interval, o.duration)
+	total := icnStats
+	if total == nil && len(flows) > 0 {
+		total = netsim.MergeStats(flows)
+	}
+	if total != nil {
+		fmt.Fprintf(w, "traffic (%s, mean interval %v) over %v:\n", trafficLabel, o.interval, o.duration)
 		fmt.Fprintf(w, "  offered %d  delivered %d  PDR %.1f%%  mean latency %v\n\n",
 			total.Offered, total.Delivered, 100*total.DeliveryRatio(),
 			total.MeanLatency().Round(time.Millisecond))
+	}
+	if cfg.Protocol == netsim.KindICN {
+		snap := sim.AggregateMetrics().Snapshot()
+		fmt.Fprintf(w, "icn: interests expressed %.0f  aggregated %.0f  cache hits %.0f  misses %.0f  airtime saved %.0fms\n\n",
+			snap["total.icn.interest.expressed"], snap["total.icn.interest.aggregated"],
+			snap["total.icn.cs.hit"], snap["total.icn.cs.miss"], snap["total.icn.airtime.saved_ms"])
 	}
 
 	fmt.Fprintln(w, "per-node summary:")
@@ -381,6 +457,86 @@ func run(w io.Writer, o options) error {
 	return nil
 }
 
+// defaultSuperframe is the TDMA schedule -strategy slotted runs under:
+// three slots of 2 s with a 100 ms guard, and a 90 s end-to-end latency
+// bound the health monitor enforces per delivery.
+func defaultSuperframe() control.Superframe {
+	return control.Superframe{
+		Slots:        3,
+		SlotLen:      control.Duration(2 * time.Second),
+		Guard:        control.Duration(100 * time.Millisecond),
+		LatencyBound: control.Duration(90 * time.Second),
+	}
+}
+
+// icnReads drives the pull equivalent of the push traffic patterns: every
+// node but the node-0 producer expresses interest in a shared per-round
+// name each interval, re-expressing up to twice (40 s apart) while
+// unsatisfied — the strategy never retransmits, so retry is the
+// application's job. Offered counts one per (consumer, round); latency
+// runs from a consumer's first expression to its first delivery.
+func icnReads(sim *netsim.Sim, duration, interval time.Duration) *netsim.TrafficStats {
+	stats := &netsim.TrafficStats{}
+	type key struct{ consumer, round int }
+	exprAt := make(map[key]time.Time)
+	satisfied := make(map[key]bool)
+
+	for c := 1; c < sim.N(); c++ {
+		c := c
+		h := sim.Handle(c)
+		prev := h.OnMessage
+		h.OnMessage = func(msg core.AppMessage) {
+			if prev != nil {
+				prev(msg)
+			}
+			sep := bytes.IndexByte(msg.Payload, 0)
+			if sep < 0 {
+				return
+			}
+			var round int
+			if _, err := fmt.Sscanf(string(msg.Payload[:sep]), "demo/reading/%d", &round); err != nil {
+				return
+			}
+			k := key{c, round}
+			at, ok := exprAt[k]
+			if !ok || satisfied[k] {
+				return
+			}
+			satisfied[k] = true
+			stats.Delivered++
+			stats.Latencies = append(stats.Latencies, msg.At.Sub(at))
+		}
+	}
+
+	for r := 0; r < int(duration/interval); r++ {
+		name := fmt.Sprintf("demo/reading/%d", r)
+		for c := 1; c < sim.N(); c++ {
+			k := key{c, r}
+			base := time.Duration(r)*interval + time.Second +
+				time.Duration(c-1)*1700*time.Millisecond
+			for attempt := 0; attempt < 3; attempt++ {
+				at := base + time.Duration(attempt)*40*time.Second
+				if at >= duration {
+					continue
+				}
+				sim.Sched.MustAfter(at, func() {
+					if satisfied[k] {
+						return
+					}
+					if _, ok := exprAt[k]; !ok {
+						exprAt[k] = sim.Now()
+						stats.Offered++
+					}
+					if sim.Handle(k.consumer).ICN.Express(name) == nil {
+						stats.Accepted++
+					}
+				})
+			}
+		}
+	}
+	return stats
+}
+
 // printJourney renders every retained event carrying the trace ID — the
 // packet's hop-by-hop reconstruction, drop reason included.
 func printJourney(w io.Writer, t *trace.Tracer, id trace.TraceID) error {
@@ -450,6 +606,7 @@ func runCity(w io.Writer, o options) error {
 		Nodes:         o.n,
 		Shards:        o.shards,
 		Seed:          o.seed,
+		Strategy:      o.strategy,
 		HelloPeriod:   o.hello,
 		ShadowSigmaDB: o.shadow,
 	})

@@ -217,6 +217,79 @@ func TestRunSecuredSmoke(t *testing.T) {
 	}
 }
 
+func TestRunStrategySmoke(t *testing.T) {
+	// ICN swaps the push traffic patterns for interest rounds and reports
+	// the cache evidence.
+	o := opts()
+	o.topology, o.n, o.strategy, o.duration, o.interval = "grid", 6, "icn", 1800e9, 600e9
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"forwarding strategy: icn", "interest rounds", "cache hits"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("icn report missing %q:\n%s", want, s)
+		}
+	}
+
+	// Slotted converges like the proactive engine and arms the health
+	// monitor for its latency bound.
+	o = opts()
+	o.strategy, o.duration = "slotted", 1800e9
+	out.Reset()
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	for _, want := range []string{"forwarding strategy: slotted", "mesh converged", "mesh health"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("slotted report missing %q:\n%s", want, s)
+		}
+	}
+
+	// -strategy proactive matches the -protocol mesher default path.
+	o = opts()
+	o.strategy, o.duration = "proactive", 600e9
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Malformed values fail cleanly on both engine paths.
+	o = opts()
+	o.strategy = "bogus"
+	if err := run(&out, o); err == nil || !strings.Contains(err.Error(), `unknown strategy "bogus"`) {
+		t.Errorf("malformed -strategy: got %v, want unknown-strategy error", err)
+	}
+	o.shards = 2
+	if err := run(&out, o); err == nil || !strings.Contains(err.Error(), `unknown strategy "bogus"`) {
+		t.Errorf("malformed -strategy on city path: got %v, want unknown-strategy error", err)
+	}
+}
+
+// TestRunCityStrategy drives the -shards path under a non-default
+// strategy and checks the strategy reaches the city engine (a different
+// digest than the proactive default proves it was not ignored).
+func TestRunCityStrategy(t *testing.T) {
+	digest := func(strategy string) string {
+		var out bytes.Buffer
+		o := opts()
+		o.n, o.shards, o.duration, o.strategy = 200, 2, 300e9, strategy
+		if err := run(&out, o); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		i := strings.Index(s, "digest ")
+		if i < 0 {
+			t.Fatalf("city report missing digest:\n%s", s)
+		}
+		return strings.TrimSpace(s[i+len("digest "):])
+	}
+	if d, p := digest("icn"), digest("proactive"); d == p {
+		t.Errorf("icn digest %s equals proactive digest — strategy ignored", d)
+	}
+}
+
 // TestRunCitySmoke drives the -shards path: the city-scale engine runs
 // serial and sharded on the same seed and must report the same digest.
 func TestRunCitySmoke(t *testing.T) {

@@ -1,6 +1,7 @@
 // packetdump decodes LoRaMesher frames captured as hex — from a logic
 // analyzer, an SDR, or the simulator's traces — into human-readable form,
-// including HELLO routing-table payloads and per-SF airtime.
+// including HELLO routing-table payloads, ICN interest/named-data
+// payloads, TDMA slot beacons, and per-SF airtime.
 //
 //	$ packetdump ffff00010412340103
 //	HELLO 0001->FFFF len=9
@@ -38,6 +39,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -56,7 +58,7 @@ func main() {
 	sf := flag.Int("sf", 7, "spreading factor for airtime annotation (7-12)")
 	events := flag.String("events", "", "read a JSONL trace stream from this file (\"-\" for stdin) instead of hex frames")
 	traceID := flag.String("trace", "", "with -events: only events for this trace ID (the packet's journey)")
-	kind := flag.String("kind", "", "with -events: only events of this kind (tx, rx, drop, route, app, stream, failure)")
+	kind := flag.String("kind", "", "with -events: only events of this kind (tx, rx, drop, route, app, stream, failure, interest, data, slot-beacon)")
 	node := flag.String("node", "", "with -events: only events from this node address")
 	spans := flag.String("spans", "", "with -events: render the causal hop span tree for this trace ID (\"all\" for every trace in the stream)")
 	chrome := flag.String("chrome", "", "with -events: export span records as Chrome trace_event JSON to this file (\"-\" for stdout)")
@@ -271,6 +273,37 @@ func dump(w io.Writer, hexFrame string, params loraphy.Params, link *meshsec.Lin
 		for _, e := range entries {
 			fmt.Fprintf(w, "    %v metric %d %v\n", e.Addr, e.Metric, e.Role)
 		}
+	case p.Type == packet.TypeInterest:
+		// nonce(2) + hops(1) + prevHop(2) + name (see internal/icn).
+		if len(p.Payload) < 6 {
+			return fmt.Errorf("interest payload: %d bytes, want >= 6", len(p.Payload))
+		}
+		nonce := binary.BigEndian.Uint16(p.Payload[0:2])
+		hops := p.Payload[2]
+		prevHop := packet.Address(binary.BigEndian.Uint16(p.Payload[3:5]))
+		name := string(p.Payload[5:])
+		fmt.Fprintf(w, "  interest %s nonce=%d hops=%d prev-hop=%v\n",
+			previewPayload([]byte(name)), nonce, hops, prevHop)
+	case p.Type == packet.TypeNamedData:
+		// producer(2) + hops(1) + nameLen(1) + name + content.
+		if len(p.Payload) < 4 || len(p.Payload) < 4+int(p.Payload[3]) {
+			return fmt.Errorf("named-data payload: %d bytes, name length %d",
+				len(p.Payload), p.Payload[3])
+		}
+		producer := packet.Address(binary.BigEndian.Uint16(p.Payload[0:2]))
+		hops := p.Payload[2]
+		nameLen := int(p.Payload[3])
+		name := p.Payload[4 : 4+nameLen]
+		content := p.Payload[4+nameLen:]
+		fmt.Fprintf(w, "  data %s producer=%v hops=%d\n", previewPayload(name), producer, hops)
+		fmt.Fprintf(w, "  content (%d B): %s\n", len(content), previewPayload(content))
+	case p.Type == packet.TypeSlotBeacon:
+		// slots(1) + slot(1) + depth(1), exactly.
+		if len(p.Payload) != 3 {
+			return fmt.Errorf("slot-beacon payload: %d bytes, want 3", len(p.Payload))
+		}
+		fmt.Fprintf(w, "  slot beacon: slot %d of %d, sender depth %d\n",
+			p.Payload[1], p.Payload[0], p.Payload[2])
 	case len(p.Payload) > 0:
 		fmt.Fprintf(w, "  payload (%d B): %s\n", len(p.Payload), previewPayload(p.Payload))
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/hex"
 	"io"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/loraphy"
 	"repro/internal/meshsec"
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -142,6 +144,155 @@ func TestDumpEvents(t *testing.T) {
 	}
 	if err := dumpEvents(io.Discard, strings.NewReader("{not json}\n"), "", "", ""); err == nil {
 		t.Error("malformed JSONL: want error")
+	}
+}
+
+func TestDumpInterest(t *testing.T) {
+	// nonce(2) + hops(1) + prevHop(2) + name, as internal/icn sends it.
+	name := "city/7/air"
+	payload := make([]byte, 5+len(name))
+	binary.BigEndian.PutUint16(payload[0:2], 258)
+	payload[2] = 3
+	binary.BigEndian.PutUint16(payload[3:5], 0x0007)
+	copy(payload[5:], name)
+	hexFrame := encodeHex(t, &packet.Packet{
+		Dst: packet.Broadcast, Src: 0x0002, Type: packet.TypeInterest, Payload: payload,
+	})
+	var sb strings.Builder
+	if err := dump(&sb, hexFrame, loraphy.DefaultParams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"INTEREST", `"city/7/air"`, "nonce=258", "hops=3", "prev-hop=0007"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("interest dump missing %q:\n%s", want, out)
+		}
+	}
+
+	short := encodeHex(t, &packet.Packet{
+		Dst: packet.Broadcast, Src: 0x0002, Type: packet.TypeInterest, Payload: []byte{1, 2, 3},
+	})
+	if err := dump(io.Discard, short, loraphy.DefaultParams(), nil); err == nil {
+		t.Error("truncated interest payload: want error")
+	}
+}
+
+func TestDumpNamedData(t *testing.T) {
+	// producer(2) + hops(1) + nameLen(1) + name + content.
+	name := "city/7/air"
+	content := "21.5C"
+	payload := make([]byte, 4+len(name)+len(content))
+	binary.BigEndian.PutUint16(payload[0:2], 0x0009)
+	payload[2] = 2
+	payload[3] = uint8(len(name))
+	copy(payload[4:], name)
+	copy(payload[4+len(name):], content)
+	hexFrame := encodeHex(t, &packet.Packet{
+		Dst: 0x0002, Src: 0x0005, Via: 0x0003, Type: packet.TypeNamedData, Payload: payload,
+	})
+	var sb strings.Builder
+	if err := dump(&sb, hexFrame, loraphy.DefaultParams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"NAMED_DATA", `"city/7/air"`, "producer=0009", "hops=2", `content (5 B): "21.5C"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("named-data dump missing %q:\n%s", want, out)
+		}
+	}
+
+	// A name length pointing past the payload is rejected.
+	bad := encodeHex(t, &packet.Packet{
+		Dst: 0x0002, Src: 0x0005, Via: 0x0003, Type: packet.TypeNamedData,
+		Payload: []byte{0x00, 0x09, 2, 200, 'x'},
+	})
+	if err := dump(io.Discard, bad, loraphy.DefaultParams(), nil); err == nil {
+		t.Error("overlong name length: want error")
+	}
+}
+
+func TestDumpSlotBeacon(t *testing.T) {
+	hexFrame := encodeHex(t, &packet.Packet{
+		Dst: packet.Broadcast, Src: 0x0004, Type: packet.TypeSlotBeacon,
+		Payload: []byte{3, 1, 2},
+	})
+	var sb strings.Builder
+	if err := dump(&sb, hexFrame, loraphy.DefaultParams(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"SLOT_BEACON", "slot 1 of 3", "sender depth 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slot-beacon dump missing %q:\n%s", want, out)
+		}
+	}
+
+	bad := encodeHex(t, &packet.Packet{
+		Dst: packet.Broadcast, Src: 0x0004, Type: packet.TypeSlotBeacon,
+		Payload: []byte{3, 1},
+	})
+	if err := dump(io.Discard, bad, loraphy.DefaultParams(), nil); err == nil {
+		t.Error("short slot-beacon payload: want error")
+	}
+}
+
+func TestDumpEventsStrategyKinds(t *testing.T) {
+	tr := trace.New(16)
+	var jsonl bytes.Buffer
+	tr.SetSink(&jsonl)
+	at := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	id := trace.TraceID(0x1122334455667788)
+	tr.EmitPacket(at, "0002", trace.KindInterest, id, "interest %q nonce=%d hops=%d", "city/7/air", 258, 0)
+	tr.EmitPacket(at.Add(time.Second), "0009", trace.KindData, id, "data %q hops=%d", "city/7/air", 1)
+	tr.Emit(at.Add(2*time.Second), "0004", trace.KindSlotBeacon, "beacon slot=1")
+
+	run := func(kind string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := dumpEvents(&out, bytes.NewReader(jsonl.Bytes()), "", kind, ""); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	for kind, want := range map[string]string{
+		"interest":    "interest \"city/7/air\"",
+		"data":        "data \"city/7/air\"",
+		"slot-beacon": "beacon slot=1",
+	} {
+		out := run(kind)
+		if !strings.Contains(out, "1 of 3 events") || !strings.Contains(out, want) {
+			t.Errorf("-kind %s filter:\n%s", kind, out)
+		}
+	}
+}
+
+func TestDumpSpansCacheHit(t *testing.T) {
+	// A cache-hit journey as the ICN engine records it: requester tx,
+	// cache node rx + cache-hit + data tx, requester rx + deliver.
+	tr := trace.New(32)
+	var jsonl bytes.Buffer
+	tr.SetSink(&jsonl)
+	rec := span.NewRecorder(32)
+	rec.AttachTracer(tr)
+	at := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	id := trace.TraceID(0x9c4f21aa03b7e5d1)
+	rec.Record(at, "0001", id, span.SegEnqueue, 0, "INTEREST")
+	rec.Record(at.Add(10*time.Millisecond), "0001", id, span.SegAirtime, 41*time.Millisecond, "INTEREST")
+	rec.Record(at.Add(51*time.Millisecond), "0003", id, span.SegRx, 0, "INTEREST")
+	rec.Record(at.Add(52*time.Millisecond), "0003", id, span.SegCacheHit, 0, "city/7/air")
+	rec.Record(at.Add(60*time.Millisecond), "0003", id, span.SegAirtime, 46*time.Millisecond, "NAMED_DATA")
+	rec.Record(at.Add(106*time.Millisecond), "0001", id, span.SegRx, 0, "NAMED_DATA")
+	rec.Record(at.Add(107*time.Millisecond), "0001", id, span.SegDeliver, 0, "NAMED_DATA")
+
+	var out bytes.Buffer
+	if err := dumpSpans(&out, bytes.NewReader(jsonl.Bytes()), "all", ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"cache-hit", "city/7/air", "hop 0003", "delivered"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("span tree missing %q:\n%s", want, got)
+		}
 	}
 }
 

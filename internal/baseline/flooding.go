@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/forward"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 )
@@ -106,6 +107,12 @@ func (n *Node) Address() packet.Address { return n.cfg.Address }
 
 // Metrics exposes the node's instruments.
 func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Kind identifies the strategy: the controlled-flooding baseline.
+func (n *Node) Kind() forward.Kind { return forward.KindFlooding }
+
+// Beacons reports no control beacons: flooding has no control plane.
+func (n *Node) Beacons() []forward.Beacon { return nil }
 
 // Start is a no-op: flooding needs no beaconing. It exists so the
 // simulator can treat both protocols uniformly.

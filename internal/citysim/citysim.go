@@ -74,6 +74,25 @@ const noRoute = ^uint16(0) // hop-count sentinel: no usable route to a sink
 type Config struct {
 	// Nodes is the station count (required).
 	Nodes int
+	// Strategy selects the forwarding strategy, mirroring the full-engine
+	// strategy API (internal/forward):
+	//
+	//	""/"proactive": periodic HELLOs building Bellman-Ford sink trees
+	//	                (the default; this path is byte-identical to a
+	//	                build without the strategy field)
+	//	"reactive":     solicitation-gated beacons — nodes with traffic
+	//	                and no route flood a solicit, and only solicited
+	//	                (or sink) nodes beacon
+	//	"icn":          named-data pub-sub — nodes express interests in
+	//	                one well-known content, sinks produce it, every
+	//	                hop caches it (TTL-bounded) and aggregates
+	//	                concurrent interests in a PIT
+	//	"slotted":      proactive routing plus a TDMA gate: data transmits
+	//	                only inside the node's depth-derived slot
+	Strategy string
+	// SlottedSlots is the superframe slot count for Strategy "slotted"
+	// (slot = route depth modulo slots). 0 means 8.
+	SlottedSlots int
 	// Shards selects the execution mode: 0 is the serial reference — one
 	// event wheel and full O(n) station scans per transmission, the
 	// design that caps internal/netsim at demo scale — and any k >= 1
@@ -135,12 +154,22 @@ type Stats struct {
 	HelloSkips           uint64
 	AirtimeTotal         time.Duration
 
-	// Application-level outcomes.
+	// Application-level outcomes. In ICN mode Offered counts expressed
+	// interests and Delivered counts satisfied ones.
 	Offered    uint64 // telemetry readings generated
 	Delivered  uint64 // readings arrived at a sink
 	DropQueue  uint64
 	DropTTL    uint64
 	LatencySum time.Duration // sum over delivered readings
+
+	// Strategy-specific outcomes (zero under the proactive default; only
+	// folded into the digest in non-proactive modes, keeping the
+	// proactive digest byte-identical).
+	SolicitsSent       uint64 // reactive: solicit frames transmitted
+	InterestsSent      uint64 // icn: interest frames transmitted
+	InterestAggregated uint64 // icn: interests collapsed into a live PIT
+	CacheHits          uint64 // icn: interests answered from a content store
+	SlotDeferrals      uint64 // slotted: transmissions deferred to their slot
 
 	// Machine/mode-dependent (excluded from the digest).
 	EventsFired uint64
@@ -194,7 +223,24 @@ type resolved struct {
 	routeTTLNs    int64
 	csmaSlotNs    int64
 	noRouteWaitNs int64
+
+	// Strategy-mode constants (see engine.go for the handlers).
+	strat        uint8
+	slotLenNs    int64 // slotted: one TDMA slot
+	slotPeriodNs int64 // slotted: the superframe
+	solicitTTLNs int64 // reactive: how long a solicit licenses beacons
+	relayJitNs   int64 // reactive/icn: flood-relay jitter window
+	pitTTLNs     int64 // icn: pending-interest lifetime
+	csTTLNs      int64 // icn: content-store entry freshness
 }
+
+// Strategy codes for resolved.strat.
+const (
+	stratProactive uint8 = iota
+	stratReactive
+	stratICN
+	stratSlotted
+)
 
 func (cfg Config) resolve() (resolved, error) {
 	r := resolved{Config: cfg}
@@ -331,6 +377,33 @@ func (cfg Config) resolve() (resolved, error) {
 	if r.Sinks < 1 || r.Sinks > cfg.Nodes {
 		return r, fmt.Errorf("citysim: Sinks %d out of [1,%d]", r.Sinks, cfg.Nodes)
 	}
+
+	switch cfg.Strategy {
+	case "", "proactive":
+		r.strat = stratProactive
+	case "reactive":
+		r.strat = stratReactive
+	case "icn":
+		r.strat = stratICN
+	case "slotted":
+		r.strat = stratSlotted
+	default:
+		return r, fmt.Errorf("citysim: unknown strategy %q (want proactive, reactive, icn, or slotted)", cfg.Strategy)
+	}
+	if r.SlottedSlots == 0 {
+		r.SlottedSlots = 8
+	}
+	if r.SlottedSlots < 1 || r.SlottedSlots > 64 {
+		return r, fmt.Errorf("citysim: SlottedSlots %d out of [1,64]", r.SlottedSlots)
+	}
+	// Four data airtimes per slot: the slot always fits a frame (no
+	// livelock) with room for CSMA jitter.
+	r.slotLenNs = 4 * r.dataAirNs
+	r.slotPeriodNs = int64(r.SlottedSlots) * r.slotLenNs
+	r.solicitTTLNs = 2*r.helloNs + r.helloNs/2
+	r.relayJitNs = 16 * r.csmaSlotNs
+	r.pitTTLNs = r.dataNs / 2
+	r.csTTLNs = r.routeTTLNs
 	return r, nil
 }
 
@@ -546,6 +619,11 @@ func (dst *Stats) merge(src *shardStats) {
 	dst.DropQueue += src.dropQueue
 	dst.DropTTL += src.dropTTL
 	dst.LatencySum += time.Duration(src.latencySumNs)
+	dst.SolicitsSent += src.solicitsSent
+	dst.InterestsSent += src.interestsSent
+	dst.InterestAggregated += src.interestAggregated
+	dst.CacheHits += src.cacheHits
+	dst.SlotDeferrals += src.slotDeferrals
 }
 
 // stateBytes approximates the resident engine footprint: node slabs, link

@@ -207,3 +207,106 @@ func TestCityDeliveryExports(t *testing.T) {
 		t.Errorf("all deliveries landed on one sink: %v", perSink)
 	}
 }
+
+// TestCityStrategyAliasIdentity pins the proactive-untouched guarantee at
+// the digest level: Strategy "" and "proactive" are the same run.
+func TestCityStrategyAliasIdentity(t *testing.T) {
+	base := Config{Nodes: 120, Seed: 5, Shards: 2, Sinks: 1}
+	_, blank := runOnce(t, base, 6*time.Minute)
+	named := base
+	named.Strategy = "proactive"
+	_, aliased := runOnce(t, named, 6*time.Minute)
+	if blank != aliased {
+		t.Fatalf("Strategy \"\" digest %016x != \"proactive\" %016x", blank, aliased)
+	}
+}
+
+// TestCityStrategyValidation rejects unknown strategies and bad slot
+// counts.
+func TestCityStrategyValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 10, Strategy: "flooding"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := New(Config{Nodes: 10, Strategy: "slotted", SlottedSlots: 65}); err == nil {
+		t.Fatal("SlottedSlots 65 accepted")
+	}
+}
+
+// TestCityStrategyDeterminism extends the serial-vs-sharded digest gate to
+// every strategy mode: the strategy handlers must obey the same barrier
+// discipline as the proactive engine.
+func TestCityStrategyDeterminism(t *testing.T) {
+	for _, strat := range []string{"reactive", "icn", "slotted"} {
+		strat := strat
+		t.Run(strat, func(t *testing.T) {
+			base := Config{
+				Nodes:         240,
+				Seed:          9,
+				Sinks:         2,
+				Strategy:      strat,
+				ShadowSigmaDB: 3,
+			}
+			const d = 8 * time.Minute
+			serial, want := runOnce(t, base, d)
+			for _, shards := range []int{2, 4} {
+				cfg := base
+				cfg.Shards = shards
+				_, got := runOnce(t, cfg, d)
+				if got != want {
+					t.Errorf("shards=%d digest %016x, serial %016x", shards, got, want)
+				}
+			}
+			if serial.FramesSent == 0 {
+				t.Fatalf("no radio traffic: %+v", serial)
+			}
+		})
+	}
+}
+
+// TestCityStrategyBehavior checks each mode's defining mechanism actually
+// engages at city scale.
+func TestCityStrategyBehavior(t *testing.T) {
+	const d = 12 * time.Minute
+	base := Config{Nodes: 240, Seed: 2, Shards: 2, Sinks: 2}
+
+	t.Run("reactive", func(t *testing.T) {
+		cfg := base
+		cfg.Strategy = "reactive"
+		st, _ := runOnce(t, cfg, d)
+		if st.SolicitsSent == 0 {
+			t.Fatalf("no solicits sent: %+v", st)
+		}
+		if st.Delivered == 0 {
+			t.Fatalf("no deliveries under reactive mode: %+v", st)
+		}
+	})
+	t.Run("icn", func(t *testing.T) {
+		cfg := base
+		cfg.Strategy = "icn"
+		st, _ := runOnce(t, cfg, d)
+		if st.InterestsSent == 0 || st.Delivered == 0 {
+			t.Fatalf("icn never satisfied an interest: %+v", st)
+		}
+		if st.CacheHits == 0 {
+			t.Fatalf("no cache hits across %d interests: %+v", st.Offered, st)
+		}
+		if st.InterestAggregated == 0 {
+			t.Fatalf("no interest aggregation: %+v", st)
+		}
+	})
+	t.Run("slotted", func(t *testing.T) {
+		cfg := base
+		cfg.Strategy = "slotted"
+		st, _ := runOnce(t, cfg, d)
+		if st.SlotDeferrals == 0 {
+			t.Fatalf("slot gate never deferred: %+v", st)
+		}
+		if st.Delivered == 0 {
+			t.Fatalf("no deliveries under slotted mode: %+v", st)
+		}
+		pro, _ := runOnce(t, base, d)
+		if pro.Delivered == 0 {
+			t.Fatalf("no proactive baseline deliveries: %+v", pro)
+		}
+	})
+}

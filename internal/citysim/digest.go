@@ -30,9 +30,14 @@ func (d *digester) i64(v int64) { d.u64(uint64(v)) }
 
 // Digest returns the FNV-1a fold of the run's mode-independent final
 // state. Call after Run; calling before folds the initial state.
+// Strategy-specific state (content stores, PIT crumbs, solicit/interest
+// counters, queued frame kinds) is folded only in the non-proactive
+// modes, so the proactive digest is byte-identical to a build without
+// the strategy field.
 func (s *Sim) Digest() uint64 {
 	d := digester(fnvOffset)
 	ns := &s.nodes
+	strategic := s.r.strat != stratProactive
 	for i := 0; i < s.r.Nodes; i++ {
 		d.u64(uint64(ns.hop[i]))
 		d.i64(int64(ns.next[i]))
@@ -54,6 +59,25 @@ func (s *Sim) Digest() uint64 {
 			d.i64(int64(p.origin))
 			d.i64(p.born)
 			d.u64(uint64(p.hops))
+			if strategic {
+				d.u64(uint64(p.kind))
+				d.i64(int64(p.dst))
+			}
+		}
+		if strategic {
+			d.i64(ns.solicitAt[i])
+			d.i64(int64(ns.solSeenFrom[i]))
+			d.i64(ns.solSeenBorn[i])
+			d.i64(int64(ns.intSeenFrom[i]))
+			d.i64(ns.intSeenBorn[i])
+			d.i64(ns.csAt[i])
+			d.u64(uint64(ns.csHops[i]))
+			d.u64(uint64(ns.pitLen[i]))
+			for k := 0; k < int(ns.pitLen[i]); k++ {
+				d.i64(int64(ns.pitDown[i*pitCap+k]))
+				d.i64(int64(ns.pitOrigin[i*pitCap+k]))
+				d.i64(ns.pitBorn[i*pitCap+k])
+			}
 		}
 	}
 
@@ -101,5 +125,12 @@ func (s *Sim) Digest() uint64 {
 	d.u64(st.DropQueue)
 	d.u64(st.DropTTL)
 	d.i64(int64(st.LatencySum))
+	if strategic {
+		d.u64(st.SolicitsSent)
+		d.u64(st.InterestsSent)
+		d.u64(st.InterestAggregated)
+		d.u64(st.CacheHits)
+		d.u64(st.SlotDeferrals)
+	}
 	return uint64(d)
 }

@@ -19,15 +19,22 @@ const nodeStateBytesPer = 8 + 8 + 4 + 1 + // x, y, cell, isSink
 	4*8 // counters
 
 // pktBytes is the slab footprint of one queued packet.
-const pktBytes = 4 + 8 + 1 + 3 // origin, born, hops, padding
+const pktBytes = 4 + 8 + 1 + 1 + 4 + 6 // origin, born, hops, kind, dst, padding
 
-// pkt is one queued telemetry reading. Packets live in per-shard slabs
-// with freelists; a reading crossing a shard boundary travels as txRec
-// fields and re-materializes in the receiving shard's slab.
+// pkt is one queued frame awaiting transmission. Under proactive routing
+// it is always a telemetry reading (kind/dst unused — the digest of a
+// proactive run never folds them); the icn strategy also queues interest
+// relays and named-data answers, for which kind selects the frame type
+// and dst the unicast breadcrumb hop (-1 broadcasts). Packets live in
+// per-shard slabs with freelists; a frame crossing a shard boundary
+// travels as txRec fields and re-materializes in the receiving shard's
+// slab.
 type pkt struct {
 	origin int32
 	born   int64
 	hops   uint8
+	kind   uint8
+	dst    int32
 }
 
 // nodeState is the struct-of-arrays engine state. Each slot is written
@@ -72,6 +79,22 @@ type nodeState struct {
 	cFwd       []uint32
 	cDelivered []uint32
 
+	// Strategy-mode state (engine_strategy.go). Written only in the
+	// non-proactive modes; folded into the digest only there too.
+	solicitAt   []int64 // reactive: last solicit heard (-1 never)
+	solSeenFrom []int32 // reactive: last relayed solicit flood (origin)
+	solSeenBorn []int64 // reactive: last relayed solicit flood (born)
+	replyArmed  []bool  // reactive: a triggered hello reply is pending
+	intSeenFrom []int32 // icn: last seen interest flood (origin)
+	intSeenBorn []int64 // icn: last seen interest flood (born)
+	csAt        []int64 // icn: content-store fill instant (-1 empty)
+	csHops      []uint16
+	pitLen      []uint8 // icn: live crumb count (0 = no entry)
+	pitExpiry   []int64
+	pitDown     []int32 // flat [node][pitCap] crumb slabs
+	pitOrigin   []int32
+	pitBorn     []int64
+
 	// Link slabs (sharded modes): per-node sorted neighbor ids with
 	// precomputed symmetric link loss. nbrOff has n+1 entries.
 	nbrOff  []int32
@@ -107,10 +130,27 @@ func (ns *nodeState) alloc(n, qcap int) {
 	ns.cDataTx = make([]uint32, n)
 	ns.cFwd = make([]uint32, n)
 	ns.cDelivered = make([]uint32, n)
+	ns.solicitAt = make([]int64, n)
+	ns.solSeenFrom = make([]int32, n)
+	ns.solSeenBorn = make([]int64, n)
+	ns.replyArmed = make([]bool, n)
+	ns.intSeenFrom = make([]int32, n)
+	ns.intSeenBorn = make([]int64, n)
+	ns.csAt = make([]int64, n)
+	ns.csHops = make([]uint16, n)
+	ns.pitLen = make([]uint8, n)
+	ns.pitExpiry = make([]int64, n)
+	ns.pitDown = make([]int32, n*pitCap)
+	ns.pitOrigin = make([]int32, n*pitCap)
+	ns.pitBorn = make([]int64, n*pitCap)
 	for i := 0; i < n; i++ {
 		ns.hop[i] = noRoute
 		ns.next[i] = -1
 		ns.routeAt[i] = -1
+		ns.solicitAt[i] = -1
+		ns.solSeenFrom[i] = -1
+		ns.intSeenFrom[i] = -1
+		ns.csAt[i] = -1
 	}
 }
 
@@ -146,13 +186,17 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Hash purposes, mixed into the key so streams never collide.
+// Hash purposes, mixed into the key so streams never collide. The
+// strategy modes draw from purposes 6+ only, leaving every proactive
+// stream untouched.
 const (
-	purposeHelloJit uint64 = 1
-	purposeDataJit  uint64 = 2
-	purposeBackoff  uint64 = 3
-	purposeShadow   uint64 = 4
-	purposeErasure  uint64 = 5
+	purposeHelloJit   uint64 = 1
+	purposeDataJit    uint64 = 2
+	purposeBackoff    uint64 = 3
+	purposeShadow     uint64 = 4
+	purposeErasure    uint64 = 5
+	purposeRelayJit   uint64 = 6 // reactive/icn: flood-relay hold-off
+	purposeSolicitJit uint64 = 7 // reactive: triggered hello-reply hold-off
 )
 
 func (s *Sim) hash(purpose uint64, a, b, c uint64) uint64 {
@@ -352,7 +396,11 @@ func (sh *shard) helloFire(i int32) {
 	ns := &s.nodes
 	s.accrueDuty(i, now)
 	ns.helloSeq[i]++
-	if ns.txEnd[i] > now || ns.dutyBudget[i] < s.r.helloAirNs || sh.channelBusy(i, now) {
+	if s.r.strat == stratReactive && !ns.isSink[i] &&
+		(ns.solicitAt[i] < 0 || now-ns.solicitAt[i] > s.r.solicitTTLNs) {
+		// Reactive: an unsolicited non-sink node stays silent.
+		sh.stats.helloSkips++
+	} else if ns.txEnd[i] > now || ns.dutyBudget[i] < s.r.helloAirNs || sh.channelBusy(i, now) {
 		sh.stats.helloSkips++
 	} else {
 		sh.startTx(i, txRec{
@@ -366,15 +414,21 @@ func (sh *shard) helloFire(i int32) {
 	sh.at(now+next, func() { sh.helloFire(i) })
 }
 
-// dataFire generates one telemetry reading, queues it, and re-arms.
+// dataFire generates one telemetry reading, queues it, and re-arms. In
+// ICN mode the same cadence expresses an interest in the well-known
+// content instead (the reading flows sink-to-node, not node-to-sink).
 func (sh *shard) dataFire(i int32) {
 	s := sh.sim
 	now := sh.nowNs()
 	ns := &s.nodes
 	ns.dataSeq[i]++
 	sh.stats.offered++
-	sh.enqueue(i, sh.allocPkt(pkt{origin: i, born: now, hops: 0}))
-	sh.pump(i)
+	if s.r.strat == stratICN {
+		sh.expressInterest(i, now)
+	} else {
+		sh.enqueue(i, sh.allocPkt(pkt{origin: i, born: now, hops: 0}))
+		sh.pump(i)
+	}
 	next := s.r.dataNs + s.jitter(purposeDataJit, i, ns.dataSeq[i], s.r.dataNs)
 	sh.at(now+next, func() { sh.dataFire(i) })
 }
@@ -389,14 +443,30 @@ func (sh *shard) pump(i int32) {
 	if ns.txEnd[i] > now || ns.qLen[i] == 0 {
 		return // busy radio pumps again from txDone; empty queue has nothing to do
 	}
-	if s.effHop(i, now) == noRoute {
+	if s.r.strat != stratICN && s.effHop(i, now) == noRoute {
+		// ICN forwards by name, never by route. The other strategies need
+		// a sink route; reactive ones additionally shout for one.
+		if s.r.strat == stratReactive {
+			sh.trySolicit(i, now)
+		}
 		sh.armPump(i, s.r.noRouteWaitNs)
 		return
 	}
+	if s.r.strat == stratSlotted {
+		if wait := s.slotWait(i, now); wait > 0 {
+			sh.stats.slotDeferrals++
+			sh.armPump(i, wait)
+			return
+		}
+	}
+	airNs := s.r.dataAirNs
+	if s.r.strat == stratICN && sh.peek(i).kind == kindInterest {
+		airNs = s.r.helloAirNs // interests ride the small beacon frame
+	}
 	s.accrueDuty(i, now)
-	if ns.dutyBudget[i] < s.r.dataAirNs {
+	if ns.dutyBudget[i] < airNs {
 		// Wait exactly until the bucket refills at the 1% rate.
-		sh.armPump(i, (s.r.dataAirNs-ns.dutyBudget[i])*100)
+		sh.armPump(i, (airNs-ns.dutyBudget[i])*100)
 		return
 	}
 	if sh.channelBusy(i, now) {
@@ -415,18 +485,30 @@ func (sh *shard) pump(i int32) {
 	p := sh.pkts[idx]
 	sh.freePkt(idx)
 	ns.backoff[i] = 0
+	kind, dst := kindData, ns.next[i]
+	if s.r.strat == stratICN {
+		kind, dst = p.kind, p.dst
+	}
 	sh.startTx(i, txRec{
-		kind:   kindData,
-		dst:    ns.next[i],
+		kind:   kind,
+		dst:    dst,
 		origin: p.origin,
 		born:   p.born,
 		hops:   p.hops,
-	}, s.r.dataAirNs)
-	if p.origin == i {
+	}, airNs)
+	if kind == kindInterest {
+		sh.stats.interestsSent++
+	} else if p.origin == i {
 		ns.cDataTx[i]++
 	} else {
 		ns.cFwd[i]++
 	}
+}
+
+// peek returns the head of node i's queue without dequeuing (qLen > 0).
+func (sh *shard) peek(i int32) pkt {
+	ns := &sh.sim.nodes
+	return sh.pkts[ns.qBuf[int(i)*ns.qCap+int(ns.qHead[i])]]
 }
 
 // armPump schedules a single pump retry after d; duplicate arms collapse.

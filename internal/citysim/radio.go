@@ -76,6 +76,14 @@ func (sh *shard) evalAt(r int32, tx *txRec) {
 		if tx.dst == r {
 			sh.onData(r, tx)
 		}
+	case kindSolicit:
+		sh.onSolicit(r, tx)
+	case kindInterest:
+		sh.onInterest(r, tx)
+	case kindNamedData:
+		if tx.dst == r {
+			sh.onNamedData(r, tx)
+		}
 	}
 }
 

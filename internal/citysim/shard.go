@@ -12,10 +12,15 @@ import (
 	"repro/internal/simtime"
 )
 
-// Frame kinds carried in txRec.kind.
+// Frame kinds carried in txRec.kind. Hello and data are the proactive
+// pair; solicit (reactive), interest and named-data (icn) exist only in
+// the non-default strategy modes.
 const (
 	kindHello uint8 = iota
 	kindData
+	kindSolicit
+	kindInterest
+	kindNamedData
 )
 
 // txRec is one transmission crossing the barrier: everything any shard
@@ -65,6 +70,13 @@ type shardStats struct {
 	dropQueue       uint64
 	dropTTL         uint64
 	latencySumNs    int64
+
+	// Strategy-mode counters (zero under proactive).
+	solicitsSent       uint64
+	interestsSent      uint64
+	interestAggregated uint64
+	cacheHits          uint64
+	slotDeferrals      uint64
 }
 
 // Worker command phases.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/forward"
 	"repro/internal/loraphy"
 	"repro/internal/meshsec"
 	"repro/internal/metrics"
@@ -74,6 +75,12 @@ type Timer interface {
 type TimerEnv interface {
 	NewTimer(fn func()) Timer
 }
+
+// NewEnvTimer builds a reusable timer from env — native when the env
+// implements TimerEnv, Schedule-backed otherwise. Strategy wrappers
+// (e.g. internal/slotted's beacon) use it so their recurring timers get
+// the same amortization the node's own timers do.
+func NewEnvTimer(env Env, fn func()) Timer { return newTimer(env, fn) }
 
 // newTimer builds a reusable timer from env, native when available.
 func newTimer(env Env, fn func()) Timer {
@@ -282,6 +289,19 @@ type Config struct {
 	// means the host cannot either, and the node reports the command
 	// unsupported. Nil means every host-level command is unsupported.
 	OnControl func(cmd control.Command) bool
+	// Forwarder, when set, replaces the node's own distance-vector table
+	// as the next-hop decision for routed packets (see internal/forward).
+	// Nil dispatches through the routing table — the default strategy.
+	Forwarder forward.Forwarder
+	// TxGate, when set, is consulted before every transmission (after
+	// the duty-cycle check, before listen-before-talk): a positive
+	// clearance defers the queue pump by that long. The slotted strategy
+	// installs its TDMA schedule here. Nil transmits unconditionally.
+	TxGate forward.TxGate
+	// OnBeacon, when set, receives strategy control beacons
+	// (TypeSlotBeacon frames) addressed to or overheard by this node,
+	// after security verification. Nil ignores them.
+	OnBeacon func(p *packet.Packet, info RxInfo)
 }
 
 func (c Config) withDefaults() Config {
@@ -438,8 +458,26 @@ type Node struct {
 	outStreams map[uint8]*outStream
 	inStreams  map[inKey]*inStream
 
-	// Forwarding loop-breaker: packet fingerprint → last seen.
-	seen map[uint64]time.Time
+	// fwd is the next-hop decision for routed packets: the node's own
+	// routing table unless Config.Forwarder overrides it.
+	fwd forward.Forwarder
+	// dedup is the forwarding loop-breaker (shared strategy-API
+	// semantics; see forward.Dedup).
+	dedup forward.Dedup
+}
+
+// Compile-time check: the distance-vector table satisfies the strategy
+// API's next-hop contract verbatim.
+var _ forward.Forwarder = (*routing.Table)(nil)
+
+// Kind identifies the node's forwarding strategy: the distance-vector
+// engine is the proactive strategy.
+func (n *Node) Kind() forward.Kind { return forward.KindProactive }
+
+// Beacons describes the proactive strategy's control beacon: the
+// periodic routing-table HELLO.
+func (n *Node) Beacons() []forward.Beacon {
+	return []forward.Beacon{{Type: packet.TypeHello, Period: n.cfg.HelloPeriod}}
 }
 
 // dutyRegulator is the subset of dutycycle.Regulator the node needs,
@@ -483,7 +521,11 @@ func NewNode(cfg Config, env Env) (*Node, error) {
 		queue:      newTxQueue(cfg.QueueCapacity),
 		outStreams: make(map[uint8]*outStream),
 		inStreams:  make(map[inKey]*inStream),
-		seen:       make(map[uint64]time.Time),
+	}
+	n.dedup = forward.Dedup{Horizon: cfg.DedupHorizon}
+	n.fwd = cfg.Forwarder
+	if n.fwd == nil {
+		n.fwd = n.table
 	}
 	duty, err := newDuty(cfg)
 	if err != nil {

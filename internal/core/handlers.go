@@ -6,17 +6,17 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/forward"
 	"repro/internal/meshsec"
 	"repro/internal/packet"
 	"repro/internal/span"
 	"repro/internal/trace"
 )
 
-// RxInfo carries link-quality measurements for a received frame.
-type RxInfo struct {
-	RSSIDBm float64
-	SNRDB   float64
-}
+// RxInfo carries link-quality measurements for a received frame. It is
+// an alias for the strategy API's type (see internal/forward), so every
+// engine shares one signature.
+type RxInfo = forward.RxInfo
 
 // HandleFrame processes one frame received from the radio.
 func (n *Node) HandleFrame(frame []byte, info RxInfo) {
@@ -61,6 +61,18 @@ func (n *Node) HandleFrame(frame []byte, info RxInfo) {
 			return
 		}
 		n.handleHello(p, info)
+		return
+	}
+	if p.Type == packet.TypeSlotBeacon {
+		// Strategy control beacon (link-local broadcast, no via): hand it
+		// to the strategy layered on this engine, if any. Must run before
+		// the overheard filter — non-routed frames carry Via 0.
+		if n.sec != nil && !n.secOpen(p) {
+			return
+		}
+		if n.cfg.OnBeacon != nil {
+			n.cfg.OnBeacon(p, info)
+		}
 		return
 	}
 
@@ -208,19 +220,21 @@ func (n *Node) deliverData(p *packet.Packet) {
 	})
 }
 
-// forward relays a routed packet one hop closer to its destination.
+// forward relays a routed packet one hop closer to its destination. The
+// next-hop decision dispatches through the strategy API's Forwarder —
+// the distance-vector table by default (see Config.Forwarder).
 func (n *Node) forward(p *packet.Packet) {
-	next, ok := n.table.NextHop(p.Dst)
+	next, ok := n.fwd.NextHop(p.Dst)
 	if !ok {
-		n.reg.Counter("drop.noroute").Inc()
+		n.reg.Counter("drop." + forward.DropNoRoute).Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: no route to %v (forwarding)", p.Dst)
-		n.recordSpan(p, span.SegDrop, 0, "noroute")
+		n.recordSpan(p, span.SegDrop, 0, forward.DropNoRoute)
 		return
 	}
 	if n.isDuplicate(p) {
-		n.reg.Counter("drop.duplicate").Inc()
+		n.reg.Counter("drop." + forward.DropDuplicate).Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: duplicate within dedup horizon (loop breaker)")
-		n.recordSpan(p, span.SegDrop, 0, "duplicate")
+		n.recordSpan(p, span.SegDrop, 0, forward.DropDuplicate)
 		return
 	}
 	fwd := p.Clone()
@@ -239,25 +253,10 @@ func (n *Node) forward(p *packet.Packet) {
 
 // isDuplicate remembers routed-packet fingerprints for DedupHorizon and
 // reports repeats, breaking transient routing loops (the wire format has
-// no TTL).
+// no TTL). The suppressor itself lives in the strategy API (forward.Dedup)
+// so every strategy shares its exact semantics.
 func (n *Node) isDuplicate(p *packet.Packet) bool {
-	if n.cfg.DedupHorizon <= 0 {
-		return false
-	}
-	now := n.env.Now()
-	fp := fingerprint(p)
-	if last, ok := n.seen[fp]; ok && now.Sub(last) < n.cfg.DedupHorizon {
-		return true
-	}
-	n.seen[fp] = now
-	if len(n.seen) > 256 {
-		for k, v := range n.seen {
-			if now.Sub(v) >= n.cfg.DedupHorizon {
-				delete(n.seen, k)
-			}
-		}
-	}
-	return false
+	return n.dedup.Duplicate(n.env.Now(), fingerprint(p))
 }
 
 // route prepares a routed packet from this node: it resolves the next hop
@@ -267,11 +266,11 @@ func (n *Node) route(p *packet.Packet) error {
 		p.Via = packet.Broadcast
 		return n.enqueue(p)
 	}
-	next, ok := n.table.NextHop(p.Dst)
+	next, ok := n.fwd.NextHop(p.Dst)
 	if !ok {
-		n.reg.Counter("drop.noroute").Inc()
+		n.reg.Counter("drop." + forward.DropNoRoute).Inc()
 		n.tracePacket(trace.KindDrop, p, "drop: no route to %v (origin)", p.Dst)
-		n.recordSpan(p, span.SegDrop, 0, "noroute")
+		n.recordSpan(p, span.SegDrop, 0, forward.DropNoRoute)
 		return fmt.Errorf("%w: %v", ErrNoRoute, p.Dst)
 	}
 	p.Via = next

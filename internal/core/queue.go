@@ -25,7 +25,7 @@ func priorityFor(t packet.Type) priority {
 	switch t {
 	case packet.TypeHello:
 		return prioRouting
-	case packet.TypeAck, packet.TypeLost, packet.TypeSync:
+	case packet.TypeAck, packet.TypeLost, packet.TypeSync, packet.TypeSlotBeacon:
 		return prioControl
 	default:
 		return prioData
@@ -222,6 +222,18 @@ func (n *Node) transmitHead() {
 		n.pump(at.Sub(now) + time.Millisecond)
 		return
 	}
+	if n.cfg.TxGate != nil {
+		// Scheduled access (the slotted strategy): outside the node's
+		// transmission window the frame waits for clearance. Runs after
+		// the duty check so deferred frames never double-spend budget
+		// probes, and before CAD so listen-before-talk happens inside the
+		// granted window.
+		if wait := n.cfg.TxGate.Clearance(now, head.Type, airtime); wait > 0 {
+			n.reg.Counter("txgate.deferrals").Inc()
+			n.pump(wait)
+			return
+		}
+	}
 	if n.cfg.CAD {
 		busy, err := n.env.ChannelBusy()
 		if err == nil && busy && n.cadTries < n.cfg.CADMaxTries {
@@ -289,3 +301,23 @@ func (n *Node) HandleTxDone() {
 // the hop-local via field) for the forwarding loop-breaker — the same
 // hash that serves as the packet's trace ID.
 func fingerprint(p *packet.Packet) uint64 { return p.TraceID() }
+
+// SendBeacon enqueues one strategy control beacon: a link-local
+// broadcast frame of the given type (e.g. TypeSlotBeacon) that is never
+// forwarded. Strategies layered on this engine use it for their own
+// periodic control traffic; it rides the control priority level.
+func (n *Node) SendBeacon(t packet.Type, payload []byte) error {
+	if n.stopped {
+		return ErrStopped
+	}
+	if t.Routed() {
+		return fmt.Errorf("core: beacon type %v is routed; beacons are link-local", t)
+	}
+	p := &packet.Packet{
+		Dst:     packet.Broadcast,
+		Src:     n.cfg.Address,
+		Type:    t,
+		Payload: append([]byte(nil), payload...),
+	}
+	return n.enqueue(p)
+}

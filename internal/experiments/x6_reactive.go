@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/forward"
 	"repro/internal/geo"
 	"repro/internal/netsim"
 	"repro/internal/reactive"
@@ -37,20 +38,26 @@ func X6Reactive(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	type proto struct {
-		kind netsim.ProtocolKind
+	// The comparison set is expressed in strategy-API terms: each row is
+	// a forward.Kind plus its display name, resolved to the engine that
+	// runs it via netsim.KindForStrategy.
+	protos := []struct {
+		kind forward.Kind
 		name string
-	}
-	protos := []proto{
-		{netsim.KindMesher, "LoRaMesher (proactive)"},
-		{netsim.KindReactive, "AODV-lite (reactive)"},
-		{netsim.KindFlooding, "flooding"},
+	}{
+		{forward.KindProactive, "LoRaMesher (proactive)"},
+		{forward.KindReactive, "AODV-lite (reactive)"},
+		{forward.KindFlooding, "flooding"},
 	}
 	rows, err := forEachPoint(opt, len(protos), func(p int) ([]string, error) {
 		pr := protos[p]
+		pk, ok := netsim.KindForStrategy(pr.kind)
+		if !ok {
+			return nil, fmt.Errorf("X6: no engine runs strategy %q", pr.kind)
+		}
 		cfg := netsim.Config{
 			Topology: topo,
-			Protocol: pr.kind,
+			Protocol: pk,
 			Node:     expNode(),
 			Reactive: reactive.Config{DiscoveryTimeout: 15 * time.Second},
 			Seed:     opt.Seed,
@@ -59,7 +66,7 @@ func X6Reactive(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if pr.kind == netsim.KindMesher {
+		if pr.kind == forward.KindProactive {
 			if _, ok := sim.TimeToConvergence(10*time.Second, 4*time.Hour); !ok {
 				return nil, fmt.Errorf("X6: no convergence")
 			}

@@ -1,0 +1,186 @@
+// Package forward defines the pluggable forwarding-strategy API: the
+// engine surface every mesh protocol in this repository presents to its
+// host, plus the smaller contracts a strategy is assembled from — the
+// next-hop decision (Forwarder), transmission admission for scheduled
+// access (TxGate), per-strategy control beacons (Beaconer), the routed-
+// packet duplicate suppressor (Dedup), and the canonical drop-reason
+// vocabulary shared by every strategy's drop accounting.
+//
+// Four strategies implement the API today:
+//
+//   - proactive — LoRaMesher's distance-vector engine (internal/core on
+//     internal/routing), the paper's protocol;
+//   - reactive  — the AODV-style on-demand engine (internal/reactive);
+//   - icn       — named-data pub-sub with in-mesh caching and interest
+//     aggregation (internal/icn); and
+//   - slotted   — the proactive engine under a TDMA-like transmission
+//     schedule with per-flow latency bounds (internal/slotted).
+//
+// The controlled-flooding baseline (internal/baseline) implements the
+// same surface, so comparison experiments dispatch every engine —
+// baseline or strategy — through one interface instead of hard-wired
+// per-protocol calls.
+package forward
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Kind names a forwarding strategy. The string forms are the values the
+// meshsim/meshbench -strategy flags accept.
+type Kind string
+
+// Known strategies.
+const (
+	// KindProactive is LoRaMesher's distance-vector engine.
+	KindProactive Kind = "proactive"
+	// KindReactive is the AODV-style on-demand engine.
+	KindReactive Kind = "reactive"
+	// KindICN is the named-data pub-sub strategy with in-mesh caching.
+	KindICN Kind = "icn"
+	// KindSlotted is the proactive engine under a TDMA-like schedule.
+	KindSlotted Kind = "slotted"
+	// KindFlooding is the controlled-flooding baseline.
+	KindFlooding Kind = "flooding"
+)
+
+// Kinds returns every selectable strategy kind in display order.
+func Kinds() []Kind {
+	return []Kind{KindProactive, KindReactive, KindICN, KindSlotted, KindFlooding}
+}
+
+// ParseKind maps a -strategy flag value to its Kind, failing cleanly on
+// anything unknown.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if string(k) == s {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("forward: unknown strategy %q (want proactive, reactive, icn, slotted, or flooding)", s)
+}
+
+// RxInfo carries link-quality measurements for a received frame.
+type RxInfo struct {
+	RSSIDBm float64
+	SNRDB   float64
+}
+
+// Strategy is the host-driven engine surface every forwarding strategy
+// implements. Engines perform no I/O and start no goroutines: a host —
+// the deterministic simulator or a live runtime — serializes all calls
+// and carries out transmissions through the engine's Env.
+type Strategy interface {
+	// Start arms the strategy's timers (beacons, schedules); reactive
+	// strategies may be silent until traffic appears.
+	Start() error
+	// Stop cancels all pending work; a stopped engine ignores frames.
+	Stop()
+	// Send admits one application payload for dst. Strategies that route
+	// by name rather than address (ICN) interpret the payload as the
+	// content name and dst as advisory.
+	Send(dst packet.Address, payload []byte) error
+	// HandleFrame processes one frame received from the radio.
+	HandleFrame(frame []byte, info RxInfo)
+	// HandleTxDone is the host's signal that the engine's transmission
+	// ended.
+	HandleTxDone()
+	// Address returns the node's mesh address.
+	Address() packet.Address
+	// Metrics exposes the engine's drop accounting and counters.
+	Metrics() *metrics.Registry
+	// Kind identifies the strategy for dispatch and reporting.
+	Kind() Kind
+}
+
+// Forwarder makes the next-hop decision for a routed packet — the
+// contract the distance-vector table (routing.Table) satisfies and a
+// strategy may replace wholesale.
+type Forwarder interface {
+	// NextHop returns the neighbor to hand a packet for dst to; ok is
+	// false when the destination is unreachable (the "noroute" drop).
+	NextHop(dst packet.Address) (packet.Address, bool)
+}
+
+// TxGate is the transmission-admission hook scheduled-access strategies
+// install in the engine's transmit path. Clearance is consulted after
+// the duty-cycle check and before listen-before-talk: a zero return
+// clears the frame to transmit now; a positive return defers the queue
+// pump by that long (the engine re-consults at the new time).
+type TxGate interface {
+	Clearance(now time.Time, t packet.Type, airtime time.Duration) time.Duration
+}
+
+// Beacon describes one per-strategy control beacon: the wire type it
+// rides and its nominal period. Strategies with no beacons return none.
+type Beacon struct {
+	Type   packet.Type
+	Period time.Duration
+}
+
+// Beaconer is implemented by strategies that emit periodic control
+// beacons (proactive HELLOs, slotted slot advertisements), so hosts and
+// experiments can account control overhead per strategy uniformly.
+type Beaconer interface {
+	Beacons() []Beacon
+}
+
+// Canonical drop reasons. Every strategy accounts drops under a
+// "drop.<reason>" counter using this vocabulary, and span/trace sinks
+// carry the same strings, so drop tables compare across strategies.
+const (
+	DropNoRoute   = "noroute"
+	DropDuplicate = "duplicate"
+	DropQueueFull = "queue_full"
+	DropDutyCycle = "dutycycle"
+	DropMarshal   = "marshal"
+	DropTxError   = "txerror"
+	DropTTL       = "ttl"
+	DropNoPIT     = "nopit"
+)
+
+// Dedup is the routed-packet duplicate suppressor strategies share: it
+// remembers packet fingerprints for a horizon and reports repeats,
+// breaking transient forwarding loops (the wire format has no TTL
+// field). A non-positive horizon disables it. The zero value is ready
+// to use.
+//
+// Semantics are load-bearing for replay determinism: a duplicate hit
+// does NOT refresh the remembered timestamp (the horizon measures from
+// first sight), and the table is swept of stale entries only when it
+// grows past 256 fingerprints.
+type Dedup struct {
+	// Horizon is how long a fingerprint is remembered.
+	Horizon time.Duration
+	seen    map[uint64]time.Time
+}
+
+// Duplicate records fp at now and reports whether it was already seen
+// within the horizon.
+func (d *Dedup) Duplicate(now time.Time, fp uint64) bool {
+	if d.Horizon <= 0 {
+		return false
+	}
+	if last, ok := d.seen[fp]; ok && now.Sub(last) < d.Horizon {
+		return true
+	}
+	if d.seen == nil {
+		d.seen = make(map[uint64]time.Time)
+	}
+	d.seen[fp] = now
+	if len(d.seen) > 256 {
+		for k, v := range d.seen {
+			if now.Sub(v) >= d.Horizon {
+				delete(d.seen, k)
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of remembered fingerprints (for tests).
+func (d *Dedup) Len() int { return len(d.seen) }

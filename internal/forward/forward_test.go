@@ -1,0 +1,90 @@
+package forward
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 5 {
+		t.Fatalf("Kinds() = %v, want 5 strategies", kinds)
+	}
+	for _, k := range kinds {
+		got, err := ParseKind(string(k))
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %q", k, got)
+		}
+	}
+	if kinds[0] != KindProactive {
+		t.Errorf("display order must lead with the default: %v", kinds)
+	}
+}
+
+func TestParseKindUnknown(t *testing.T) {
+	for _, bad := range []string{"", "Proactive", "dv", "icn "} {
+		k, err := ParseKind(bad)
+		if err == nil {
+			t.Fatalf("ParseKind(%q) = %q, want error", bad, k)
+		}
+		// The message must name every accepted value — it is the -strategy
+		// flag's usage hint.
+		for _, want := range Kinds() {
+			if !strings.Contains(err.Error(), string(want)) {
+				t.Errorf("ParseKind(%q) error %q does not mention %q", bad, err, want)
+			}
+		}
+	}
+}
+
+func TestDedupDisabled(t *testing.T) {
+	var d Dedup // zero horizon: disabled
+	now := time.Unix(0, 0)
+	for i := 0; i < 3; i++ {
+		if d.Duplicate(now, 42) {
+			t.Fatal("disabled dedup reported a duplicate")
+		}
+	}
+	if d.Len() != 0 {
+		t.Errorf("disabled dedup remembered %d fingerprints", d.Len())
+	}
+}
+
+func TestDedupHorizon(t *testing.T) {
+	d := Dedup{Horizon: 10 * time.Second}
+	now := time.Unix(0, 0)
+	if d.Duplicate(now, 1) {
+		t.Fatal("first sight reported as duplicate")
+	}
+	if !d.Duplicate(now.Add(5*time.Second), 1) {
+		t.Fatal("repeat within the horizon not reported")
+	}
+	// The horizon measures from FIRST sight: the duplicate hit at +5s must
+	// not have refreshed the timestamp, so at +10s the entry is stale.
+	if d.Duplicate(now.Add(10*time.Second), 1) {
+		t.Fatal("fingerprint still duplicate one full horizon after first sight")
+	}
+	if d.Duplicate(now, 2) {
+		t.Fatal("distinct fingerprint reported as duplicate")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", d.Len())
+	}
+}
+
+func TestDedupSweep(t *testing.T) {
+	d := Dedup{Horizon: time.Second}
+	now := time.Unix(0, 0)
+	for fp := uint64(0); fp < 300; fp++ {
+		d.Duplicate(now, fp)
+	}
+	// Past 256 entries, inserts sweep fingerprints older than the horizon.
+	d.Duplicate(now.Add(2*time.Second), 1000)
+	if d.Len() != 1 {
+		t.Errorf("after sweep Len() = %d, want 1 (only the fresh fingerprint)", d.Len())
+	}
+}

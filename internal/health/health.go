@@ -98,16 +98,30 @@ const (
 	KindSilent    = "silent"
 	KindDutyStuck = "duty_stuck"
 	KindReplay    = "replay"
+	// KindLatencyBound flags a flow delivery that exceeded the declared
+	// per-flow latency bound — the real-time invariant the slotted
+	// forwarding strategy promises (see internal/slotted).
+	KindLatencyBound = "latency_bound"
 )
 
 // scorePenalty maps a violation kind to its health-score cost. A node
 // accumulates each kind's penalty at most once per poll.
 var scorePenalty = map[string]int{
-	KindLoop:      40,
-	KindBlackhole: 40,
-	KindSilent:    50,
-	KindDutyStuck: 30,
-	KindReplay:    25,
+	KindLoop:         40,
+	KindBlackhole:    40,
+	KindSilent:       50,
+	KindDutyStuck:    30,
+	KindReplay:       25,
+	KindLatencyBound: 30,
+}
+
+// FlowSample is one end-to-end application delivery as observed by the
+// host, fed to the latency-bound invariant.
+type FlowSample struct {
+	// Src is the flow's originator, Dst the delivering node.
+	Src, Dst packet.Address
+	// Latency is send-to-delivery time.
+	Latency time.Duration
 }
 
 // Config tunes the monitor.
@@ -127,6 +141,14 @@ type Config struct {
 	// ReplayBurst is the sec.drop.replay increase within one poll that
 	// flags a replay anomaly. Zero means 5.
 	ReplayBurst float64
+	// FlowLatencyBound, when positive, arms the per-flow latency-bound
+	// invariant: every FlowSample whose Latency exceeds the bound is a
+	// latency_bound violation. Zero disables the detector.
+	FlowLatencyBound time.Duration
+	// Flows, when set, returns the flow deliveries observed since the
+	// previous poll (the host drains its sample buffer here). Called
+	// from Poll's goroutine; nil disables the latency-bound detector.
+	Flows func() []FlowSample
 	// Tracer, when set, receives every violation as a structured
 	// trace.KindHealth event (the violation kind rides Event.Seg).
 	Tracer *trace.Tracer
@@ -203,7 +225,7 @@ func New(cfg Config, src Source) *Monitor {
 	// sees zeros, not absence.
 	m.reg.Counter("health.polls")
 	m.reg.Counter("health.violations")
-	for _, k := range []string{KindLoop, KindBlackhole, KindSilent, KindDutyStuck, KindReplay} {
+	for _, k := range []string{KindLoop, KindBlackhole, KindSilent, KindDutyStuck, KindReplay, KindLatencyBound} {
 		m.reg.Counter("health.violation." + k)
 	}
 	m.reg.Gauge("health.mesh.score.min")
@@ -244,6 +266,7 @@ func (m *Monitor) Poll(now time.Time) []Violation {
 	nodes := m.src()
 	var vs []Violation
 	vs = append(vs, RouteFaults(nodes)...)
+	vs = append(vs, m.latencyFaults()...)
 
 	m.mu.Lock()
 	vs = append(vs, m.deltaDetectors(nodes)...)
@@ -279,6 +302,26 @@ func (m *Monitor) Poll(now time.Time) []Violation {
 		for _, fn := range subs {
 			fn(v)
 		}
+	}
+	return vs
+}
+
+// latencyFaults drains the host's flow-delivery samples and flags every
+// one exceeding the declared per-flow latency bound. The violation is
+// attributed to the flow's originator (whose traffic missed its
+// deadline), with Dst recording the delivering node.
+func (m *Monitor) latencyFaults() []Violation {
+	if m.cfg.FlowLatencyBound <= 0 || m.cfg.Flows == nil {
+		return nil
+	}
+	var vs []Violation
+	for _, f := range m.cfg.Flows() {
+		if f.Latency <= m.cfg.FlowLatencyBound {
+			continue
+		}
+		vs = append(vs, Violation{Node: f.Src, Kind: KindLatencyBound, Dst: f.Dst,
+			Detail: fmt.Sprintf("flow %v -> %v delivered in %v, bound %v",
+				f.Src, f.Dst, f.Latency, m.cfg.FlowLatencyBound)})
 	}
 	return vs
 }

@@ -8,9 +8,11 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/icn"
 	"repro/internal/loraphy"
 	"repro/internal/packet"
 	"repro/internal/reactive"
+	"repro/internal/slotted"
 	"repro/internal/span"
 	"repro/internal/trace"
 )
@@ -82,6 +84,50 @@ func (s *Sim) buildEngine(h *Handle) error {
 		h.Proto = n
 		h.Mesher = nil
 		h.env.phy = s.Cfg.Node.EffectivePhy()
+	case KindICN:
+		ic := s.Cfg.ICN
+		ic.Address = addr
+		ic.Tracer = s.Tracer
+		ic.Spans = s.Spans
+		if ic.Phy == (loraphy.Params{}) {
+			// All strategies share one radio profile: an unset ICN PHY
+			// inherits the node template's.
+			ic.Phy = s.Cfg.Node.EffectivePhy()
+		}
+		if s.Cfg.ICNProduce != nil {
+			idx := h.Index
+			produce := s.Cfg.ICNProduce
+			ic.Produce = func(name string) []byte { return produce(idx, name) }
+		}
+		n, err := icn.NewNode(ic, h.env)
+		if err != nil {
+			return fmt.Errorf("netsim: node %d: %w", h.Index, err)
+		}
+		h.Proto = n
+		h.ICN = n
+		h.Mesher = nil
+		h.env.phy = ic.Phy
+	case KindSlotted:
+		sc := s.Cfg.Slotted
+		nc := s.Cfg.Node
+		nc.Address = addr
+		nc.Tracer = s.Tracer
+		nc.Spans = s.Spans
+		if s.Cfg.NodeOverride != nil {
+			nc = s.Cfg.NodeOverride(h.Index, nc)
+			nc.Address = addr
+		}
+		// The slotted wrapper owns these hooks.
+		nc.Forwarder, nc.TxGate, nc.OnBeacon = nil, nil, nil
+		sc.Core = nc
+		n, err := slotted.NewNode(sc, h.env)
+		if err != nil {
+			return fmt.Errorf("netsim: node %d: %w", h.Index, err)
+		}
+		h.Proto = n
+		h.Slotted = n
+		h.Mesher = n.Node
+		h.env.phy = n.Config().Phy
 	default:
 		return fmt.Errorf("netsim: unknown protocol %d", s.Cfg.Protocol)
 	}

@@ -16,13 +16,16 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/forward"
 	"repro/internal/geo"
 	"repro/internal/health"
+	"repro/internal/icn"
 	"repro/internal/meshsec"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/reactive"
 	"repro/internal/simtime"
+	"repro/internal/slotted"
 	"repro/internal/span"
 	"repro/internal/trace"
 )
@@ -42,9 +45,54 @@ const (
 	KindFlooding
 	// KindReactive runs the AODV-style on-demand baseline.
 	KindReactive
+	// KindICN runs the named-data pub-sub strategy with in-mesh caching.
+	KindICN
+	// KindSlotted runs the distance-vector engine under the TDMA-like
+	// slotted transmit schedule (real-time mode).
+	KindSlotted
 )
 
-// Protocol is the engine surface shared by core.Node and baseline.Node.
+// StrategyKind maps a simulation protocol selection to its
+// forwarding-strategy identifier (see internal/forward), and back via
+// KindForStrategy.
+func (k ProtocolKind) StrategyKind() forward.Kind {
+	switch k {
+	case KindMesher:
+		return forward.KindProactive
+	case KindFlooding:
+		return forward.KindFlooding
+	case KindReactive:
+		return forward.KindReactive
+	case KindICN:
+		return forward.KindICN
+	case KindSlotted:
+		return forward.KindSlotted
+	}
+	return ""
+}
+
+// KindForStrategy maps a forwarding-strategy identifier to the protocol
+// kind that runs it, reporting false for unknown strategies.
+func KindForStrategy(k forward.Kind) (ProtocolKind, bool) {
+	switch k {
+	case forward.KindProactive:
+		return KindMesher, true
+	case forward.KindFlooding:
+		return KindFlooding, true
+	case forward.KindReactive:
+		return KindReactive, true
+	case forward.KindICN:
+		return KindICN, true
+	case forward.KindSlotted:
+		return KindSlotted, true
+	}
+	return 0, false
+}
+
+// Protocol is the engine surface every forwarding strategy implements
+// (see internal/forward.Strategy — this is the same contract minus the
+// strategy-identity methods, kept as a local interface so hosts compile
+// against exactly what they drive).
 type Protocol interface {
 	Start() error
 	Stop()
@@ -59,6 +107,15 @@ var (
 	_ Protocol = (*core.Node)(nil)
 	_ Protocol = (*baseline.Node)(nil)
 	_ Protocol = (*reactive.Node)(nil)
+	_ Protocol = (*icn.Node)(nil)
+	_ Protocol = (*slotted.Node)(nil)
+
+	// Every engine also satisfies the full strategy API.
+	_ forward.Strategy = (*core.Node)(nil)
+	_ forward.Strategy = (*baseline.Node)(nil)
+	_ forward.Strategy = (*reactive.Node)(nil)
+	_ forward.Strategy = (*icn.Node)(nil)
+	_ forward.Strategy = (*slotted.Node)(nil)
 )
 
 // Config describes a simulation.
@@ -79,6 +136,20 @@ type Config struct {
 	Flood baseline.Config
 	// Reactive is the on-demand baseline template (KindReactive).
 	Reactive reactive.Config
+	// ICN is the named-data strategy template (KindICN); the address is
+	// assigned per node and a zero Phy inherits Node's effective PHY so
+	// all strategies share one radio profile.
+	ICN icn.Config
+	// ICNProduce, when set under KindICN, makes node i a producer: it is
+	// called with the node index and the requested content name and
+	// returns the content (nil = node i does not produce that name). It
+	// overrides ICN.Produce, which cannot be per-node.
+	ICNProduce func(i int, name string) []byte
+	// Slotted is the slotted-strategy template (KindSlotted): the
+	// superframe (typically control.State.Slotted from a desired-state
+	// document), sink, and beacon period. Its Core field is ignored —
+	// Node is the engine template, exactly as under KindMesher.
+	Slotted slotted.Config
 	// BaseAddress is node 0's address; node i gets BaseAddress+i.
 	// Zero means 0x0001.
 	BaseAddress packet.Address
@@ -101,6 +172,12 @@ type Config struct {
 	// keeps span capture off — and keeps existing trace streams
 	// byte-identical.
 	SpanCapacity int
+	// FlowLatencyBound, when positive (and HealthInterval arms the
+	// monitor), promotes the per-flow latency bound to a health
+	// invariant: every StartFlow delivery slower than the bound is a
+	// latency_bound violation (see internal/health). The slotted
+	// strategy's experiments assert zero of these.
+	FlowLatencyBound time.Duration
 	// HealthInterval arms the always-on mesh health monitor when
 	// positive: every interval of virtual time the monitor walks routing
 	// tables and counter deltas for loops, blackholes, silent nodes,
@@ -120,8 +197,15 @@ type Handle struct {
 	Station airmedium.StationID
 	// Proto is the protocol engine.
 	Proto Protocol
-	// Mesher is the engine as a *core.Node, nil under KindFlooding.
+	// Mesher is the engine as a *core.Node: the engine itself under
+	// KindMesher, the embedded core engine under KindSlotted, nil for
+	// the table-free strategies (flooding, reactive, ICN).
 	Mesher *core.Node
+	// ICN is the engine as an *icn.Node, nil except under KindICN.
+	ICN *icn.Node
+	// Slotted is the engine as a *slotted.Node, nil except under
+	// KindSlotted.
+	Slotted *slotted.Node
 	// Msgs collects application deliveries.
 	Msgs []core.AppMessage
 	// StreamEvents collects reliable-transfer outcomes.
@@ -213,6 +297,10 @@ type Sim struct {
 	stationIdx map[airmedium.StationID]int
 	// injector evaluates the applied fault plan; nil without one.
 	injector *faults.Injector
+	// flowSamples buffers StartFlow deliveries for the health monitor's
+	// latency-bound invariant; drained every poll. Only filled when
+	// Config.FlowLatencyBound is positive.
+	flowSamples []health.FlowSample
 	// control is the attached self-healing controller; nil without one.
 	control *control.Controller
 }
@@ -297,10 +385,15 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 	if cfg.HealthInterval > 0 {
-		s.Health = health.New(health.Config{
+		hc := health.Config{
 			Interval: cfg.HealthInterval,
 			Tracer:   s.Tracer,
-		}, s.healthSource)
+		}
+		if cfg.FlowLatencyBound > 0 {
+			hc.FlowLatencyBound = cfg.FlowLatencyBound
+			hc.Flows = s.drainFlowSamples
+		}
+		s.Health = health.New(hc, s.healthSource)
 		var tick func()
 		tick = func() {
 			s.Health.Poll(s.Sched.Now())
@@ -309,6 +402,14 @@ func New(cfg Config) (*Sim, error) {
 		s.Sched.MustAfter(cfg.HealthInterval, tick)
 	}
 	return s, nil
+}
+
+// drainFlowSamples hands the buffered StartFlow deliveries to the health
+// monitor's latency-bound invariant and resets the buffer.
+func (s *Sim) drainFlowSamples() []health.FlowSample {
+	out := s.flowSamples
+	s.flowSamples = nil
+	return out
 }
 
 // healthSource snapshots every node for the health monitor: liveness,
@@ -406,10 +507,12 @@ func (s *Sim) Move(i int, pos geo.Point) error {
 	return s.Medium.SetPosition(s.handles[i].Station, pos)
 }
 
-// Converged reports whether every live mesher node has a usable route to
-// every other live node. Under KindFlooding it is trivially true.
+// Converged reports whether every live routing node has a usable route
+// to every other live node (KindMesher and KindSlotted — the strategies
+// with a distance-vector table). For the table-free strategies it is
+// trivially true.
 func (s *Sim) Converged() bool {
-	if s.Cfg.Protocol != KindMesher {
+	if s.Cfg.Protocol != KindMesher && s.Cfg.Protocol != KindSlotted {
 		return true
 	}
 	for _, a := range s.handles {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/packet"
 )
 
@@ -91,6 +92,10 @@ func (s *Sim) StartFlow(f Flow) (*TrafficStats, error) {
 		stats.Latencies = append(stats.Latencies, lat)
 		s.reg.Counter("flows.delivered").Inc()
 		s.reg.Histogram("e2e.latency_ms").ObserveDuration(lat)
+		if s.Cfg.FlowLatencyBound > 0 {
+			s.flowSamples = append(s.flowSamples,
+				health.FlowSample{Src: src.Addr, Dst: dst.Addr, Latency: lat})
+		}
 	}
 
 	var fire func()

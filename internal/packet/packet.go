@@ -79,13 +79,30 @@ const (
 	// TypeRouteReply returns the discovered route hop by hop toward the
 	// originator (routed: carries via).
 	TypeRouteReply Type = 0x06
+
+	// The three types below belong to the pluggable forwarding strategies
+	// (see internal/forward): the ICN named-data strategy and the slotted
+	// real-time mode. They share the wire header so every strategy runs on
+	// the identical substrate.
+
+	// TypeInterest floods an ICN interest: Src is the requesting
+	// originator (preserved across relays, like TypeRouteRequest); the
+	// payload carries the nonce, hop count, previous hop, and content
+	// name. Link-local broadcast, no via field.
+	TypeInterest Type = 0x07
+	// TypeNamedData returns named content hop by hop along the PIT
+	// breadcrumbs toward a requester (routed: carries via).
+	TypeNamedData Type = 0x08
+	// TypeSlotBeacon advertises a node's TDMA slot assignment in the
+	// slotted strategy. Link-local broadcast, never forwarded.
+	TypeSlotBeacon Type = 0x09
 )
 
 // Valid reports whether t is a known packet type.
 func (t Type) Valid() bool {
 	switch t {
 	case TypeHello, TypeData, TypeDataAck, TypeSync, TypeXLData, TypeAck, TypeLost,
-		TypeRouteRequest, TypeRouteReply:
+		TypeRouteRequest, TypeRouteReply, TypeInterest, TypeNamedData, TypeSlotBeacon:
 		return true
 	default:
 		return false
@@ -93,10 +110,11 @@ func (t Type) Valid() bool {
 }
 
 // Routed reports whether packets of this type carry a via field and are
-// forwarded hop by hop using the routing table. HELLOs and route-request
-// floods are link-local broadcasts without one.
+// forwarded hop by hop using the routing table. HELLOs, route-request and
+// interest floods, and slot beacons are link-local broadcasts without one.
 func (t Type) Routed() bool {
-	return t.Valid() && t != TypeHello && t != TypeRouteRequest
+	return t.Valid() && t != TypeHello && t != TypeRouteRequest &&
+		t != TypeInterest && t != TypeSlotBeacon
 }
 
 // Stream reports whether packets of this type belong to a reliable stream
@@ -130,6 +148,12 @@ func (t Type) String() string {
 		return "RREQ"
 	case TypeRouteReply:
 		return "RREP"
+	case TypeInterest:
+		return "INTEREST"
+	case TypeNamedData:
+		return "NAMED_DATA"
+	case TypeSlotBeacon:
+		return "SLOT_BEACON"
 	default:
 		return fmt.Sprintf("Type(0x%02X)", uint8(t))
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/forward"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 )
@@ -146,6 +147,13 @@ func (n *Node) Address() packet.Address { return n.cfg.Address }
 
 // Metrics exposes the node's instruments.
 func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Kind identifies the strategy: AODV-style on-demand routing.
+func (n *Node) Kind() forward.Kind { return forward.KindReactive }
+
+// Beacons reports no periodic control beacons: a reactive protocol is
+// silent until traffic appears (its control traffic is the RREQ flood).
+func (n *Node) Beacons() []forward.Beacon { return nil }
 
 // RouteCount returns the number of unexpired routes.
 func (n *Node) RouteCount() int {

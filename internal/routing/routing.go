@@ -329,6 +329,18 @@ func (t *Table) NextHop(dst packet.Address) (packet.Address, bool) {
 	return e.Via, true
 }
 
+// HopsTo returns the hop count (route metric) to dst, false when no
+// usable route exists. Strategies that derive schedules from topology —
+// the slotted mode assigns TDMA slots by route depth — read this instead
+// of inspecting entries directly.
+func (t *Table) HopsTo(dst packet.Address) (uint8, bool) {
+	e, ok := t.entries[dst]
+	if !ok || e.Poisoned() {
+		return 0, false
+	}
+	return e.Metric, true
+}
+
 // Lookup returns a copy of the entry for dst.
 func (t *Table) Lookup(dst packet.Address) (Entry, bool) {
 	e, ok := t.entries[dst]

@@ -48,6 +48,10 @@ const (
 	// SegDrop terminates a span with the drop reason in Detail. Every
 	// drop.* trace event pairs with exactly one SegDrop record.
 	SegDrop
+	// SegCacheHit marks an ICN content-store hit: the node answered an
+	// interest from its cache instead of relaying it toward the
+	// producer, so the hop tree shows where a cached reply originated.
+	SegCacheHit
 
 	segCount
 )
@@ -62,6 +66,7 @@ var segNames = [segCount]string{
 	SegRetransmit: "retransmit",
 	SegDeliver:    "deliver",
 	SegDrop:       "drop",
+	SegCacheHit:   "cache-hit",
 }
 
 func (s Seg) String() string {

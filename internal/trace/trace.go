@@ -51,6 +51,16 @@ const (
 	// reconcile decisions, command dispatches, acks, playbook actions,
 	// and escalations from the self-healing controller.
 	KindControl Kind = "control"
+	// KindInterest marks ICN interest lifecycle events (see
+	// internal/icn): expression, relay, PIT aggregation, cache hits,
+	// and interest drops.
+	KindInterest Kind = "interest"
+	// KindData marks ICN named-data movement: production, cache fill,
+	// breadcrumb forwarding, and delivery to the requester.
+	KindData Kind = "data"
+	// KindSlotBeacon marks slotted-strategy schedule beacons (see
+	// internal/slotted): slot assignments advertised and heard.
+	KindSlotBeacon Kind = "slot-beacon"
 )
 
 // TraceID identifies one datagram end to end. It is derived from the

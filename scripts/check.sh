@@ -54,7 +54,11 @@ echo "==> go test -race (concurrent packages)"
 # exactly the kind of invariant the race detector checks.
 # meshload is here because the load harness runs a gateway fleet, an
 # HTTP backend, and the drain poller concurrently in one process.
-go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./internal/control/... ./internal/citysim/... ./cmd/meshgw/... ./cmd/meshload/...
+# forward, icn, and slotted are here because the strategy engines run
+# inside netsim's parallel sweep workers (X7 evaluates independent Sims
+# concurrently) and on the live harness's engine goroutines — shared
+# state between two strategy instances is a race, not a design choice.
+go test -race ./internal/livenet/... ./internal/metrics/... ./internal/trace/... ./internal/udpnet/... ./internal/gateway/... ./internal/netsim/... ./internal/experiments/... ./internal/meshsec/... ./internal/faults/... ./internal/span/... ./internal/health/... ./internal/control/... ./internal/citysim/... ./internal/forward/... ./internal/icn/... ./internal/slotted/... ./cmd/meshgw/... ./cmd/meshload/...
 echo "==> meshsim -control smoke"
 # End-to-end: the simulator reconciles toward a real desired-state
 # document and must report convergence — guards the CLI wiring (flag,
